@@ -1,0 +1,140 @@
+(* Benchmark harness.
+
+   Default: run the full experiment suite (E1 .. E14) — one section per
+   table/figure/claim of the paper (see DESIGN.md and EXPERIMENTS.md) —
+   followed by the Bechamel micro-benchmarks of the core kernels.
+
+   Flags: --micro (micro-benchmarks only), --experiments (experiments
+   only), E<k> (run a single experiment). *)
+
+open Bechamel
+
+let connectivity_bench () =
+  let rng = Support.Rng.create 1 in
+  let hg = Workloads.Rand_hg.uniform rng ~n:2000 ~m:3000 ~min_size:2 ~max_size:8 in
+  let part = Partition.random rng ~k:8 ~n:2000 in
+  Test.make ~name:"connectivity cost (n=2000, m=3000, k=8)"
+    (Staged.stage (fun () -> ignore (Partition.connectivity_cost hg part)))
+
+let cutnet_bench () =
+  let rng = Support.Rng.create 2 in
+  let hg = Workloads.Rand_hg.uniform rng ~n:2000 ~m:3000 ~min_size:2 ~max_size:8 in
+  let part = Partition.random rng ~k:8 ~n:2000 in
+  Test.make ~name:"cut-net cost (n=2000, m=3000, k=8)"
+    (Staged.stage (fun () -> ignore (Partition.cutnet_cost hg part)))
+
+let fm_pass_bench () =
+  let rng = Support.Rng.create 3 in
+  let hg = Workloads.Rand_hg.uniform rng ~n:1000 ~m:1500 ~min_size:2 ~max_size:6 in
+  Test.make ~name:"FM refinement (n=1000, m=1500, k=2)"
+    (Staged.stage (fun () ->
+         let part = Solvers.Initial.random_balanced ~eps:0.03 rng hg ~k:2 in
+         ignore
+           (Solvers.Refine.refine
+              ~config:{ Solvers.Refine.default_config with eps = 0.03 }
+              hg part)))
+
+let coarsen_bench () =
+  let rng = Support.Rng.create 4 in
+  let hg = Workloads.Rand_hg.uniform rng ~n:2000 ~m:3000 ~min_size:2 ~max_size:6 in
+  Test.make ~name:"coarsening level (n=2000, m=3000)"
+    (Staged.stage (fun () ->
+         ignore (Solvers.Coarsen.one_level rng hg ~max_cluster_weight:8)))
+
+let multilevel_bench () =
+  let rng = Support.Rng.create 5 in
+  let hg = Workloads.Rand_hg.uniform rng ~n:1000 ~m:1500 ~min_size:2 ~max_size:6 in
+  Test.make ~name:"multilevel end-to-end (n=1000, m=1500, k=4)"
+    (Staged.stage (fun () ->
+         ignore (Solvers.Multilevel.partition rng hg ~k:4)))
+
+let recognition_bench () =
+  let rng = Support.Rng.create 6 in
+  let dag = Workloads.Dag_gen.layered rng ~layers:40 ~width:50 ~max_indegree:3 in
+  let hg = Hyperdag.hypergraph_of_dag dag in
+  Test.make ~name:"hyperDAG recognition (n=2000)"
+    (Staged.stage (fun () -> ignore (Hyperdag.recognize hg)))
+
+let matching_bench () =
+  let rng = Support.Rng.create 7 in
+  let k = 16 in
+  let m = Array.init k (fun _ -> Array.init k (fun _ -> Support.Rng.int rng 100)) in
+  let w a b = m.(a).(b) in
+  Test.make ~name:"matching DP (k=16)"
+    (Staged.stage (fun () -> ignore (Matching.exact_max_weight ~k w)))
+
+let kl_bench () =
+  let rng = Support.Rng.create 9 in
+  let hg = Workloads.Rand_hg.uniform rng ~n:300 ~m:450 ~min_size:2 ~max_size:5 in
+  Test.make ~name:"KL swap refinement (n=300, m=450, k=2)"
+    (Staged.stage (fun () ->
+         let part = Solvers.Initial.random_balanced ~eps:0.0 rng hg ~k:2 in
+         ignore (Solvers.Kl_swap.refine hg part)))
+
+let vcycle_bench () =
+  let rng = Support.Rng.create 10 in
+  let hg = Workloads.Rand_hg.uniform rng ~n:1000 ~m:1500 ~min_size:2 ~max_size:6 in
+  let part = Solvers.Multilevel.partition rng hg ~k:4 in
+  Test.make ~name:"v-cycle (n=1000, m=1500, k=4)"
+    (Staged.stage (fun () ->
+         ignore (Solvers.Multilevel.vcycle rng hg (Partition.copy part))))
+
+let hier_cost_bench () =
+  let rng = Support.Rng.create 8 in
+  let hg = Workloads.Rand_hg.uniform rng ~n:1000 ~m:1500 ~min_size:2 ~max_size:6 in
+  let topo = Hierarchy.Topology.uniform_binary ~depth:3 ~g:4.0 in
+  let part = Partition.random rng ~k:8 ~n:1000 in
+  Test.make ~name:"hierarchical cost (n=1000, d=3)"
+    (Staged.stage (fun () -> ignore (Hierarchy.Hier_cost.cost topo hg part)))
+
+let micro_benchmarks () =
+  print_endline "\n== Bechamel micro-benchmarks (time per run) ==";
+  let tests =
+    [
+      connectivity_bench (); cutnet_bench (); fm_pass_bench ();
+      coarsen_bench (); multilevel_bench (); recognition_bench ();
+      matching_bench (); kl_bench (); vcycle_bench (); hier_cost_bench ();
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              let pretty =
+                if est >= 1e9 then Printf.sprintf "%8.2f s " (est /. 1e9)
+                else if est >= 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+                else if est >= 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+                else Printf.sprintf "%8.0f ns" est
+              in
+              Printf.printf "  %-48s %s/run\n%!" name pretty
+          | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
+        analyzed)
+    tests
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--micro" ] -> micro_benchmarks ()
+  | [ "--experiments" ] -> Experiments.run_all ()
+  | [ id ] when String.length id >= 2 && id.[0] = 'E' ->
+      if not (Experiments.run_one id) then begin
+        Printf.eprintf "unknown experiment %s\n" id;
+        exit 1
+      end
+  | [] ->
+      Experiments.run_all ();
+      micro_benchmarks ()
+  | _ ->
+      prerr_endline "usage: main.exe [--micro | --experiments | E<k>]";
+      exit 1

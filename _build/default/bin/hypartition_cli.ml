@@ -1,0 +1,419 @@
+(* hypartition — command-line hypergraph partitioner.
+
+   Subcommands:
+     partition FILE   partition an hMETIS hypergraph and report metrics
+     stats FILE       structural statistics of an hMETIS hypergraph
+     recognize FILE   decide whether the hypergraph is a hyperDAG
+     hierarchical FILE  hierarchical (NUMA) partitioning, Definition 7.1 *)
+
+open Cmdliner
+
+let load_hypergraph path =
+  try Ok (Hypergraph.Hmetis.load path) with
+  | Failure msg -> Error msg
+  | Sys_error msg -> Error msg
+
+let hypergraph_arg =
+  let doc = "Input hypergraph in hMETIS format." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let k_arg =
+  let doc = "Number of parts." in
+  Arg.(value & opt int 2 & info [ "k"; "parts" ] ~docv:"K" ~doc)
+
+let eps_arg =
+  let doc = "Balance parameter epsilon: parts hold at most (1+eps)*W/k." in
+  Arg.(value & opt float 0.03 & info [ "e"; "eps" ] ~docv:"EPS" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (the solvers are deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let algorithm_arg =
+  let algs =
+    [
+      ("multilevel", `Multilevel);
+      ("recursive", `Recursive);
+      ("fm", `Fm);
+      ("bfs", `Bfs);
+      ("random", `Random);
+      ("exact", `Exact);
+    ]
+  in
+  let doc =
+    Printf.sprintf "Partitioning algorithm: %s."
+      (String.concat ", " (List.map fst algs))
+  in
+  Arg.(value & opt (enum algs) `Multilevel & info [ "a"; "algorithm" ] ~doc)
+
+let metric_arg =
+  let doc = "Cost metric: connectivity (sum of lambda-1) or cutnet." in
+  Arg.(
+    value
+    & opt (enum [ ("connectivity", Partition.Connectivity);
+                  ("cutnet", Partition.Cut_net) ])
+        Partition.Connectivity
+    & info [ "metric" ] ~doc)
+
+let output_arg =
+  let doc = "Write the partition vector (one part id per line) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+
+let dot_arg =
+  let doc = "Write a Graphviz rendering of the partitioned hypergraph." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"DOT" ~doc)
+
+let report hg part metric =
+  Printf.printf "k            : %d\n" (Partition.k part);
+  Printf.printf "connectivity : %d\n" (Partition.connectivity_cost hg part);
+  Printf.printf "cut-net      : %d\n" (Partition.cutnet_cost hg part);
+  Printf.printf "imbalance    : %.4f\n" (Partition.imbalance hg part);
+  Printf.printf "part weights : %s\n"
+    (String.concat " "
+       (Array.to_list (Array.map string_of_int (Partition.part_weights hg part))));
+  ignore metric
+
+let run_partition path k eps seed algorithm metric output dot =
+  match load_hypergraph path with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok hg ->
+      let rng = Support.Rng.create seed in
+      let part =
+        match algorithm with
+        | `Multilevel ->
+            Solvers.Multilevel.partition
+              ~config:{ Solvers.Multilevel.default_config with eps; metric }
+              rng hg ~k
+        | `Recursive ->
+            Solvers.Recursive_bisection.partition ~eps
+              ~bisector:(Solvers.Recursive_bisection.multilevel_bisector rng)
+              hg ~k
+        | `Fm ->
+            let p = Solvers.Initial.random_balanced ~eps rng hg ~k in
+            ignore
+              (Solvers.Refine.refine
+                 ~config:{ Solvers.Refine.default_config with eps; metric }
+                 hg p);
+            p
+        | `Bfs -> Solvers.Initial.bfs_growth ~eps rng hg ~k
+        | `Random -> Solvers.Initial.random_balanced ~eps rng hg ~k
+        | `Exact -> (
+            if Hypergraph.num_nodes hg > 24 then begin
+              Printf.eprintf
+                "error: exact solver limited to 24 nodes (got %d)\n"
+                (Hypergraph.num_nodes hg);
+              exit 1
+            end;
+            match Solvers.Exact.solve ~metric ~eps hg ~k with
+            | Some { Solvers.Exact.part; _ } -> part
+            | None ->
+                Printf.eprintf "error: no eps-balanced partition exists\n";
+                exit 1)
+      in
+      report hg part metric;
+      (match output with
+      | Some out ->
+          Out_channel.with_open_text out (fun oc ->
+              Array.iter
+                (fun c -> output_string oc (string_of_int c ^ "\n"))
+                (Partition.assignment part))
+      | None -> ());
+      (match dot with
+      | Some out -> Hypergraph.Dot.save ~parts:(Partition.assignment part) out hg
+      | None -> ());
+      0
+
+let run_stats path =
+  match load_hypergraph path with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok hg ->
+      Printf.printf "nodes (n)    : %d\n" (Hypergraph.num_nodes hg);
+      Printf.printf "edges (m)    : %d\n" (Hypergraph.num_edges hg);
+      Printf.printf "pins (rho)   : %d\n" (Hypergraph.num_pins hg);
+      Printf.printf "max degree   : %d\n" (Hypergraph.max_degree hg);
+      Printf.printf "node weight  : %d\n" (Hypergraph.total_node_weight hg);
+      Printf.printf "edge weight  : %d\n" (Hypergraph.total_edge_weight hg);
+      let _, components = Hypergraph.connected_components hg in
+      Printf.printf "components   : %d\n" components;
+      0
+
+let run_recognize path =
+  match load_hypergraph path with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok hg -> (
+      match Hyperdag.recognize hg with
+      | Some generators ->
+          Printf.printf "hyperDAG: yes\n";
+          Printf.printf "generators (edge: node):\n";
+          Array.iteri (fun e g -> Printf.printf "  %d: %d\n" e g) generators;
+          0
+      | None ->
+          Printf.printf "hyperDAG: no\n";
+          (match Hyperdag.violating_subset hg with
+          | Some nodes ->
+              Printf.printf "violating subset (all degrees >= 2): %s\n"
+                (String.concat " "
+                   (Array.to_list (Array.map string_of_int nodes)))
+          | None -> ());
+          0)
+
+let branching_arg =
+  let doc = "Branching factors b1,b2,... of the hierarchy (product = k)." in
+  Arg.(value & opt (list int) [ 2; 2 ] & info [ "branching" ] ~docv:"B1,B2" ~doc)
+
+let costs_arg =
+  let doc = "Per-level transfer costs g1,g2,... (non-increasing, g_d = 1)." in
+  Arg.(value & opt (list float) [ 4.0; 1.0 ] & info [ "costs" ] ~docv:"G1,G2" ~doc)
+
+let run_hierarchical path eps seed branching costs =
+  match load_hypergraph path with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok hg -> (
+      match
+        Hierarchy.Topology.create
+          ~branching:(Array.of_list branching)
+          ~costs:(Array.of_list costs)
+      with
+      | exception Invalid_argument msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | topo ->
+          let rng = Support.Rng.create seed in
+          let k = Hierarchy.Topology.num_leaves topo in
+          (* Two-step method with a multilevel step (i). *)
+          let two =
+            Hierarchy.Two_step.run
+              ~partitioner:(fun hg ~k ->
+                Solvers.Multilevel.partition
+                  ~config:{ Solvers.Multilevel.default_config with eps }
+                  rng hg ~k)
+              topo hg
+          in
+          (* Recursive hierarchical partitioning. *)
+          let recursive =
+            Hierarchy.Recursive_hier.partition ~eps
+              ~splitter:(Hierarchy.Recursive_hier.multilevel_splitter rng)
+              topo hg
+          in
+          Printf.printf "topology      : %s\n"
+            (Fmt.str "%a" Hierarchy.Topology.pp topo);
+          Printf.printf "k (leaves)    : %d\n" k;
+          Printf.printf "two-step      : flat %d, hierarchical %.2f\n"
+            two.Hierarchy.Two_step.flat_cost two.Hierarchy.Two_step.hier_cost;
+          Printf.printf "recursive     : flat %d, hierarchical %.2f\n"
+            (Partition.connectivity_cost hg recursive)
+            (Hierarchy.Hier_cost.cost topo hg recursive);
+          0)
+
+let partition_file_arg =
+  let doc = "Partition vector file: one part id per line." in
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"PARTS" ~doc)
+
+let run_evaluate path parts_path branching costs =
+  match load_hypergraph path with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok hg -> (
+      match Partition.Io.load ~n:(Hypergraph.num_nodes hg) parts_path with
+      | exception Failure msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | part ->
+          let k = Partition.k part in
+          report hg part Partition.Connectivity;
+          (* Hierarchical cost when the topology matches k. *)
+          (match
+             Hierarchy.Topology.create
+               ~branching:(Array.of_list branching)
+               ~costs:(Array.of_list costs)
+           with
+          | exception Invalid_argument _ -> ()
+          | topo ->
+              if Hierarchy.Topology.num_leaves topo = k then
+                Printf.printf "hierarchical : %.2f  (%s)\n"
+                  (Hierarchy.Hier_cost.cost topo hg part)
+                  (Fmt.str "%a" Hierarchy.Topology.pp topo));
+          0)
+
+let dag_arg =
+  let doc = "Input DAG ('n m' header, then 'u v' edge lines)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DAG" ~doc)
+
+let run_schedule path k =
+  match (try Ok (Hyperdag.Dag_io.load path) with Failure m -> Error m) with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok dag ->
+      Printf.printf "nodes          : %d\n" (Hyperdag.Dag.num_nodes dag);
+      Printf.printf "edges          : %d\n" (Hyperdag.Dag.num_edges dag);
+      Printf.printf "critical path  : %d\n"
+        (Hyperdag.Dag.critical_path_length dag);
+      Printf.printf "lower bound    : %d\n" (Scheduling.Mu.lower_bound dag ~k);
+      (match Scheduling.Mu.makespan_general dag ~k with
+      | Scheduling.Mu.Exact m -> Printf.printf "optimal mu     : %d\n" m
+      | Scheduling.Mu.Bounds (lo, hi) ->
+          Printf.printf "mu bounds      : [%d, %d]\n" lo hi);
+      let sched = Scheduling.List_sched.schedule dag ~k in
+      Printf.printf "list schedule  : makespan %d (valid %b)\n"
+        (Scheduling.Schedule.makespan sched)
+        (Scheduling.Schedule.is_valid ~k dag sched);
+      0
+
+let run_convert path output =
+  match (try Ok (Hyperdag.Dag_io.load path) with Failure m -> Error m) with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Ok dag ->
+      let hg, generators = Hyperdag.of_dag dag in
+      Printf.printf "hyperDAG: %d nodes, %d hyperedges (Definition 3.2)\n"
+        (Hypergraph.num_nodes hg) (Hypergraph.num_edges hg);
+      Printf.printf "generators: %s\n"
+        (String.concat " "
+           (Array.to_list (Array.map string_of_int generators)));
+      (match output with
+      | Some out ->
+          Hypergraph.Hmetis.save out hg;
+          Printf.printf "wrote %s\n" out
+      | None -> ());
+      0
+
+let schedule_cmd =
+  let info =
+    Cmd.info "schedule"
+      ~doc:"Makespan bounds and a list schedule for a computational DAG."
+  in
+  Cmd.v info Term.(const run_schedule $ dag_arg $ k_arg)
+
+let convert_cmd =
+  let info =
+    Cmd.info "convert"
+      ~doc:"Convert a computational DAG to its hyperDAG (hMETIS output)."
+  in
+  Cmd.v info Term.(const run_convert $ dag_arg $ output_arg)
+
+let out_required_arg =
+  let doc = "Output file." in
+  Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+
+let run_generate kind n k out seed =
+  let rng = Support.Rng.create seed in
+  match kind with
+  | `Random ->
+      Hypergraph.Hmetis.save out
+        (Workloads.Rand_hg.uniform rng ~n ~m:(3 * n / 2) ~min_size:2
+           ~max_size:6);
+      0
+  | `Two_regular ->
+      Hypergraph.Hmetis.save out
+        (Workloads.Rand_hg.two_regular rng ~n ~m:(max 2 (n / 2)));
+      0
+  | `Planted ->
+      Hypergraph.Hmetis.save out
+        (Workloads.Rand_hg.planted rng ~n ~m:(2 * n) ~k ~locality:0.9
+           ~edge_size:4);
+      0
+  | `Spmv ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Hypergraph.Hmetis.save out
+        (Workloads.Spmv.fine_grain (Workloads.Spmv.banded ~size:side ~bandwidth:2));
+      0
+  | `Fft ->
+      let stages = max 1 (int_of_float (Float.log2 (float_of_int (max 2 n)))) in
+      Hyperdag.Dag_io.save out (Workloads.Dag_gen.fft ~stages);
+      0
+  | `Stencil ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Hyperdag.Dag_io.save out
+        (Workloads.Dag_gen.stencil_1d ~width:side ~steps:side);
+      0
+
+let generate_cmd =
+  let kind_arg =
+    let kinds =
+      [
+        ("random", `Random); ("two-regular", `Two_regular);
+        ("planted", `Planted); ("spmv", `Spmv); ("fft", `Fft);
+        ("stencil", `Stencil);
+      ]
+    in
+    let doc =
+      Printf.sprintf "Workload family: %s."
+        (String.concat ", " (List.map fst kinds))
+    in
+    Arg.(required & pos 0 (some (enum kinds)) None & info [] ~docv:"KIND" ~doc)
+  in
+  let n_arg =
+    let doc = "Approximate size parameter." in
+    Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let info =
+    Cmd.info "generate"
+      ~doc:
+        "Generate a workload (hMETIS hypergraph, or DAG for fft/stencil)."
+  in
+  Cmd.v info
+    Term.(
+      const run_generate $ kind_arg $ n_arg $ k_arg $ out_required_arg
+      $ seed_arg)
+
+let evaluate_cmd =
+  let info =
+    Cmd.info "evaluate"
+      ~doc:"Evaluate an existing partition vector against a hypergraph."
+  in
+  Cmd.v info
+    Term.(
+      const run_evaluate $ hypergraph_arg $ partition_file_arg $ branching_arg
+      $ costs_arg)
+
+let partition_cmd =
+  let info = Cmd.info "partition" ~doc:"Partition an hMETIS hypergraph." in
+  Cmd.v info
+    Term.(
+      const run_partition $ hypergraph_arg $ k_arg $ eps_arg $ seed_arg
+      $ algorithm_arg $ metric_arg $ output_arg $ dot_arg)
+
+let stats_cmd =
+  let info = Cmd.info "stats" ~doc:"Print hypergraph statistics." in
+  Cmd.v info Term.(const run_stats $ hypergraph_arg)
+
+let recognize_cmd =
+  let info =
+    Cmd.info "recognize"
+      ~doc:"Decide whether the hypergraph is a hyperDAG (Lemma B.2)."
+  in
+  Cmd.v info Term.(const run_recognize $ hypergraph_arg)
+
+let hierarchical_cmd =
+  let info =
+    Cmd.info "hierarchical"
+      ~doc:"Hierarchical (NUMA) partitioning with the Definition 7.1 cost."
+  in
+  Cmd.v info
+    Term.(
+      const run_hierarchical $ hypergraph_arg $ eps_arg $ seed_arg
+      $ branching_arg $ costs_arg)
+
+let main =
+  let info =
+    Cmd.info "hypartition" ~version:"1.0.0"
+      ~doc:"Balanced k-way hypergraph partitioning toolkit."
+  in
+  Cmd.group info
+    [
+      partition_cmd; stats_cmd; recognize_cmd; hierarchical_cmd;
+      schedule_cmd; convert_cmd; evaluate_cmd; generate_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

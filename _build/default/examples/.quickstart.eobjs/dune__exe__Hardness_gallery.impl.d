@@ -1,0 +1,1 @@
+examples/hardness_gallery.ml: Array Hierarchy Hyperdag Hypergraph Npc Partition Printf Reductions Support Workloads

@@ -1,0 +1,1 @@
+examples/manycore_schedule.ml: Hierarchy Hyperdag Hypergraph Partition Printf Scheduling Solvers Support Workloads

@@ -1,0 +1,1 @@
+examples/manycore_schedule.mli:

@@ -1,0 +1,1 @@
+examples/numa_sweep.ml: Array Fun Hierarchy Hyperdag Hypergraph List Partition Printf Solvers Support Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Hypergraph Partition Printf Solvers String Support

@@ -1,0 +1,1 @@
+examples/spmv_partition.ml: Hypergraph List Partition Printf Solvers Support Workloads

@@ -1,0 +1,47 @@
+(* Quickstart: build a hypergraph, partition it, inspect the cost.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* A hypergraph with 8 nodes and 5 hyperedges.  Think of nodes as
+     computations and each hyperedge as a value shared by a group of
+     them (Section 1 of the paper). *)
+  let hg =
+    Hypergraph.of_edges ~n:8
+      [|
+        [| 0; 1; 2 |]; [| 2; 3 |]; [| 3; 4; 5 |]; [| 5; 6 |]; [| 6; 7; 0 |];
+      |]
+  in
+  Printf.printf "hypergraph: n=%d, m=%d, pins=%d, max degree=%d\n"
+    (Hypergraph.num_nodes hg) (Hypergraph.num_edges hg)
+    (Hypergraph.num_pins hg) (Hypergraph.max_degree hg);
+
+  (* Partition into k = 2 parts with a 10%% imbalance allowance. *)
+  let rng = Support.Rng.create 42 in
+  let part =
+    Solvers.Multilevel.partition
+      ~config:{ Solvers.Multilevel.default_config with eps = 0.1 }
+      rng hg ~k:2
+  in
+  Printf.printf "partition : %s\n"
+    (String.concat ""
+       (Array.to_list
+          (Array.map string_of_int (Partition.assignment part))));
+  Printf.printf "balanced  : %b (eps = 0.1)\n"
+    (Partition.is_balanced ~eps:0.1 hg part);
+
+  (* The two cost metrics of Section 3.1. *)
+  Printf.printf "connectivity metric: %d\n" (Partition.connectivity_cost hg part);
+  Printf.printf "cut-net metric     : %d\n" (Partition.cutnet_cost hg part);
+
+  (* At this size we can certify optimality with the exact solver. *)
+  (match Solvers.Exact.solve ~eps:0.1 hg ~k:2 with
+  | Some { Solvers.Exact.cost; _ } ->
+      Printf.printf "exact optimum      : %d\n" cost
+  | None -> print_endline "no balanced partition exists");
+
+  (* Round-trip through the hMETIS file format. *)
+  let text = Hypergraph.Hmetis.to_string hg in
+  let hg' = Hypergraph.Hmetis.of_string text in
+  Printf.printf "hMETIS roundtrip ok: %b\n"
+    (Hypergraph.num_nodes hg' = Hypergraph.num_nodes hg)

@@ -1,0 +1,1 @@
+lib/experiments/exp_e1.ml: Hashtbl Hyperdag List Partition Reductions Support Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_e10.ml: List Printf Solvers Support Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_e13.ml: Hypergraph List Partition Printf Solvers Support Table Workloads

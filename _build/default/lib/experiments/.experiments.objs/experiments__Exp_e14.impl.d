@@ -1,0 +1,1 @@
+lib/experiments/exp_e14.ml: Hypergraph List Partition Printf Reductions Solvers Support Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_e15.ml: Array Hyperdag Hypergraph List Partition Reductions Solvers Support Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_e16.ml: Array Hypergraph List Partition Solvers Support Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_e2.ml: Array Hypergraph List Npc Partition Reductions Solvers Support Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_e3.ml: Array Hypergraph List Partition Printf Support Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_e4.ml: Hyperdag Hypergraph List Partition Reductions Scheduling Solvers Support Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_e5.ml: Hyperdag List Npc Reductions Scheduling Support Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_e6.ml: List Npc Reductions Support Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_e7.ml: Hierarchy Hypergraph List Partition Reductions Support Table

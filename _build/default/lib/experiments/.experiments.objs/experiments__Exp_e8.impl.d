@@ -1,0 +1,1 @@
+lib/experiments/exp_e8.ml: Hierarchy List Reductions Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_e9.ml: Array Hierarchy Hypergraph List Npc Partition Reductions Support Table Workloads

@@ -1,0 +1,60 @@
+(* E14 — Fundamental facts about the balance parameter (Appendix A):
+   Lemma A.1 (the isolated-node reduction preserves the optimum),
+   Lemma A.3 (large eps leaves processors idle) and Lemma A.4 (small eps
+   forces every part non-empty). *)
+
+let run () =
+  let rng = Support.Rng.create 99 in
+  (* Lemma A.1. *)
+  let rows_a1 =
+    List.map
+      (fun eps ->
+        let hg = Workloads.Rand_hg.uniform rng ~n:8 ~m:8 ~min_size:2 ~max_size:3 in
+        let red = Reductions.Eps_reduction.build ~eps ~k:2 hg in
+        let padded = Reductions.Eps_reduction.padded red in
+        let opt = Solvers.Exact.optimum ~eps hg ~k:2 in
+        let opt' = Solvers.Exact.optimum ~eps:0.0 padded ~k:2 in
+        [
+          Table.Float eps;
+          Table.Int (Hypergraph.num_nodes padded);
+          Table.Str (match opt with Some v -> string_of_int v | None -> "-");
+          Table.Str (match opt' with Some v -> string_of_int v | None -> "-");
+          Table.Bool (opt = opt');
+        ])
+      [ 0.25; 0.5; 0.75 ]
+  in
+  Table.print ~title:"E14a: the eps -> 0 padding reduction"
+    ~anchor:"Lemma A.1: OPT(eps) = OPT_section(padded)"
+    ~columns:[ "eps"; "padded n"; "OPT(eps)"; "OPT section"; "equal" ]
+    rows_a1;
+  (* Lemmas A.3 / A.4: nonempty part counts across eps. *)
+  let hg = Workloads.Rand_hg.uniform rng ~n:12 ~m:10 ~min_size:2 ~max_size:3 in
+  let k = 4 in
+  let rows_parts =
+    List.map
+      (fun eps ->
+        match Solvers.Exact.solve ~eps hg ~k with
+        | None -> [ Table.Float eps; Table.Str "-"; Table.Str "-"; Table.Str "-" ]
+        | Some { Solvers.Exact.part; _ } ->
+            let nonempty = Partition.nonempty_parts hg part in
+            let a3_bound =
+              int_of_float (ceil (2.0 *. float_of_int k /. (1.0 +. eps)))
+            in
+            let a4_forces = eps < 1.0 /. float_of_int (k - 1) in
+            [
+              Table.Float eps;
+              Table.Int nonempty;
+              Table.Str
+                (if eps >= 1.0 then
+                   Printf.sprintf "< %d (A.3)" a3_bound
+                 else "-");
+              Table.Bool a4_forces;
+            ])
+      [ 0.0; 0.2; 1.0; 2.0 ]
+  in
+  Table.print ~title:"E14b: non-empty parts across eps (k = 4)"
+    ~anchor:"Lemma A.3: some optimum uses < 2k/(1+eps) parts; Lemma A.4: eps < 1/(k-1) forces all parts non-empty"
+    ~columns:[ "eps"; "nonempty parts (some optimum)"; "A.3 bound"; "A.4 forces all" ]
+    rows_parts;
+  Table.note
+    "with eps >= 1 the branch-and-bound's symmetry breaking already returns an optimum with idle parts."

@@ -1,0 +1,78 @@
+(* E5 — mu vs mu_p (Theorem 5.5, Appendix F): mu is polynomial in the easy
+   classes, but deciding mu_p on the 3-Partition reduction instances is a
+   search problem whose decision matches 3-Partition exactly. *)
+
+let run () =
+  let instances =
+    [
+      ("yes t=1", Npc.Three_partition.create [| 3; 3; 4 |]);
+      ("yes t=2", Npc.Three_partition.create [| 6; 6; 8; 6; 7; 7 |]);
+      ("no  t=2", Npc.Three_partition.create [| 6; 6; 6; 6; 7; 9 |]);
+      ( "yes t=3",
+        Npc.Three_partition.random_yes (Support.Rng.create 5) ~t:3 ~b:13 );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, inst) ->
+        let red = Reductions.Sched_from_three_partition.build inst in
+        let dag = Reductions.Sched_from_three_partition.dag red in
+        let n = Hyperdag.Dag.num_nodes dag in
+        let solvable = Npc.Three_partition.solve inst <> None in
+        (* mu via the polynomial route (k = 2: Coffman-Graham). *)
+        let mu =
+          match Scheduling.Mu.makespan_general dag ~k:2 with
+          | Scheduling.Mu.Exact m -> m
+          | Scheduling.Mu.Bounds (lo, _) -> lo
+        in
+        let (perfect, seconds) =
+          Support.Util.time_it (fun () ->
+              Reductions.Sched_from_three_partition.perfect_schedule_exists red)
+        in
+        [
+          Table.Str name;
+          Table.Int n;
+          Table.Int mu;
+          Table.Int (Reductions.Sched_from_three_partition.target red);
+          Table.Bool solvable;
+          Table.Bool perfect;
+          Table.Float (seconds *. 1000.0);
+        ])
+      instances
+  in
+  Table.print ~title:"E5: mu is easy, mu_p decides 3-Partition"
+    ~anchor:"Thm 5.5: mu_p = n/2 iff the 3-Partition instance is solvable"
+    ~columns:
+      [ "instance"; "n"; "mu (CG)"; "target n/2"; "3-part?"; "mu_p=n/2?";
+        "mu_p ms" ]
+    rows;
+  (* The clique-based bounded-height variant. *)
+  let graphs =
+    [
+      ( "triangle+tail",
+        Npc.Graph.of_edges ~n:4 [ (0, 1); (1, 2); (0, 2); (2, 3); (0, 3) ],
+        3 );
+      ("path-4", Npc.Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ], 3);
+    ]
+  in
+  let rows_clique =
+    List.map
+      (fun (name, g, l) ->
+        let red = Reductions.Sched_from_clique.build g ~l in
+        let has = Npc.Clique.has_clique g ~size:l in
+        let perfect = Reductions.Sched_from_clique.perfect_schedule_exists red in
+        [
+          Table.Str name;
+          Table.Int (Hyperdag.Dag.num_nodes (Reductions.Sched_from_clique.dag red));
+          Table.Int
+            (Hyperdag.Dag.critical_path_length
+               (Reductions.Sched_from_clique.dag red));
+          Table.Bool has;
+          Table.Bool perfect;
+        ])
+      graphs
+  in
+  Table.print ~title:"E5b: bounded-height mu_p decides clique"
+    ~anchor:"Thm 5.5: perfect schedule iff an L-clique exists; height O(1)"
+    ~columns:[ "graph"; "n"; "height"; "clique?"; "mu_p perfect?" ]
+    rows_clique

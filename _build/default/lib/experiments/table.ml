@@ -1,0 +1,47 @@
+(* Plain-text table rendering shared by all experiments: fixed-width
+   columns, a header rule, and a caption line tying the table back to the
+   paper anchor it reproduces. *)
+
+type cell = Int of int | Float of float | Str of string | Bool of bool
+
+let cell_to_string = function
+  | Int v -> string_of_int v
+  | Float v ->
+      if Float.is_integer v && abs_float v < 1e15 then
+        Printf.sprintf "%.1f" v
+      else Printf.sprintf "%.3f" v
+  | Str s -> s
+  | Bool b -> if b then "yes" else "no"
+
+let print ~title ~anchor ~columns rows =
+  let header = Array.of_list columns in
+  let body = List.map (fun r -> Array.of_list (List.map cell_to_string r)) rows in
+  let cols = Array.length header in
+  let width = Array.make cols 0 in
+  let consider row =
+    Array.iteri (fun i s -> width.(i) <- max width.(i) (String.length s)) row
+  in
+  consider header;
+  List.iter consider body;
+  let line char =
+    print_string "+";
+    Array.iter
+      (fun w ->
+        print_string (String.make (w + 2) char);
+        print_string "+")
+      width;
+    print_newline ()
+  in
+  let print_row row =
+    print_string "|";
+    Array.iteri (fun i s -> Printf.printf " %*s |" width.(i) s) row;
+    print_newline ()
+  in
+  Printf.printf "\n== %s\n   (%s)\n" title anchor;
+  line '-';
+  print_row header;
+  line '=';
+  List.iter print_row body;
+  line '-'
+
+let note fmt = Printf.printf ("   " ^^ fmt ^^ "\n")

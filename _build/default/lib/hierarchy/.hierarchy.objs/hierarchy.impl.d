@@ -1,0 +1,1 @@
+lib/hierarchy/hierarchy.ml: Assignment Hier_cost Hier_exact Hier_refine Recursive_hier Steiner Topology Two_step

@@ -1,0 +1,1 @@
+lib/hierarchy/assignment.ml: Array Fun Hashtbl Hier_cost Hypergraph List Matching Partition Topology

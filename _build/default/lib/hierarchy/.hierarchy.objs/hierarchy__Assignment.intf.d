@@ -1,0 +1,1 @@
+lib/hierarchy/assignment.mli: Hypergraph Partition Topology

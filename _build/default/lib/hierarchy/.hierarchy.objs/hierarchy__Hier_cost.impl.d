@@ -1,0 +1,1 @@
+lib/hierarchy/hier_cost.ml: Array Hypergraph List Partition Topology

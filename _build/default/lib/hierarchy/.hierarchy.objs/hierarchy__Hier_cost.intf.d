@@ -1,0 +1,1 @@
+lib/hierarchy/hier_cost.mli: Hypergraph Partition Topology

@@ -1,0 +1,1 @@
+lib/hierarchy/hier_exact.ml: Array Fun Hier_cost Hypergraph List Partition Solvers Support Topology Two_step

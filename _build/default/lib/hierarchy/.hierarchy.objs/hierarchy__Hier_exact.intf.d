@@ -1,0 +1,1 @@
+lib/hierarchy/hier_exact.mli: Hypergraph Partition Topology

@@ -1,0 +1,1 @@
+lib/hierarchy/hier_refine.ml: Array Hier_cost Hypergraph List Partition Topology

@@ -1,0 +1,1 @@
+lib/hierarchy/hier_refine.mli: Hypergraph Partition Topology

@@ -1,0 +1,1 @@
+lib/hierarchy/recursive_hier.ml: Array Fun Hypergraph List Partition Solvers Topology

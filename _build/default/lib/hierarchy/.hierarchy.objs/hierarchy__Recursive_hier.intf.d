@@ -1,0 +1,1 @@
+lib/hierarchy/recursive_hier.mli: Hypergraph Partition Solvers Support Topology

@@ -1,0 +1,1 @@
+lib/hierarchy/steiner.ml: Array Hypergraph List Partition Topology

@@ -1,0 +1,1 @@
+lib/hierarchy/steiner.mli: Hypergraph Partition Topology

@@ -1,0 +1,1 @@
+lib/hierarchy/topology.mli: Format

@@ -1,0 +1,1 @@
+lib/hierarchy/two_step.ml: Array Assignment Partition Solvers Support Topology

@@ -1,0 +1,1 @@
+lib/hierarchy/two_step.mli: Hypergraph Partition Topology

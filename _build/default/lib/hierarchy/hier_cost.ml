@@ -1,0 +1,64 @@
+(* The hierarchical cost function of Definition 7.1.  A hierarchical
+   partitioning is a partition whose colors are *leaf indices* of the
+   topology; for each hyperedge e and level i, lambda_e^(i) is the number
+   of distinct level-i ancestors among the leaves e touches, and e costs
+
+     sum_{i=1}^d g_i * (lambda_e^(i) - lambda_e^(i-1)),   lambda^(0) = 1.
+
+   Example (Section 7): e touching all 4 leaves of a (2,2)-hierarchy costs
+   g_1 + 2*g_2. *)
+
+let edge_cost topo leaves =
+  (* [leaves]: distinct leaf indices used by the edge. *)
+  match leaves with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let d = Topology.depth topo in
+      let total = ref 0.0 in
+      let prev = ref 1 in
+      for level = 1 to d do
+        let distinct =
+          List.sort_uniq compare
+            (List.map (fun l -> Topology.ancestor topo l ~level) leaves)
+          |> List.length
+        in
+        total :=
+          !total
+          +. (Topology.cost_of_level topo level *. float_of_int (distinct - !prev));
+        prev := distinct
+      done;
+      !total
+
+let cost topo hg part =
+  if Partition.k part <> Topology.num_leaves topo then
+    invalid_arg "Hier_cost.cost: partition arity must equal leaf count";
+  let total = ref 0.0 in
+  for e = 0 to Hypergraph.num_edges hg - 1 do
+    let leaves =
+      List.sort_uniq compare
+        (Hypergraph.fold_pins hg e
+           (fun acc v -> Partition.color part v :: acc)
+           [])
+    in
+    total :=
+      !total
+      +. (float_of_int (Hypergraph.edge_weight hg e) *. edge_cost topo leaves)
+  done;
+  !total
+
+(* Cost of a flat partition after renaming part j to leaf [leaf_of_part.(j)]. *)
+let cost_with_assignment topo hg part leaf_of_part =
+  let k = Partition.k part in
+  if Array.length leaf_of_part <> k then
+    invalid_arg "Hier_cost.cost_with_assignment: assignment length";
+  let relabeled =
+    Partition.create ~k:(Topology.num_leaves topo)
+      (Array.map (fun c -> leaf_of_part.(c)) (Partition.assignment part))
+  in
+  cost topo hg relabeled
+
+(* Lower/upper sandwich of Lemma 7.3: connectivity <= hierarchical cost <=
+   g_1 * connectivity (for any leaf assignment). *)
+let connectivity_bounds topo hg part =
+  let conn = float_of_int (Partition.connectivity_cost hg part) in
+  (conn, conn *. Topology.cost_of_level topo 1)

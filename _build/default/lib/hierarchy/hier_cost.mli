@@ -1,0 +1,15 @@
+(** The hierarchical cost function of Definition 7.1. *)
+
+val edge_cost : Topology.t -> int list -> float
+(** Cost of an edge touching the given distinct leaves. *)
+
+val cost : Topology.t -> Hypergraph.t -> Partition.t -> float
+(** Total cost of a partition whose colors are leaf indices. *)
+
+val cost_with_assignment :
+  Topology.t -> Hypergraph.t -> Partition.t -> int array -> float
+(** Cost after renaming part j to leaf [leaf_of_part.(j)]. *)
+
+val connectivity_bounds :
+  Topology.t -> Hypergraph.t -> Partition.t -> float * float
+(** (connectivity, g₁·connectivity): the Lemma 7.3 sandwich. *)

@@ -1,0 +1,15 @@
+(** Hierarchy-aware local refinement: hill climbing with move gains
+    evaluated under the Definition 7.1 hierarchical cost. *)
+
+type config = { eps : float; variant : Partition.balance; max_passes : int }
+
+val default_config : config
+
+val move_delta :
+  Topology.t -> Hypergraph.t -> Partition.t -> int -> dst:int -> float
+(** Exact hierarchical-cost change of moving one node to leaf [dst]. *)
+
+val refine :
+  ?config:config -> Topology.t -> Hypergraph.t -> Partition.t -> float
+(** Refines a leaf-colored partition in place (ε-balanced moves only);
+    returns the final hierarchical cost. *)

@@ -1,0 +1,79 @@
+(* Recursive hierarchical partitioning (Section 7.1): split the hypergraph
+   into b_1 parts, each of those into b_2 parts, and so on down the
+   topology.  The natural heuristic for hierarchical cost — and a factor
+   Theta(n) off the optimum in the worst case (Lemma 7.2, experiment E7). *)
+
+type splitter = Hypergraph.t -> k:int -> eps:float -> Partition.t
+(* Splits one hypergraph into k balanced parts. *)
+
+let multilevel_splitter ?(config = Solvers.Multilevel.default_config) rng : splitter =
+ fun hg ~k ~eps -> Solvers.Multilevel.partition ~config:{ config with eps } rng hg ~k
+
+let exact_splitter : splitter =
+ fun hg ~k ~eps ->
+  match Solvers.Exact.solve ~eps hg ~k with
+  | Some { Solvers.Exact.part; _ } -> part
+  | None ->
+      (* No strictly balanced split exists: fall back to the relaxed
+         capacity so the recursion can continue. *)
+      (match Solvers.Exact.solve ~variant:Partition.Relaxed ~eps hg ~k with
+      | Some { Solvers.Exact.part; _ } -> part
+      | None -> invalid_arg "Recursive_hier.exact_splitter: infeasible")
+
+let restrict hg keep_ids =
+  (* Sub-hypergraph on the given nodes, keeping edge fragments with >= 2
+     pins so lower levels still see internal connectivity. *)
+  let n = Hypergraph.num_nodes hg in
+  let in_side = Array.make n false in
+  Array.iter (fun v -> in_side.(v) <- true) keep_ids;
+  let new_id = Array.make n (-1) in
+  Array.iteri (fun i v -> new_id.(v) <- i) keep_ids;
+  let edges = ref [] in
+  for e = Hypergraph.num_edges hg - 1 downto 0 do
+    let pins =
+      Hypergraph.fold_pins hg e
+        (fun acc v -> if in_side.(v) then new_id.(v) :: acc else acc)
+        []
+    in
+    if List.length pins > 1 then
+      edges := (Array.of_list pins, Hypergraph.edge_weight hg e) :: !edges
+  done;
+  let arr = Array.of_list !edges in
+  Hypergraph.of_edges ~n:(Array.length keep_ids)
+    ~node_weights:(Array.map (fun v -> Hypergraph.node_weight hg v) keep_ids)
+    ~edge_weights:(Array.map snd arr) (Array.map fst arr)
+
+let partition ?(eps = 0.0) ~splitter topo hg =
+  let d = Topology.depth topo in
+  let b = Topology.branching topo in
+  let n = Hypergraph.num_nodes hg in
+  let leaf = Array.make n 0 in
+  (* [leaf_base]: first leaf index of the current subtree. *)
+  let rec go sub old_ids ~level ~leaf_base =
+    if level > d then
+      Array.iter (fun v -> leaf.(v) <- leaf_base) old_ids
+    else begin
+      let parts = b.(level - 1) in
+      let split = splitter sub ~k:parts ~eps in
+      let leaves_below =
+        (* Leaves of one child subtree at this level. *)
+        Array.fold_left ( * ) 1 (Array.sub b level (d - level))
+      in
+      for j = 0 to parts - 1 do
+        let ids = ref [] in
+        for v = Hypergraph.num_nodes sub - 1 downto 0 do
+          if Partition.color split v = j then ids := v :: !ids
+        done;
+        let local = Array.of_list !ids in
+        if Array.length local > 0 then begin
+          let side = restrict sub local in
+          go side
+            (Array.map (fun v -> old_ids.(v)) local)
+            ~level:(level + 1)
+            ~leaf_base:(leaf_base + (j * leaves_below))
+        end
+      done
+    end
+  in
+  go hg (Array.init n Fun.id) ~level:1 ~leaf_base:0;
+  Partition.create ~k:(Topology.num_leaves topo) leaf

@@ -1,0 +1,17 @@
+(** Recursive hierarchical partitioning (Section 7.1) — the heuristic whose
+    Θ(n) worst case Lemma 7.2 exhibits. *)
+
+type splitter = Hypergraph.t -> k:int -> eps:float -> Partition.t
+
+val multilevel_splitter :
+  ?config:Solvers.Multilevel.config -> Support.Rng.t -> splitter
+
+val exact_splitter : splitter
+(** Optimal at every recursive step (the strongest form of Lemma 7.2). *)
+
+val restrict : Hypergraph.t -> int array -> Hypergraph.t
+(** Sub-hypergraph on the given nodes, keeping edge fragments of ≥ 2 pins. *)
+
+val partition :
+  ?eps:float -> splitter:splitter -> Topology.t -> Hypergraph.t -> Partition.t
+(** Leaf-colored partition obtained by splitting level by level. *)

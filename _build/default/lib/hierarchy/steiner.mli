@@ -1,0 +1,13 @@
+(** Arbitrary processor topologies (Appendix I.2): Steiner-tree hyperedge
+    costs over a metric cost matrix. *)
+
+type matrix = float array array
+
+val of_topology : Topology.t -> matrix
+val exact : matrix -> int array -> float
+(** Dreyfus–Wagner DP; ≤ 14 terminals. *)
+
+val mst_approx : matrix -> int array -> float
+(** Terminal-MST 2-approximation. *)
+
+val cost : ?exact_trees:bool -> matrix -> Hypergraph.t -> Partition.t -> float

@@ -1,0 +1,29 @@
+(** Tree-shaped processor topologies (Section 7): depth-d trees with
+    branching b₁…b_d and non-increasing transfer costs g₁…g_d, g_d = 1. *)
+
+type t
+
+val create : branching:int array -> costs:float array -> t
+val depth : t -> int
+val num_leaves : t -> int
+(** k = ∏ bᵢ. *)
+
+val branching : t -> int array
+val cost_of_level : t -> int -> float
+(** gᵢ for level i ∈ [1, d]. *)
+
+val flat : int -> t
+(** Depth 1: the standard partitioning problem. *)
+
+val two_level : b1:int -> b2:int -> g1:float -> t
+val uniform_binary : depth:int -> g:float -> t
+(** Binary tree with geometric costs g^{d-1}, …, g, 1. *)
+
+val ancestor : t -> int -> level:int -> int
+(** Level-[level] ancestor of a leaf, as a leaf-index prefix. *)
+
+val lca_level : t -> int -> int -> int
+(** Level (1..d) of the LCA of two distinct leaves; 1 = across the top. *)
+
+val transfer_cost : t -> int -> int -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(* The two-step method of Section 7.2: (i) find a regular k-way
+   partitioning ignoring the hierarchy, (ii) assign the k parts to the k
+   leaf positions optimally.  Lemma 7.3 shows this is a g_1-approximation;
+   Theorem 7.4 shows the factor (b_1 - 1)/b_1 * g_1 can be attained
+   (experiment E8). *)
+
+type result = {
+  flat : Partition.t; (* the step-(i) partition, colors 0..k-1 *)
+  leaf_of_part : int array;
+  hierarchical : Partition.t; (* colors are leaf indices *)
+  flat_cost : int; (* connectivity cost of step (i) *)
+  hier_cost : float;
+}
+
+let assign_optimally topo hg flat =
+  let k = Partition.k flat in
+  if k <= 8 then Assignment.exact topo hg flat
+  else if Topology.depth topo = 2 && (Topology.branching topo).(1) = 2 then
+    Assignment.matching_b2_2 topo hg flat
+  else if Topology.depth topo = 2 && k <= 16 then
+    Assignment.exact_two_level topo hg flat
+  else Assignment.local_search topo hg flat
+
+let run ?(partitioner = fun hg ~k ->
+    Solvers.Multilevel.partition (Support.Rng.create 1) hg ~k) topo hg =
+  let k = Topology.num_leaves topo in
+  let flat = partitioner hg ~k in
+  let { Assignment.leaf_of_part; cost } = assign_optimally topo hg flat in
+  let hierarchical =
+    Partition.create ~k
+      (Array.map (fun c -> leaf_of_part.(c)) (Partition.assignment flat))
+  in
+  {
+    flat;
+    leaf_of_part;
+    hierarchical;
+    flat_cost = Partition.connectivity_cost hg flat;
+    hier_cost = cost;
+  }
+
+(* Run with an arbitrary flat partition already in hand. *)
+let of_flat topo hg flat =
+  let { Assignment.leaf_of_part; cost } = assign_optimally topo hg flat in
+  let hierarchical =
+    Partition.create ~k:(Topology.num_leaves topo)
+      (Array.map (fun c -> leaf_of_part.(c)) (Partition.assignment flat))
+  in
+  {
+    flat;
+    leaf_of_part;
+    hierarchical;
+    flat_cost = Partition.connectivity_cost hg flat;
+    hier_cost = cost;
+  }

@@ -1,0 +1,20 @@
+(** The two-step method (Section 7.2): flat partition, then optimal leaf
+    assignment. A g₁-approximation (Lemma 7.3) that can be
+    (b₁−1)/b₁·g₁ off (Theorem 7.4). *)
+
+type result = {
+  flat : Partition.t;
+  leaf_of_part : int array;
+  hierarchical : Partition.t;
+  flat_cost : int;
+  hier_cost : float;
+}
+
+val run :
+  ?partitioner:(Hypergraph.t -> k:int -> Partition.t) ->
+  Topology.t ->
+  Hypergraph.t ->
+  result
+
+val of_flat : Topology.t -> Hypergraph.t -> Partition.t -> result
+(** Step (ii) only, for a flat partition already in hand. *)

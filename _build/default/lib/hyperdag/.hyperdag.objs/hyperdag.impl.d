@@ -1,0 +1,1 @@
+lib/hyperdag/hyperdag.ml: Dag Dag_io Hd Layering

@@ -1,0 +1,1 @@
+lib/hyperdag/dag.ml: Array Fmt Fun Hashtbl List Queue Support

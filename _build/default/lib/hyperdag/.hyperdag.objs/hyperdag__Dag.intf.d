@@ -1,0 +1,1 @@
+lib/hyperdag/dag.mli: Format

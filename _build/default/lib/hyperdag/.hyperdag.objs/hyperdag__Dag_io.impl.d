@@ -1,0 +1,1 @@
+lib/hyperdag/dag_io.ml: Array Buffer Dag In_channel List Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/hyperdag/dag_io.mli: Dag

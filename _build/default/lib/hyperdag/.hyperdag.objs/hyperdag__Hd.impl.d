@@ -1,0 +1,1 @@
+lib/hyperdag/hd.ml: Array Dag Fun Hashtbl Hypergraph List Stack

@@ -1,0 +1,1 @@
+lib/hyperdag/hd.mli: Dag Hypergraph

@@ -1,0 +1,1 @@
+lib/hyperdag/layering.ml: Array Dag List Support

@@ -1,0 +1,1 @@
+lib/hyperdag/layering.mli: Dag

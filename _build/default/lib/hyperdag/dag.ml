@@ -1,0 +1,212 @@
+(* Directed acyclic graphs modelling precedence-constrained computations
+   (Section 3.2): node u is a computational step, edge (u, v) means the
+   output of u is an input of v.  Immutable CSR adjacency in both
+   directions; construction validates acyclicity. *)
+
+type t = {
+  n : int;
+  succ_offsets : int array;
+  succs : int array;
+  pred_offsets : int array;
+  preds : int array;
+  topo : int array; (* a topological order of the nodes *)
+}
+
+let num_nodes t = t.n
+let num_edges t = Array.length t.succs
+
+let out_degree t v = t.succ_offsets.(v + 1) - t.succ_offsets.(v)
+let in_degree t v = t.pred_offsets.(v + 1) - t.pred_offsets.(v)
+
+let iter_succs t v f =
+  for i = t.succ_offsets.(v) to t.succ_offsets.(v + 1) - 1 do
+    f t.succs.(i)
+  done
+
+let iter_preds t v f =
+  for i = t.pred_offsets.(v) to t.pred_offsets.(v + 1) - 1 do
+    f t.preds.(i)
+  done
+
+let succs t v = Array.sub t.succs t.succ_offsets.(v) (out_degree t v)
+let preds t v = Array.sub t.preds t.pred_offsets.(v) (in_degree t v)
+let topological_order t = Array.copy t.topo
+
+let sources t =
+  Array.of_list
+    (List.filter (fun v -> in_degree t v = 0) (List.init t.n Fun.id))
+
+let sinks t =
+  Array.of_list
+    (List.filter (fun v -> out_degree t v = 0) (List.init t.n Fun.id))
+
+let edges t =
+  let acc = ref [] in
+  for v = t.n - 1 downto 0 do
+    for i = t.succ_offsets.(v + 1) - 1 downto t.succ_offsets.(v) do
+      acc := (v, t.succs.(i)) :: !acc
+    done
+  done;
+  !acc
+
+exception Cycle
+
+let of_edges ~n edge_list =
+  let csr edges_by_src =
+    let deg = Array.make n 0 in
+    List.iter (fun (u, _) -> deg.(u) <- deg.(u) + 1) edges_by_src;
+    let offsets = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      offsets.(v + 1) <- offsets.(v) + deg.(v)
+    done;
+    let targets = Array.make (List.length edges_by_src) 0 in
+    let cursor = Array.copy offsets in
+    List.iter
+      (fun (u, v) ->
+        targets.(cursor.(u)) <- v;
+        cursor.(u) <- cursor.(u) + 1)
+      edges_by_src;
+    (offsets, targets)
+  in
+  let seen = Hashtbl.create (List.length edge_list * 2) in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Dag.of_edges: node out of range";
+      if u = v then invalid_arg "Dag.of_edges: self-loop";
+      if Hashtbl.mem seen (u, v) then
+        invalid_arg "Dag.of_edges: duplicate edge";
+      Hashtbl.add seen (u, v) ())
+    edge_list;
+  let succ_offsets, succs = csr edge_list in
+  let pred_offsets, preds = csr (List.map (fun (u, v) -> (v, u)) edge_list) in
+  (* Kahn's algorithm both validates acyclicity and yields a topo order. *)
+  let indeg = Array.init n (fun v -> pred_offsets.(v + 1) - pred_offsets.(v)) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let topo = Array.make n 0 in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    topo.(!filled) <- v;
+    incr filled;
+    for i = succ_offsets.(v) to succ_offsets.(v + 1) - 1 do
+      let w = succs.(i) in
+      indeg.(w) <- indeg.(w) - 1;
+      if indeg.(w) = 0 then Queue.add w queue
+    done
+  done;
+  if !filled <> n then raise Cycle;
+  { n; succ_offsets; succs; pred_offsets; preds; topo }
+
+let has_edge t u v =
+  let found = ref false in
+  iter_succs t u (fun w -> if w = v then found := true);
+  !found
+
+(* Longest path (in nodes) ending at / starting from each node; the length
+   of the longest path in the DAG is the number of layers. *)
+let longest_path_to t =
+  let dist = Array.make t.n 1 in
+  Array.iter
+    (fun v -> iter_preds t v (fun u -> dist.(v) <- max dist.(v) (dist.(u) + 1)))
+    t.topo;
+  dist
+
+let longest_path_from t =
+  let dist = Array.make t.n 1 in
+  for i = t.n - 1 downto 0 do
+    let v = t.topo.(i) in
+    iter_succs t v (fun w -> dist.(v) <- max dist.(v) (dist.(w) + 1))
+  done;
+  dist
+
+let critical_path_length t =
+  if t.n = 0 then 0 else Support.Util.max_array (longest_path_to t)
+
+let shift_edges offset edge_list =
+  List.map (fun (u, v) -> (u + offset, v + offset)) edge_list
+
+(* Serial concatenation: every sink of [a] gains an edge to every source of
+   [b] (the Figure 4 construction). *)
+let concat_serial a b =
+  let n = a.n + b.n in
+  let bridge =
+    List.concat_map
+      (fun s -> List.map (fun src -> (s, src + a.n)) (Array.to_list (sources b)))
+      (Array.to_list (sinks a))
+  in
+  of_edges ~n (edges a @ shift_edges a.n (edges b) @ bridge)
+
+let disjoint_union a b =
+  of_edges ~n:(a.n + b.n) (edges a @ shift_edges a.n (edges b))
+
+let reverse t =
+  of_edges ~n:t.n (List.map (fun (u, v) -> (v, u)) (edges t))
+
+(* Transitive reduction: drop every edge (u, v) for which a path of length
+   >= 2 from u to v exists.  O(n * m) reachability; used by Coffman-Graham,
+   whose optimality is stated on the Hasse diagram of the precedence. *)
+let transitive_reduction t =
+  let reachable_from u ~skipping =
+    (* DFS from the successors of u except the direct edge to [skipping]. *)
+    let seen = Array.make t.n false in
+    let rec dfs v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        iter_succs t v dfs
+      end
+    in
+    iter_succs t u (fun w -> if w <> skipping then dfs w);
+    seen
+  in
+  let keep =
+    List.filter
+      (fun (u, v) -> not (reachable_from u ~skipping:v).(v))
+      (edges t)
+  in
+  of_edges ~n:t.n keep
+
+let is_in_forest t =
+  Array.for_all Fun.id (Array.init t.n (fun v -> out_degree t v <= 1))
+
+let is_out_forest t =
+  Array.for_all Fun.id (Array.init t.n (fun v -> in_degree t v <= 1))
+
+let is_chain_graph t =
+  is_in_forest t && is_out_forest t
+
+(* Level-order DAGs (Section F): within every connected component the nodes
+   split into levels with complete bipartite edges between consecutive
+   levels. *)
+let is_level_order t =
+  let layer = Array.map (fun d -> d - 1) (longest_path_to t) in
+  (* Component labels via an undirected DSU over edges. *)
+  let dsu = Support.Dsu.create t.n in
+  List.iter (fun (u, v) -> ignore (Support.Dsu.union dsu u v)) (edges t);
+  (* Group nodes by (component, layer). *)
+  let tbl = Hashtbl.create 64 in
+  for v = 0 to t.n - 1 do
+    let key = (Support.Dsu.find dsu v, layer.(v)) in
+    Hashtbl.replace tbl key
+      (v :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> []))
+  done;
+  let ok = ref true in
+  Hashtbl.iter
+    (fun (comp, lay) nodes ->
+      match Hashtbl.find_opt tbl (comp, lay + 1) with
+      | None ->
+          (* Last layer of the component: nodes must be sinks. *)
+          List.iter (fun v -> if out_degree t v > 0 then ok := false) nodes
+      | Some next ->
+          List.iter
+            (fun v ->
+              List.iter (fun w -> if not (has_edge t v w) then ok := false) next)
+            nodes)
+    tbl;
+  !ok
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>dag: n=%d m=%d@," t.n (num_edges t);
+  List.iter (fun (u, v) -> Fmt.pf ppf "  %d -> %d@," u v) (edges t);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,57 @@
+(** Computational DAGs (Section 3.2): nodes are computational steps, edge
+    (u, v) means the output of u is an input of v. *)
+
+type t
+
+exception Cycle
+
+val of_edges : n:int -> (int * int) list -> t
+(** Validates range, no self-loops or duplicates, and acyclicity (raises
+    {!Cycle} otherwise). *)
+
+val num_nodes : t -> int
+val num_edges : t -> int
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val iter_succs : t -> int -> (int -> unit) -> unit
+val iter_preds : t -> int -> (int -> unit) -> unit
+val succs : t -> int -> int array
+val preds : t -> int -> int array
+val has_edge : t -> int -> int -> bool
+
+val topological_order : t -> int array
+val sources : t -> int array
+val sinks : t -> int array
+val edges : t -> (int * int) list
+
+val longest_path_to : t -> int array
+(** [.(v)]: number of nodes on the longest directed path ending at [v]. *)
+
+val longest_path_from : t -> int array
+val critical_path_length : t -> int
+(** Number of nodes on the longest path — the number ℓ of layers. *)
+
+val concat_serial : t -> t -> t
+(** Serial concatenation (Figure 4): every sink of the first DAG precedes
+    every source of the second. *)
+
+val disjoint_union : t -> t -> t
+val reverse : t -> t
+
+val transitive_reduction : t -> t
+(** Drops edges implied by longer paths (Hasse diagram). *)
+
+val is_in_forest : t -> bool
+(** Every node has out-degree ≤ 1. *)
+
+val is_out_forest : t -> bool
+(** Every node has in-degree ≤ 1 (out-trees and their forests, App F). *)
+
+val is_chain_graph : t -> bool
+(** Disjoint directed paths (App F). *)
+
+val is_level_order : t -> bool
+(** Level-order DAGs (App F): complete bipartite edges between consecutive
+    layers inside every connected component. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+(* HyperDAGs (Definition 3.2): the hypergraph of a computational DAG has a
+   hyperedge {u} ∪ succs(u) for every non-sink node u, capturing exactly
+   the (lambda_e - 1) data transfers needed to communicate the value
+   computed by u.
+
+   This module implements the conversion, the linear-time recognition
+   algorithm of Lemma B.2 (degree-1 peeling with an explicit generator
+   assignment), and the reconstruction of a witnessing computational DAG. *)
+
+(* DAG -> hyperDAG.  Returns the hypergraph and, for each hyperedge, its
+   generating node.  Hyperedges of size 1 (sink-only) are omitted, as in
+   Appendix B. *)
+let of_dag dag =
+  let n = Dag.num_nodes dag in
+  let edges = ref [] and gens = ref [] in
+  for u = n - 1 downto 0 do
+    if Dag.out_degree dag u > 0 then begin
+      edges := Array.append [| u |] (Dag.succs dag u) :: !edges;
+      gens := u :: !gens
+    end
+  done;
+  let hg = Hypergraph.of_edges ~n (Array.of_list !edges) in
+  (hg, Array.of_list !gens)
+
+let hypergraph_of_dag dag = fst (of_dag dag)
+
+(* Recognition (Lemma B.2).  Iteratively peel nodes of degree 1, making the
+   peeled node the generator of its unique live incident edge, then delete
+   the edge.  The hypergraph is a hyperDAG iff all edges get deleted.
+   Runs in O(rho) using per-node cursors into the incidence lists. *)
+let recognize hg =
+  let n = Hypergraph.num_nodes hg and m = Hypergraph.num_edges hg in
+  let degree = Array.init n (fun v -> Hypergraph.node_degree hg v) in
+  let edge_alive = Array.make m true in
+  let generator = Array.make m (-1) in
+  let cursor = Array.make n 0 in
+  let stack = Stack.create () in
+  for v = 0 to n - 1 do
+    if degree.(v) = 1 then Stack.push v stack
+  done;
+  let removed = ref 0 in
+  let incident = Hypergraph.incident_edges in
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    if degree.(v) = 1 then begin
+      (* Find the unique live incident edge, advancing the cursor so the
+         total scan over all iterations is O(rho). *)
+      let inc = incident hg v in
+      while cursor.(v) < Array.length inc && not edge_alive.(inc.(cursor.(v))) do
+        cursor.(v) <- cursor.(v) + 1
+      done;
+      assert (cursor.(v) < Array.length inc);
+      let e = inc.(cursor.(v)) in
+      edge_alive.(e) <- false;
+      generator.(e) <- v;
+      incr removed;
+      Hypergraph.iter_pins hg e (fun u ->
+          degree.(u) <- degree.(u) - 1;
+          if degree.(u) = 1 then Stack.push u stack)
+    end
+  done;
+  if !removed = m then Some generator else None
+
+let is_hyperdag hg = recognize hg <> None
+
+(* A maximal violating induced subgraph: after peeling, the nodes that still
+   have positive degree induce a subgraph with all degrees >= 2
+   (Lemma B.1's certificate of non-hyperDAG-ness). *)
+let violating_subset hg =
+  match recognize hg with
+  | Some _ -> None
+  | None ->
+      let n = Hypergraph.num_nodes hg in
+      let degree = Array.init n (fun v -> Hypergraph.node_degree hg v) in
+      let stack = Stack.create () in
+      let alive = Array.init (Hypergraph.num_edges hg) (fun _ -> true) in
+      let cursor = Array.make n 0 in
+      for v = 0 to n - 1 do
+        if degree.(v) = 1 then Stack.push v stack
+      done;
+      while not (Stack.is_empty stack) do
+        let v = Stack.pop stack in
+        if degree.(v) = 1 then begin
+          let inc = Hypergraph.incident_edges hg v in
+          while
+            cursor.(v) < Array.length inc && not alive.(inc.(cursor.(v)))
+          do
+            cursor.(v) <- cursor.(v) + 1
+          done;
+          let e = inc.(cursor.(v)) in
+          alive.(e) <- false;
+          Hypergraph.iter_pins hg e (fun u ->
+              degree.(u) <- degree.(u) - 1;
+              if degree.(u) = 1 then Stack.push u stack)
+        end
+      done;
+      let rest =
+        List.filter (fun v -> degree.(v) >= 2) (List.init n Fun.id)
+      in
+      Some (Array.of_list rest)
+
+(* Reconstruct a computational DAG witnessing that [hg] is a hyperDAG:
+   for each hyperedge with generator g, add edges g -> v for all other
+   pins v.  The peeling order is a reverse topological order, so the result
+   is acyclic (Lemma B.1). *)
+let to_dag hg =
+  match recognize hg with
+  | None -> None
+  | Some generator ->
+      let edges = ref [] in
+      Array.iteri
+        (fun e g ->
+          Hypergraph.iter_pins hg e (fun v ->
+              if v <> g then edges := (g, v) :: !edges))
+        generator;
+      Some (Dag.of_edges ~n:(Hypergraph.num_nodes hg) !edges)
+
+(* Check a *claimed* generator assignment: injective over edges, each
+   generator is a pin of its edge, and the induced directed graph is
+   acyclic. *)
+let valid_generator_assignment hg generator =
+  Array.length generator = Hypergraph.num_edges hg
+  && begin
+       let seen = Hashtbl.create 64 in
+       let ok = ref true in
+       Array.iteri
+         (fun e g ->
+           if Hashtbl.mem seen g then ok := false;
+           Hashtbl.add seen g ();
+           if not (Hypergraph.edge_mem hg e g) then ok := false)
+         generator;
+       !ok
+       &&
+       let edges = ref [] in
+       Array.iteri
+         (fun e g ->
+           Hypergraph.iter_pins hg e (fun v ->
+               if v <> g then edges := (g, v) :: !edges))
+         generator;
+       match Dag.of_edges ~n:(Hypergraph.num_nodes hg) !edges with
+       | (_ : Dag.t) -> true
+       | exception Dag.Cycle -> false
+     end

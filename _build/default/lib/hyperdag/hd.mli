@@ -1,0 +1,25 @@
+(** HyperDAGs (Definition 3.2): conversion from computational DAGs,
+    linear-time recognition (Lemma B.2) and DAG reconstruction. *)
+
+val of_dag : Dag.t -> Hypergraph.t * int array
+(** [(hg, generator)] where [generator.(e)] is the node whose hyperedge
+    [e] is ({u} ∪ succs u).  Size-1 hyperedges (sinks) are omitted. *)
+
+val hypergraph_of_dag : Dag.t -> Hypergraph.t
+
+val recognize : Hypergraph.t -> int array option
+(** [Some generator] iff the hypergraph is a hyperDAG; linear time in the
+    number of pins (Lemma B.2). *)
+
+val is_hyperdag : Hypergraph.t -> bool
+
+val violating_subset : Hypergraph.t -> int array option
+(** For a non-hyperDAG: a node subset whose induced subgraph has all
+    degrees ≥ 2 (the certificate of Lemma B.1); [None] for hyperDAGs. *)
+
+val to_dag : Hypergraph.t -> Dag.t option
+(** A computational DAG witnessing hyperDAG-ness, if any. *)
+
+val valid_generator_assignment : Hypergraph.t -> int array -> bool
+(** Checks injectivity, membership and acyclicity of a claimed
+    edge → generator assignment. *)

@@ -1,0 +1,5 @@
+(* Library root. *)
+include Hd
+module Dag = Dag
+module Layering = Layering
+module Dag_io = Dag_io

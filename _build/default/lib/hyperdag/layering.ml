@@ -1,0 +1,68 @@
+(* Layerings of a DAG (Section 5.1): disjoint sets V_1, ..., V_l with l the
+   length of the longest path, such that every edge goes from a strictly
+   earlier to a strictly later layer.  A layering is represented by the
+   array [layer] with [layer.(v)] in [0, l). *)
+
+let num_layers dag = Dag.critical_path_length dag
+
+(* Earliest (ASAP) layering: each node in the earliest possible layer. *)
+let earliest dag =
+  Array.map (fun d -> d - 1) (Dag.longest_path_to dag)
+
+(* Latest (ALAP) layering. *)
+let latest dag =
+  let l = num_layers dag in
+  Array.map (fun d -> l - d) (Dag.longest_path_from dag)
+
+let is_valid dag layer =
+  let l = num_layers dag in
+  Array.length layer = Dag.num_nodes dag
+  && Array.for_all (fun x -> x >= 0 && x < l) layer
+  && List.for_all (fun (u, v) -> layer.(u) < layer.(v)) (Dag.edges dag)
+
+(* Group a layering into explicit layers V_0 .. V_{l-1}. *)
+let groups dag layer =
+  let l = num_layers dag in
+  let vecs = Array.init l (fun _ -> Support.Int_vec.create ()) in
+  Array.iteri (fun v lay -> Support.Int_vec.push vecs.(lay) v) layer;
+  Array.map Support.Int_vec.to_array vecs
+
+let earliest_groups dag = groups dag (earliest dag)
+
+(* A node is flexible iff its earliest and latest layers differ, i.e. it is
+   not on any longest path. *)
+let mobility dag =
+  let e = earliest dag and l = latest dag in
+  Array.init (Dag.num_nodes dag) (fun v -> (e.(v), l.(v)))
+
+let is_rigid dag =
+  Array.for_all (fun (e, l) -> e = l) (mobility dag)
+
+(* Enumerate all valid layerings (flexible-layering case, Theorem E.1).
+   Exponential; intended for the small instances of the experiments.
+   Nodes are assigned in topological order; each node's layer ranges from
+   max(preds)+1 to its latest layer.  The callback may raise to stop. *)
+let iter_layerings dag f =
+  let n = Dag.num_nodes dag in
+  let late = latest dag in
+  let topo = Dag.topological_order dag in
+  let layer = Array.make n (-1) in
+  let rec go i =
+    if i = n then f (Array.copy layer)
+    else begin
+      let v = topo.(i) in
+      let lo = ref 0 in
+      Dag.iter_preds dag v (fun u -> lo := max !lo (layer.(u) + 1));
+      for lay = !lo to late.(v) do
+        layer.(v) <- lay;
+        go (i + 1)
+      done;
+      layer.(v) <- -1
+    end
+  in
+  go 0
+
+let count_layerings dag =
+  let count = ref 0 in
+  iter_layerings dag (fun _ -> incr count);
+  !count

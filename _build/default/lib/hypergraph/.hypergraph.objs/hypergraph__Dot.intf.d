@@ -1,0 +1,1 @@
+lib/hypergraph/dot.mli: Hg

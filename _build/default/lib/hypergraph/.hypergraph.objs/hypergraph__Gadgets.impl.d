@@ -1,0 +1,1 @@
+lib/hypergraph/gadgets.ml: Array Hg Support

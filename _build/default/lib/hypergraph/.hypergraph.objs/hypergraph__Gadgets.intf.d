@@ -1,0 +1,1 @@
+lib/hypergraph/gadgets.mli: Hg

@@ -1,0 +1,1 @@
+lib/hypergraph/hg.ml: Array Fmt Fun Hashtbl List Support

@@ -1,0 +1,1 @@
+lib/hypergraph/hmetis.ml: Array Buffer Hg In_channel List Out_channel Printf String

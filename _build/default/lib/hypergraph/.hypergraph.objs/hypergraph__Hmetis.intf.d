@@ -1,0 +1,1 @@
+lib/hypergraph/hmetis.mli: Hg

@@ -1,0 +1,35 @@
+(* Graphviz export of a hypergraph as its bipartite incidence graph: round
+   nodes for hypergraph nodes, square nodes for hyperedges.  An optional
+   partition colors the node side. *)
+
+let palette =
+  [| "#e6550d"; "#3182bd"; "#31a354"; "#756bb1"; "#636363"; "#fd8d3c";
+     "#6baed6"; "#74c476"; "#9e9ac8"; "#969696" |]
+
+let to_string ?parts t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph hypergraph {\n";
+  Buffer.add_string buf "  node [fontsize=10];\n";
+  for v = 0 to Hg.num_nodes t - 1 do
+    let color =
+      match parts with
+      | Some p when v < Array.length p ->
+          Printf.sprintf " style=filled fillcolor=\"%s\""
+            palette.(p.(v) mod Array.length palette)
+      | _ -> ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  v%d [shape=circle label=\"%d\"%s];\n" v v color)
+  done;
+  for e = 0 to Hg.num_edges t - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  e%d [shape=box label=\"e%d\"];\n" e e);
+    Hg.iter_pins t e (fun v ->
+        Buffer.add_string buf (Printf.sprintf "  v%d -- e%d;\n" v e))
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save ?parts path t =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (to_string ?parts t))

@@ -1,0 +1,5 @@
+(** Graphviz (DOT) export of the bipartite incidence graph of a hypergraph,
+    optionally colored by a partition. *)
+
+val to_string : ?parts:int array -> Hg.t -> string
+val save : ?parts:int array -> string -> Hg.t -> unit

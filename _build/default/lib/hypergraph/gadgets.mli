@@ -1,0 +1,40 @@
+(** Gadget constructions shared by the hardness reductions (Appendices A–C).
+
+    All builders allocate into an existing {!Hg.Builder.b} and return the
+    ids of the nodes they created, so reductions can wire gadgets together
+    with further hyperedges. *)
+
+type grid = {
+  cells : int array array;  (** [cells.(r).(c)]: node of row [r], column [c] *)
+  row_edges : int array;  (** ids of the row hyperedges *)
+  col_edges : int array;  (** ids of the column hyperedges *)
+  outsiders : int array;  (** outsider [i] is a member of row [i]'s edge *)
+}
+
+val block : Hg.Builder.b -> size:int -> int array
+(** A block of Lemma A.5: [size] nodes, [size] hyperedges each omitting one
+    node.  Splitting it costs at least [size - 1]. *)
+
+val robust_block : Hg.Builder.b -> size:int -> slack:int -> int array
+(** The denser block of Appendix D.1: all subsets of size [size - slack - 2]
+    as hyperedges, so any split costs at least [C(size-1, slack+1)].
+    Exponential in [slack]; keep [slack] small. *)
+
+val grid : ?outsiders:int -> Hg.Builder.b -> side:int -> grid
+(** A grid gadget (Definition C.2), optionally extended with up to
+    [2 * side] outsider nodes: the first [side] extend row hyperedges, the
+    rest column hyperedges (the size-padding device of Appendix C.2).
+    Every node has degree exactly 2 except outsiders, which have degree 1
+    inside the gadget. *)
+
+val grid_nodes : grid -> int array
+(** All node ids of a grid gadget, cells first then outsiders. *)
+
+val dense_hyperdag_block : Hg.Builder.b -> size:int -> int array
+(** The densest hyperDAG on [size] nodes (Appendix B): hyperedge [i]
+    contains nodes [i .. size-1]; degree sequence (1, 2, …, size-1, size-1).
+    Used in place of blocks for hyperDAG reductions (Lemma B.3). *)
+
+val block_hypergraph : size:int -> Hg.t
+val grid_hypergraph : ?outsiders:int -> side:int -> unit -> Hg.t * grid
+val dense_hyperdag_hypergraph : size:int -> Hg.t

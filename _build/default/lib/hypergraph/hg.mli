@@ -1,0 +1,101 @@
+(** Core hypergraph type (Section 3.1 of the paper).
+
+    A hypergraph [G(V, E)] with nodes [0 .. n-1] and hyperedges
+    [0 .. m-1], stored in immutable CSR form (pin lists plus the transposed
+    node→edge incidence).  Nodes and edges carry positive integer weights
+    (all 1 by default); the hardness results of the paper carry over to the
+    weighted setting, and the solvers use weights for coarsening. *)
+
+type t
+
+(** {1 Accessors} *)
+
+val num_nodes : t -> int
+val num_edges : t -> int
+
+val num_pins : t -> int
+(** Total number of pins ρ = Σ_e |e|. *)
+
+val edge_size : t -> int -> int
+val node_degree : t -> int -> int
+val node_weight : t -> int -> int
+val edge_weight : t -> int -> int
+
+val max_degree : t -> int
+(** Δ = max_v |{e : v ∈ e}|. *)
+
+val total_node_weight : t -> int
+val total_edge_weight : t -> int
+
+val iter_pins : t -> int -> (int -> unit) -> unit
+val iter_incident : t -> int -> (int -> unit) -> unit
+val fold_pins : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val fold_incident : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val edge_pins : t -> int -> int array
+(** Fresh sorted array of the pins of an edge. *)
+
+val incident_edges : t -> int -> int array
+val edge_mem : t -> int -> int -> bool
+(** [edge_mem t e v] tests v ∈ e in O(log |e|). *)
+
+val edges : t -> int array array
+
+(** {1 Construction} *)
+
+val of_edges :
+  ?node_weights:int array ->
+  ?edge_weights:int array ->
+  n:int ->
+  int array array ->
+  t
+(** [of_edges ~n edge_list] validates pins (in range, no duplicates within
+    an edge) and builds the CSR representation.  Empty edges are allowed
+    only through this low-level constructor and are never produced by the
+    builder. *)
+
+val empty : int -> t
+(** [empty n] has [n] isolated nodes and no edges. *)
+
+(** Incremental construction with stable node/edge ids, used by the gadget
+    and reduction builders. *)
+module Builder : sig
+  type hypergraph := t
+  type b
+
+  val create : unit -> b
+  val add_node : ?weight:int -> b -> int
+  val add_nodes : ?weight:int -> b -> int -> int array
+  val add_edge : ?weight:int -> b -> int array -> int
+  val node_count : b -> int
+  val edge_count : b -> int
+  val build : b -> hypergraph
+end
+
+(** {1 Derived hypergraphs} *)
+
+val add_isolated_nodes : t -> int -> t
+(** Appends unit-weight isolated nodes (used by the ε-reduction of
+    Lemma A.1). *)
+
+val induced_subgraph : t -> int array -> t * int array * int array
+(** [induced_subgraph t keep] keeps the given nodes and exactly the
+    hyperedges contained in them (the notion of Appendix B).  Returns
+    [(sub, old_nodes, old_edges)] mapping new ids back to old ones. *)
+
+val contract :
+  ?drop_singletons:bool -> ?merge_identical:bool -> t -> int array -> int -> t
+(** [contract t label count] merges nodes with equal labels (labels must lie
+    in [\[0, count)]), summing node weights.  Singleton edges are dropped and
+    identical edges merged (weights summed) unless disabled. *)
+
+val connected_components : t -> int array * int
+(** [(label, count)]: nodes sharing a hyperedge are in the same component. *)
+
+val disjoint_union : t -> t -> t
+(** Nodes of the second graph are shifted by [num_nodes] of the first. *)
+
+val degree_sequence : t -> int array
+(** Node degrees in non-decreasing order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+(* hMETIS hypergraph file format.
+
+   Line 1: "<m> <n> [fmt]" where fmt is omitted or one of 1 (edge weights),
+   10 (node weights), 11 (both).  Then m lines with the 1-indexed pins of
+   each hyperedge (preceded by the edge weight if fmt has the 1-bit), then,
+   if fmt has the 10-bit, n lines of node weights.  '%' starts a comment
+   line. *)
+
+let is_comment line = String.length line = 0 || line.[0] = '%'
+
+let ints_of_line line =
+  line
+  |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun s ->
+         match int_of_string_opt s with
+         | Some v -> v
+         | None -> failwith (Printf.sprintf "Hmetis: bad integer %S" s))
+
+let of_lines lines =
+  match lines with
+  | [] -> failwith "Hmetis: empty input"
+  | header :: rest ->
+      let m, n, fmt =
+        match ints_of_line header with
+        | [ m; n ] -> (m, n, 0)
+        | [ m; n; fmt ] -> (m, n, fmt)
+        | _ -> failwith "Hmetis: malformed header"
+      in
+      if fmt <> 0 && fmt <> 1 && fmt <> 10 && fmt <> 11 then
+        failwith "Hmetis: unsupported fmt";
+      let has_edge_weights = fmt = 1 || fmt = 11 in
+      let has_node_weights = fmt = 10 || fmt = 11 in
+      let rest = Array.of_list rest in
+      let expected = m + if has_node_weights then n else 0 in
+      if Array.length rest < expected then failwith "Hmetis: truncated file";
+      let edge_weights = Array.make m 1 in
+      let edges =
+        Array.init m (fun e ->
+            match ints_of_line rest.(e) with
+            | w :: pins when has_edge_weights ->
+                edge_weights.(e) <- w;
+                Array.of_list (List.map (fun v -> v - 1) pins)
+            | pins -> Array.of_list (List.map (fun v -> v - 1) pins))
+      in
+      let node_weights =
+        if has_node_weights then
+          Array.init n (fun v ->
+              match ints_of_line rest.(m + v) with
+              | [ w ] -> w
+              | _ -> failwith "Hmetis: malformed node weight line")
+        else Array.make n 1
+      in
+      Hg.of_edges ~n ~node_weights ~edge_weights edges
+
+let of_string s =
+  of_lines
+    (s |> String.split_on_char '\n' |> List.map String.trim
+    |> List.filter (fun l -> not (is_comment l)))
+
+let read ic =
+  let rec collect acc =
+    match In_channel.input_line ic with
+    | Some line ->
+        let line = String.trim line in
+        collect (if is_comment line then acc else line :: acc)
+    | None -> List.rev acc
+  in
+  of_lines (collect [])
+
+let load path = In_channel.with_open_text path read
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let n = Hg.num_nodes t and m = Hg.num_edges t in
+  let uniform a = Array.for_all (fun w -> w = 1) a in
+  let has_ew = not (uniform (Array.init m (Hg.edge_weight t))) in
+  let has_nw = not (uniform (Array.init n (Hg.node_weight t))) in
+  let fmt = (if has_nw then 10 else 0) + if has_ew then 1 else 0 in
+  if fmt = 0 then Buffer.add_string buf (Printf.sprintf "%d %d\n" m n)
+  else Buffer.add_string buf (Printf.sprintf "%d %d %d\n" m n fmt);
+  for e = 0 to m - 1 do
+    if has_ew then
+      Buffer.add_string buf (Printf.sprintf "%d " (Hg.edge_weight t e));
+    let first = ref true in
+    Hg.iter_pins t e (fun v ->
+        if !first then first := false else Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int (v + 1)));
+    Buffer.add_char buf '\n'
+  done;
+  if has_nw then
+    for v = 0 to n - 1 do
+      Buffer.add_string buf (string_of_int (Hg.node_weight t v));
+      Buffer.add_char buf '\n'
+    done;
+  Buffer.contents buf
+
+let write oc t = output_string oc (to_string t)
+let save path t = Out_channel.with_open_text path (fun oc -> write oc t)

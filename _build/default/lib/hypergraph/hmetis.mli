@@ -1,0 +1,11 @@
+(** hMETIS hypergraph file format (the de-facto standard used by hMETIS,
+    KaHyPar and PaToH benchmarks). *)
+
+val of_string : string -> Hg.t
+val read : in_channel -> Hg.t
+val load : string -> Hg.t
+(** All three raise [Failure] on malformed input. *)
+
+val to_string : Hg.t -> string
+val write : out_channel -> Hg.t -> unit
+val save : string -> Hg.t -> unit

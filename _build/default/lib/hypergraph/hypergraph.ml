@@ -1,0 +1,5 @@
+(* Library root: the core type plus submodules. *)
+include Hg
+module Gadgets = Gadgets
+module Hmetis = Hmetis
+module Dot = Dot

@@ -1,0 +1,139 @@
+(* Maximum-weight perfect matching on a complete graph with an even number
+   of nodes.  This is the engine of the polynomial-time hierarchy
+   assignment for b2 = 2 (Lemma H.1): pair up the k parts so that the total
+   weight of co-located hyperedge traffic is maximized.
+
+   The paper invokes Edmonds' blossom algorithm; here the instance size is
+   the number of parts k (constant in the paper's setting), so an exact
+   O(2^k * k) subset DP is both simpler and faster at every scale the
+   library uses, and a greedy + 2-opt local search covers large k
+   heuristically.  (See DESIGN.md, "Substitutions".) *)
+
+type pairing = (int * int) array
+
+let validate_weights ~k w =
+  if k < 0 || k mod 2 <> 0 then
+    invalid_arg "Matching: node count must be even and non-negative";
+  ignore w
+
+let pairing_weight w pairs =
+  Array.fold_left (fun acc (a, b) -> acc + w a b) 0 pairs
+
+(* Exact maximum-weight perfect matching by DP over node subsets:
+   dp.(mask) = best weight pairing up exactly the nodes of [mask].  The
+   lowest unmatched node is always paired first, so each mask is expanded
+   k/2 ways at most. *)
+let exact_max_weight ~k w =
+  validate_weights ~k w;
+  if k = 0 then [||]
+  else begin
+    if k > 24 then invalid_arg "Matching.exact_max_weight: k > 24";
+    let full = (1 lsl k) - 1 in
+    let dp = Array.make (full + 1) min_int in
+    let choice = Array.make (full + 1) (-1, -1) in
+    dp.(0) <- 0;
+    for mask = 1 to full do
+      (* Lowest set bit = first unmatched node. *)
+      let a =
+        let rec low i = if mask land (1 lsl i) <> 0 then i else low (i + 1) in
+        low 0
+      in
+      if mask land (1 lsl a) <> 0 then
+        for b = a + 1 to k - 1 do
+          if mask land (1 lsl b) <> 0 then begin
+            let rest = mask lxor (1 lsl a) lxor (1 lsl b) in
+            if dp.(rest) > min_int then begin
+              let cand = dp.(rest) + w a b in
+              if cand > dp.(mask) then begin
+                dp.(mask) <- cand;
+                choice.(mask) <- (a, b)
+              end
+            end
+          end
+        done
+    done;
+    (* Reconstruct. *)
+    let rec rebuild mask acc =
+      if mask = 0 then acc
+      else begin
+        let a, b = choice.(mask) in
+        rebuild (mask lxor (1 lsl a) lxor (1 lsl b)) ((a, b) :: acc)
+      end
+    in
+    Array.of_list (rebuild full [])
+  end
+
+(* Greedy: repeatedly match the heaviest available pair. *)
+let greedy_max_weight ~k w =
+  validate_weights ~k w;
+  let used = Array.make k false in
+  let pairs = ref [] in
+  for _ = 1 to k / 2 do
+    let best = ref None in
+    for a = 0 to k - 1 do
+      if not used.(a) then
+        for b = a + 1 to k - 1 do
+          if not used.(b) then
+            match !best with
+            | Some (_, _, bw) when bw >= w a b -> ()
+            | _ -> best := Some (a, b, w a b)
+        done
+    done;
+    match !best with
+    | Some (a, b, _) ->
+        used.(a) <- true;
+        used.(b) <- true;
+        pairs := (a, b) :: !pairs
+    | None -> assert false
+  done;
+  Array.of_list (List.rev !pairs)
+
+(* 2-opt local search: for every two pairs, try the two alternative
+   re-pairings until no improvement. *)
+let two_opt ~k w pairs =
+  validate_weights ~k w;
+  let pairs = Array.copy pairs in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let p = Array.length pairs in
+    for i = 0 to p - 1 do
+      for j = i + 1 to p - 1 do
+        let a, b = pairs.(i) and c, d = pairs.(j) in
+        let current = w a b + w c d in
+        let alt1 = w a c + w b d and alt2 = w a d + w b c in
+        if alt1 > current && alt1 >= alt2 then begin
+          pairs.(i) <- (a, c);
+          pairs.(j) <- (b, d);
+          improved := true
+        end
+        else if alt2 > current then begin
+          pairs.(i) <- (a, d);
+          pairs.(j) <- (b, c);
+          improved := true
+        end
+      done
+    done
+  done;
+  pairs
+
+let heuristic_max_weight ~k w = two_opt ~k w (greedy_max_weight ~k w)
+
+(* Default entry: exact when affordable. *)
+let max_weight ~k w =
+  if k <= 20 then exact_max_weight ~k w else heuristic_max_weight ~k w
+
+let is_perfect_pairing ~k pairs =
+  Array.length pairs = k / 2
+  && begin
+       let seen = Array.make k false in
+       Array.for_all
+         (fun (a, b) ->
+           a >= 0 && a < k && b >= 0 && b < k && a <> b
+           &&
+           let fresh = (not seen.(a)) && not seen.(b) in
+           seen.(a) <- true;
+           seen.(b) <- true;
+           fresh)
+         pairs
+     end

@@ -1,0 +1,19 @@
+(** Maximum-weight perfect matching on complete graphs (even node count):
+    the engine of the b₂ = 2 hierarchy assignment (Lemma H.1).
+    Exact subset DP for small k, greedy + 2-opt beyond. *)
+
+type pairing = (int * int) array
+
+val pairing_weight : (int -> int -> int) -> pairing -> int
+
+val exact_max_weight : k:int -> (int -> int -> int) -> pairing
+(** O(2ᵏ·k) DP; raises for k > 24 or odd k. *)
+
+val greedy_max_weight : k:int -> (int -> int -> int) -> pairing
+val two_opt : k:int -> (int -> int -> int) -> pairing -> pairing
+val heuristic_max_weight : k:int -> (int -> int -> int) -> pairing
+
+val max_weight : k:int -> (int -> int -> int) -> pairing
+(** Exact for k ≤ 20, heuristic beyond. *)
+
+val is_perfect_pairing : k:int -> pairing -> bool

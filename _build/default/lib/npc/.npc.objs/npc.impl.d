@@ -1,0 +1,1 @@
+lib/npc/npc.ml: Clique Coloring Graph Mpu Ovp Spes Three_dm Three_partition

@@ -1,0 +1,1 @@
+lib/npc/clique.ml: Array Fun Graph List

@@ -1,0 +1,1 @@
+lib/npc/clique.mli: Graph

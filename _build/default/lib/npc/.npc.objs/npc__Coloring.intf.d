@@ -1,0 +1,1 @@
+lib/npc/coloring.mli: Graph

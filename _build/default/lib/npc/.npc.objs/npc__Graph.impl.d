@@ -1,0 +1,1 @@
+lib/npc/graph.ml: Array Hashtbl List Support

@@ -1,0 +1,1 @@
+lib/npc/graph.mli: Support

@@ -1,0 +1,1 @@
+lib/npc/mpu.ml: Array Hashtbl Hypergraph List Support

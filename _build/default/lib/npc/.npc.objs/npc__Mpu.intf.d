@@ -1,0 +1,1 @@
+lib/npc/mpu.mli: Hypergraph

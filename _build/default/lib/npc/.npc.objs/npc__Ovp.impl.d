@@ -1,0 +1,1 @@
+lib/npc/ovp.ml: Array Support

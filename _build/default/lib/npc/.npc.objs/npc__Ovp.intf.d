@@ -1,0 +1,1 @@
+lib/npc/ovp.mli: Support

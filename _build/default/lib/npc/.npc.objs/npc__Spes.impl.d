@@ -1,0 +1,1 @@
+lib/npc/spes.ml: Array Fun Graph List Support

@@ -1,0 +1,1 @@
+lib/npc/spes.mli: Graph

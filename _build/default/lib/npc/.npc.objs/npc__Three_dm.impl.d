@@ -1,0 +1,1 @@
+lib/npc/three_dm.ml: Array List Support

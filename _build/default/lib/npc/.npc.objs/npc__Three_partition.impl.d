@@ -1,0 +1,1 @@
+lib/npc/three_partition.ml: Array List Support

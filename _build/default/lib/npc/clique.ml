@@ -1,0 +1,41 @@
+(* Maximum clique, source problem of the bounded-height mu_p hardness
+   (Theorem 5.5) and the canonical W[1]-complete problem (Appendix C.6).
+   Simple branch-and-bound: extend a partial clique with common-neighbour
+   candidates, pruning when |clique| + |candidates| cannot beat the best. *)
+
+let max_clique g =
+  let best = ref [] in
+  let rec extend clique candidates =
+    if List.length clique + List.length candidates > List.length !best then
+      match candidates with
+      | [] -> if List.length clique > List.length !best then best := clique
+      | v :: rest ->
+          (* Branch 1: include v. *)
+          let with_v =
+            List.filter (fun u -> Graph.has_edge g v u) rest
+          in
+          extend (v :: clique) with_v;
+          (* Branch 2: exclude v. *)
+          extend clique rest
+  in
+  extend [] (List.init (Graph.num_nodes g) Fun.id);
+  Array.of_list (List.sort compare !best)
+
+let clique_number g = Array.length (max_clique g)
+
+let has_clique g ~size = clique_number g >= size
+
+let is_clique g nodes =
+  let ok = ref true in
+  Array.iteri
+    (fun i u ->
+      Array.iteri
+        (fun j v -> if i < j && not (Graph.has_edge g u v) then ok := false)
+        nodes)
+    nodes;
+  !ok
+
+(* A clique of exactly [size], if one exists. *)
+let find_clique g ~size =
+  let c = max_clique g in
+  if Array.length c >= size then Some (Array.sub c 0 size) else None

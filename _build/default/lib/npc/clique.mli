@@ -1,0 +1,7 @@
+(** Maximum clique (Theorem 5.5, bounded-height case; W[1]-complete). *)
+
+val max_clique : Graph.t -> int array
+val clique_number : Graph.t -> int
+val has_clique : Graph.t -> size:int -> bool
+val is_clique : Graph.t -> int array -> bool
+val find_clique : Graph.t -> size:int -> int array option

@@ -1,0 +1,54 @@
+(* Graph k-coloring (3-coloring by default): source problem of the
+   para-NP-hardness of multi-constraint partitioning (Lemma 6.3) and of the
+   layer-wise hardness (Theorem 5.2).  Backtracking with a
+   most-constrained-first node order. *)
+
+let solve ?(k = 3) g =
+  let n = Graph.num_nodes g in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+  let color = Array.make n (-1) in
+  let rec go i used =
+    if i = n then true
+    else begin
+      let v = order.(i) in
+      let rec try_color c =
+        if c >= min k (used + 1) then false
+        else begin
+          let conflict =
+            Array.exists (fun u -> color.(u) = c) (Graph.neighbors g v)
+          in
+          if not conflict then begin
+            color.(v) <- c;
+            if go (i + 1) (max used (c + 1)) then true
+            else begin
+              color.(v) <- -1;
+              try_color (c + 1)
+            end
+          end
+          else try_color (c + 1)
+        end
+      in
+      try_color 0
+    end
+  in
+  if go 0 0 then Some (Array.copy color) else None
+
+let is_colorable ?k g = solve ?k g <> None
+
+let is_valid_coloring ?(k = 3) g color =
+  Array.length color = Graph.num_nodes g
+  && Array.for_all (fun c -> c >= 0 && c < k) color
+  && Array.for_all (fun (u, v) -> color.(u) <> color.(v)) (Graph.edges g)
+
+(* Small named instances for the reduction tests. *)
+let petersen () =
+  Graph.of_edges ~n:10
+    [
+      (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (* outer cycle *)
+      (5, 7); (7, 9); (9, 6); (6, 8); (8, 5); (* inner star *)
+      (0, 5); (1, 6); (2, 7); (3, 8); (4, 9); (* spokes *)
+    ]
+(* 3-chromatic. *)
+
+let k4 () = Graph.complete 4 (* not 3-colorable *)

@@ -1,0 +1,13 @@
+(** Graph k-coloring (source of Lemma 6.3 and Theorem 5.2). *)
+
+val solve : ?k:int -> Graph.t -> int array option
+(** Backtracking; [k] defaults to 3. *)
+
+val is_colorable : ?k:int -> Graph.t -> bool
+val is_valid_coloring : ?k:int -> Graph.t -> int array -> bool
+
+val petersen : unit -> Graph.t
+(** 3-chromatic. *)
+
+val k4 : unit -> Graph.t
+(** Not 3-colorable. *)

@@ -1,0 +1,62 @@
+(* Minimum p-Union (MpU) [11]: given a hypergraph, select p hyperedges
+   whose union is as small as possible — the hypergraph generalization of
+   SpES used for the stronger assumptions of Corollary 4.2 (Appendix C.5). *)
+
+type solution = { edges : int array; union_size : int }
+
+let union_size hg edges =
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun e -> Hypergraph.iter_pins hg e (fun v -> Hashtbl.replace seen v ()))
+    edges;
+  Hashtbl.length seen
+
+let exact hg ~p =
+  let m = Hypergraph.num_edges hg in
+  if p <= 0 then Some { edges = [||]; union_size = 0 }
+  else if m < p then None
+  else begin
+    let best = ref None in
+    Support.Util.iter_subsets ~n:m ~k:p (fun subset ->
+        let u = union_size hg subset in
+        match !best with
+        | Some { union_size; _ } when union_size <= u -> ()
+        | _ -> best := Some { edges = subset; union_size = u });
+    !best
+  end
+
+let optimum hg ~p =
+  match exact hg ~p with Some s -> Some s.union_size | None -> None
+
+(* Greedy: start from the smallest hyperedge, repeatedly add the edge with
+   the fewest new nodes. *)
+let greedy hg ~p =
+  let m = Hypergraph.num_edges hg in
+  if p <= 0 then Some { edges = [||]; union_size = 0 }
+  else if m < p then None
+  else begin
+    let covered = Array.make (Hypergraph.num_nodes hg) false in
+    let used = Array.make m false in
+    let chosen = ref [] in
+    for _ = 1 to p do
+      let best = ref (-1) and best_new = ref max_int in
+      for e = 0 to m - 1 do
+        if not used.(e) then begin
+          let fresh =
+            Hypergraph.fold_pins hg e
+              (fun acc v -> if covered.(v) then acc else acc + 1)
+              0
+          in
+          if fresh < !best_new then begin
+            best_new := fresh;
+            best := e
+          end
+        end
+      done;
+      used.(!best) <- true;
+      chosen := !best :: !chosen;
+      Hypergraph.iter_pins hg !best (fun v -> covered.(v) <- true)
+    done;
+    let edges = Array.of_list (List.rev !chosen) in
+    Some { edges; union_size = union_size hg edges }
+  end

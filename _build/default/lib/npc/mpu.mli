@@ -1,0 +1,8 @@
+(** Minimum p-Union [11]: p hyperedges with smallest union (App C.5). *)
+
+type solution = { edges : int array; union_size : int }
+
+val union_size : Hypergraph.t -> int array -> int
+val exact : Hypergraph.t -> p:int -> solution option
+val optimum : Hypergraph.t -> p:int -> int option
+val greedy : Hypergraph.t -> p:int -> solution option

@@ -1,0 +1,10 @@
+(* Library root: reference solvers for the source problems of every
+   reduction in the paper. *)
+module Graph = Graph
+module Spes = Spes
+module Mpu = Mpu
+module Ovp = Ovp
+module Three_partition = Three_partition
+module Coloring = Coloring
+module Clique = Clique
+module Three_dm = Three_dm

@@ -1,0 +1,18 @@
+(** Smallest p-Edge Subgraph (SpES) [35], source of the Theorem 4.1
+    reduction; equivalent to Minimum p-Union on graphs. *)
+
+type solution = { nodes : int array; induced_edges : int }
+
+val size_lower_bound : int -> int
+val exact : Graph.t -> p:int -> solution option
+(** Minimum-size subset inducing ≥ p edges; exponential, gadget scale. *)
+
+val optimum : Graph.t -> p:int -> int option
+
+val exact_bb : Graph.t -> p:int -> solution option
+(** Branch-and-bound with iterative deepening: same answers as {!exact},
+    usable on larger graphs. *)
+
+val optimum_bb : Graph.t -> p:int -> int option
+val greedy : Graph.t -> p:int -> solution option
+val is_solution : Graph.t -> p:int -> solution -> bool

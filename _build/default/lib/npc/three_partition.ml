@@ -1,0 +1,110 @@
+(* 3-Partition: given 3t positive integers with total t*b and
+   b/4 < a_i < b/2, partition them into t triplets each summing to b.
+   Strongly NP-hard; source problem of Theorems E.1 and 5.5.
+
+   The size bounds force every group summing to b to be a triplet, so the
+   solver searches directly for triplets by backtracking on the
+   smallest-index unused element. *)
+
+type instance = { numbers : int array; b : int }
+
+let create numbers =
+  let total = Support.Util.sum_array numbers in
+  let count = Array.length numbers in
+  if count = 0 || count mod 3 <> 0 then
+    invalid_arg "Three_partition.create: need 3t numbers";
+  let t = count / 3 in
+  if total mod t <> 0 then
+    invalid_arg "Three_partition.create: total not divisible by t";
+  let b = total / t in
+  Array.iter
+    (fun a ->
+      if not (4 * a > b && 2 * a < b) then
+        invalid_arg "Three_partition.create: need b/4 < a_i < b/2")
+    numbers;
+  { numbers = Array.copy numbers; b }
+
+let numbers t = t.numbers
+let target t = t.b
+
+let solve inst =
+  let a = inst.numbers and b = inst.b in
+  let n = Array.length a in
+  let used = Array.make n false in
+  let triplets = ref [] in
+  let rec go remaining =
+    if remaining = 0 then true
+    else begin
+      (* The smallest-index unused element anchors the next triplet, which
+         removes permutation symmetry between triplets. *)
+      let rec first i = if used.(i) then first (i + 1) else i in
+      let x = first 0 in
+      used.(x) <- true;
+      let ok = ref false in
+      let y = ref (x + 1) in
+      while (not !ok) && !y < n do
+        if (not used.(!y)) && a.(x) + a.(!y) < b then begin
+          used.(!y) <- true;
+          let z = ref (!y + 1) in
+          while (not !ok) && !z < n do
+            if (not used.(!z)) && a.(x) + a.(!y) + a.(!z) = b then begin
+              used.(!z) <- true;
+              triplets := (x, !y, !z) :: !triplets;
+              if go (remaining - 1) then ok := true
+              else begin
+                triplets := List.tl !triplets;
+                used.(!z) <- false
+              end
+            end;
+            incr z
+          done;
+          if not !ok then used.(!y) <- false
+        end;
+        incr y
+      done;
+      if not !ok then used.(x) <- false;
+      !ok
+    end
+  in
+  if go (n / 3) then Some (List.rev !triplets) else None
+
+let is_solution inst triplets =
+  let n = Array.length inst.numbers in
+  let seen = Array.make n false in
+  List.for_all
+    (fun (x, y, z) ->
+      let fresh =
+        x <> y && y <> z && x <> z
+        && (not seen.(x)) && (not seen.(y)) && not seen.(z)
+      in
+      seen.(x) <- true;
+      seen.(y) <- true;
+      seen.(z) <- true;
+      fresh
+      && inst.numbers.(x) + inst.numbers.(y) + inst.numbers.(z) = inst.b)
+    triplets
+  && List.length triplets = n / 3
+
+(* Random yes-instance: t triplets summing to b are generated directly and
+   shuffled.  For no-instances, perturbing one element usually breaks
+   solvability but not always; [solve] remains the ground truth. *)
+let random_yes rng ~t ~b =
+  if b < 8 || b mod 4 = 0 && b / 4 + 1 >= (b - 2) / 2 then
+    invalid_arg "Three_partition.random_yes: b too small";
+  let lo = (b / 4) + 1 and hi = Support.Util.ceil_div b 2 - 1 in
+  let numbers = Array.make (3 * t) 0 in
+  for i = 0 to t - 1 do
+    (* x + y + z = b with all three in (b/4, b/2). *)
+    let rec draw () =
+      let x = Support.Rng.int_in_range rng ~lo ~hi in
+      let y = Support.Rng.int_in_range rng ~lo ~hi in
+      let z = b - x - y in
+      if z >= lo && z <= hi then (x, y, z) else draw ()
+    in
+    let x, y, z = draw () in
+    numbers.((3 * i) + 0) <- x;
+    numbers.((3 * i) + 1) <- y;
+    numbers.((3 * i) + 2) <- z
+  done;
+  Support.Rng.shuffle_in_place rng numbers;
+  create numbers

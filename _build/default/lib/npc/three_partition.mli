@@ -1,0 +1,14 @@
+(** 3-Partition (strongly NP-hard), source of Theorems E.1 and 5.5. *)
+
+type instance
+
+val create : int array -> instance
+(** Validates 3t numbers with b/4 < aᵢ < b/2 for b = (Σaᵢ)/t. *)
+
+val numbers : instance -> int array
+val target : instance -> int
+val solve : instance -> (int * int * int) list option
+(** Index triplets each summing to b, or [None]. *)
+
+val is_solution : instance -> (int * int * int) list -> bool
+val random_yes : Support.Rng.t -> t:int -> b:int -> instance

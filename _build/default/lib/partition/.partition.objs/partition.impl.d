@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Layerwise Multi_constraint Part Part_io

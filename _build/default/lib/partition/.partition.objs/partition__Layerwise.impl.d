@@ -1,0 +1,1 @@
+lib/partition/layerwise.ml: Array Multi_constraint

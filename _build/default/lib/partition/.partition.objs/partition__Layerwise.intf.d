@@ -1,0 +1,1 @@
+lib/partition/layerwise.mli: Multi_constraint Part

@@ -1,0 +1,1 @@
+lib/partition/multi_constraint.ml: Array Fun Hashtbl Part

@@ -1,0 +1,1 @@
+lib/partition/multi_constraint.mli: Part

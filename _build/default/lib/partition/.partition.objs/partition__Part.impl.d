@@ -1,0 +1,1 @@
+lib/partition/part.ml: Array Fmt Hypergraph Support

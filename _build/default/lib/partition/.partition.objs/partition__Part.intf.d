@@ -1,0 +1,1 @@
+lib/partition/part.mli: Format Hypergraph Support

@@ -1,0 +1,1 @@
+lib/partition/part_io.ml: Array Buffer In_channel List Out_channel Part Printf String Support

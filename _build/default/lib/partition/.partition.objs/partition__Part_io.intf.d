@@ -1,0 +1,1 @@
+lib/partition/part_io.mli: Part

@@ -1,0 +1,5 @@
+(* Library root. *)
+include Part
+module Multi_constraint = Multi_constraint
+module Layerwise = Layerwise
+module Io = Part_io

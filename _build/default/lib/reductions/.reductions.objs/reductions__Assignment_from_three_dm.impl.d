@@ -1,0 +1,1 @@
+lib/reductions/assignment_from_three_dm.ml: Array Fun Hashtbl Hierarchy Hypergraph List Npc Partition Support

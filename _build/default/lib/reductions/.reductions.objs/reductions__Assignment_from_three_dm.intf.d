@@ -1,0 +1,1 @@
+lib/reductions/assignment_from_three_dm.mli: Hierarchy Hypergraph Npc

@@ -1,0 +1,1 @@
+lib/reductions/counterexamples.ml: Array Hyperdag Hypergraph Partition Workloads

@@ -1,0 +1,1 @@
+lib/reductions/counterexamples.mli: Hyperdag Hypergraph Partition

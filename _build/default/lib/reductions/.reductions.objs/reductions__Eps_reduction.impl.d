@@ -1,0 +1,1 @@
+lib/reductions/eps_reduction.ml: Array Hypergraph Partition Support

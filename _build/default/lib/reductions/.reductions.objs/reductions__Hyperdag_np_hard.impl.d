@@ -1,0 +1,1 @@
+lib/reductions/hyperdag_np_hard.ml: Array Hypergraph Partition

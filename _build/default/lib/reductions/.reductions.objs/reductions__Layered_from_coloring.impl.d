@@ -1,0 +1,1 @@
+lib/reductions/layered_from_coloring.ml: Array Fun Hashtbl Hyperdag Hypergraph List Npc Partition Support

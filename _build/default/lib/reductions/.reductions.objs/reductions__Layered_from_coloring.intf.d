@@ -1,0 +1,1 @@
+lib/reductions/layered_from_coloring.mli: Hypergraph Npc Partition

@@ -1,0 +1,1 @@
+lib/reductions/layering_from_three_partition.ml: Array Hyperdag Hypergraph List Npc Partition

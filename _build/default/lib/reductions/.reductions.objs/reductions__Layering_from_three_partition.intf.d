@@ -1,0 +1,1 @@
+lib/reductions/layering_from_three_partition.mli: Hyperdag Npc Partition

@@ -1,0 +1,1 @@
+lib/reductions/mc_builder.ml: Array Hypergraph List Partition Support

@@ -1,0 +1,1 @@
+lib/reductions/mc_builder.mli: Hypergraph Partition

@@ -1,0 +1,1 @@
+lib/reductions/mc_from_coloring.ml: Array Fun Hypergraph List Mc_builder Npc Partition Support

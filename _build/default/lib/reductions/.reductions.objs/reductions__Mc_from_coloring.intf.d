@@ -1,0 +1,1 @@
+lib/reductions/mc_from_coloring.mli: Hypergraph Npc Partition

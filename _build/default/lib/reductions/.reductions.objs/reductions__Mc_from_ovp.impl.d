@@ -1,0 +1,1 @@
+lib/reductions/mc_from_ovp.ml: Array Fun Hypergraph List Mc_builder Npc Partition Support

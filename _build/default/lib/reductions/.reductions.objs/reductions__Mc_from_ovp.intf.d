@@ -1,0 +1,1 @@
+lib/reductions/mc_from_ovp.mli: Hypergraph Npc Partition

@@ -1,0 +1,1 @@
+lib/reductions/mc_to_standard.ml: Array Fun Hypergraph List Partition

@@ -1,0 +1,1 @@
+lib/reductions/mc_to_standard.mli: Hypergraph Partition

@@ -1,0 +1,1 @@
+lib/reductions/mpu_to_partition.ml: Array Fun Hypergraph Npc Partition Support

@@ -1,0 +1,1 @@
+lib/reductions/mpu_to_partition.mli: Hypergraph Partition

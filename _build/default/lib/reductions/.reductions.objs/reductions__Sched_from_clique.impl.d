@@ -1,0 +1,1 @@
+lib/reductions/sched_from_clique.ml: Array Hyperdag Npc Scheduling Support

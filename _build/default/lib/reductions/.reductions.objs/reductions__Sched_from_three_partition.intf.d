@@ -1,0 +1,1 @@
+lib/reductions/sched_from_three_partition.mli: Hyperdag Npc Scheduling

@@ -1,0 +1,1 @@
+lib/reductions/spes_delta2.ml: Array Fun Hashtbl Hypergraph List Npc Partition Support

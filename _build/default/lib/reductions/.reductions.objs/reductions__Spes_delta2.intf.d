@@ -1,0 +1,1 @@
+lib/reductions/spes_delta2.mli: Hypergraph Npc Partition

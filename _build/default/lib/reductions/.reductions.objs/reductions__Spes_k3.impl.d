@@ -1,0 +1,1 @@
+lib/reductions/spes_k3.ml: Array Fun Hashtbl Hypergraph List Npc Partition Support

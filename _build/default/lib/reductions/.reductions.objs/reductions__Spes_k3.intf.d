@@ -1,0 +1,1 @@
+lib/reductions/spes_k3.mli: Hypergraph Npc Partition

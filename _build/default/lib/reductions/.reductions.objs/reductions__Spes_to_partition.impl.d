@@ -1,0 +1,1 @@
+lib/reductions/spes_to_partition.ml: Array Fun Hashtbl Hypergraph List Npc Partition Support

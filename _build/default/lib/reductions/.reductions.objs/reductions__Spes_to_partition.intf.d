@@ -1,0 +1,1 @@
+lib/reductions/spes_to_partition.mli: Hypergraph Npc Partition

@@ -1,0 +1,52 @@
+(* Lemma A.1: the epsilon-balanced partitioning problem reduces to the
+   k-section problem (eps = 0) by adding eps * n isolated nodes.  A
+   k-section of the padded hypergraph restricts to an eps-balanced
+   partition of the original, with identical cost, and vice versa. *)
+
+type t = {
+  original : Hypergraph.t;
+  padded : Hypergraph.t;
+  eps : float;
+  k : int;
+}
+
+let build ~eps ~k hg =
+  if eps < 0.0 then invalid_arg "Eps_reduction.build: negative eps";
+  let n = Hypergraph.num_nodes hg in
+  (* Pad to n' = k * floor((1+eps) n / k), so a strict k-section of the
+     padded graph has parts of exactly the original capacity (the paper
+     writes eps * n extra nodes and ignores integrality; this is the
+     integral version). *)
+  let cap = Partition.capacity ~eps ~total_weight:n ~k () in
+  let extra = max 0 ((k * cap) - n) in
+  { original = hg; padded = Hypergraph.add_isolated_nodes hg extra; eps; k }
+
+let padded t = t.padded
+
+(* Restrict a k-section of the padded graph to the original nodes. *)
+let restrict t section =
+  let n = Hypergraph.num_nodes t.original in
+  Partition.create ~k:t.k (Array.sub (Partition.assignment section) 0 n)
+
+(* Extend an eps-balanced partition to a k-section: isolated nodes top up
+   every part to n' / k (Relaxed rounding when n' is not divisible by k). *)
+let extend t part =
+  let n = Hypergraph.num_nodes t.original in
+  let n' = Hypergraph.num_nodes t.padded in
+  let colors = Array.make n' 0 in
+  Array.blit (Partition.assignment part) 0 colors 0 n;
+  let sizes = Array.make t.k 0 in
+  Array.iteri (fun v c -> if v < n then sizes.(c) <- sizes.(c) + 1) colors;
+  let cap = Support.Util.ceil_div n' t.k in
+  let next = ref n in
+  for c = 0 to t.k - 1 do
+    while sizes.(c) < cap && !next < n' do
+      colors.(!next) <- c;
+      sizes.(c) <- sizes.(c) + 1;
+      incr next
+    done
+  done;
+  Partition.create ~k:t.k colors
+
+let eps t = t.eps
+let k t = t.k

@@ -1,0 +1,15 @@
+(** Lemma A.1: ε-balanced partitioning reduces to k-section by padding with
+    isolated nodes. *)
+
+type t
+
+val build : eps:float -> k:int -> Hypergraph.t -> t
+val padded : t -> Hypergraph.t
+val restrict : t -> Partition.t -> Partition.t
+(** k-section of the padded graph → ε-balanced partition, same cost. *)
+
+val extend : t -> Partition.t -> Partition.t
+(** ε-balanced partition → k-section of the padded graph, same cost. *)
+
+val eps : t -> float
+val k : t -> int

@@ -1,0 +1,106 @@
+(* Lemma B.3: the partitioning problem stays NP-complete on hyperDAG
+   inputs, without assuming ETH — by reduction from general hypergraph
+   partitioning.
+
+   Every node v of the input hypergraph becomes a *dense hyperDAG block*
+   on m nodes (degree sequence 1, 2, ..., m-1, m-1; Appendix B); every
+   hyperedge keeps one pin per member block (its last node) plus a fresh
+   *light node*, which serves as the hyperedge's generator.  The balance
+   parameter is rescaled so that a part can hold exactly
+   floor((1+eps) |V| / k) blocks regardless of where the light nodes go.
+
+   The resulting hypergraph is a hyperDAG, and eps'-balanced partitions of
+   cost L correspond to eps-balanced partitions of cost L in the input. *)
+
+type t = {
+  original : Hypergraph.t;
+  k : int;
+  eps : float;
+  eps' : float;
+  m : int; (* block size *)
+  hypergraph : Hypergraph.t;
+  blocks : int array array; (* per original node *)
+  light_nodes : int array; (* per original hyperedge *)
+}
+
+let build ?(eps = 0.5) hg ~k =
+  if eps <= 0.0 then invalid_arg "Hyperdag_np_hard.build: need eps > 0";
+  let n = Hypergraph.num_nodes hg in
+  let num_edges = Hypergraph.num_edges hg in
+  (* m > max((k-1) |E| / (eps |V|), |E| (|V|+1) + ...): at verification
+     scale a generous linear bound suffices; the proof's L-dependent bound
+     is dominated by it for L <= (k-1) |E|. *)
+  let l_max = (k - 1) * num_edges in
+  let m0 = (l_max * (n + 1)) + num_edges + 1 in
+  let m =
+    max (m0 + l_max)
+      (((k - 1) * num_edges / max 1 (int_of_float (eps *. float_of_int n)))
+      + 2)
+  in
+  let b = Hypergraph.Builder.create () in
+  let blocks =
+    Array.init n (fun _ -> Hypergraph.Gadgets.dense_hyperdag_block b ~size:m)
+  in
+  let light_nodes = Hypergraph.Builder.add_nodes b num_edges in
+  for e = 0 to num_edges - 1 do
+    let pins =
+      Array.append
+        [| light_nodes.(e) |]
+        (Array.map (fun v -> blocks.(v).(m - 1)) (Hypergraph.edge_pins hg e))
+    in
+    ignore
+      (Hypergraph.Builder.add_edge ~weight:(Hypergraph.edge_weight hg e) b pins)
+  done;
+  let hypergraph = Hypergraph.Builder.build b in
+  let n' = Hypergraph.num_nodes hypergraph in
+  (* eps' such that (1+eps') n'/k = m * floor((1+eps) |V| / k) + |E|. *)
+  let cap_blocks =
+    Partition.capacity ~eps ~total_weight:n ~k ()
+  in
+  let eps' =
+    (float_of_int (((m * cap_blocks) + num_edges) * k) /. float_of_int n')
+    -. 1.0
+  in
+  if eps' <= 0.0 then invalid_arg "Hyperdag_np_hard.build: m too small";
+  { original = hg; k; eps; eps'; m; hypergraph; blocks; light_nodes }
+
+let hypergraph t = t.hypergraph
+let eps' t = t.eps'
+
+(* Forward: a partition of the original -> same-cost partition of the
+   hyperDAG (blocks follow their node; every light node joins some part of
+   its hyperedge). *)
+let extend t part =
+  let colors = Array.make (Hypergraph.num_nodes t.hypergraph) 0 in
+  Array.iteri
+    (fun v block ->
+      Array.iter (fun x -> colors.(x) <- Partition.color part v) block)
+    t.blocks;
+  Array.iteri
+    (fun e light ->
+      let pins = Hypergraph.edge_pins t.original e in
+      colors.(light) <- Partition.color part pins.(0))
+    t.light_nodes;
+  Partition.create ~k:t.k colors
+
+(* Backward: each original node takes the majority color of its block's
+   tail (the proof pins down the last m0 nodes; majority is the robust
+   executable version). *)
+let restrict t part =
+  let colors =
+    Array.map
+      (fun block ->
+        let counts = Array.make t.k 0 in
+        Array.iter
+          (fun x ->
+            counts.(Partition.color part x) <-
+              counts.(Partition.color part x) + 1)
+          block;
+        let best = ref 0 in
+        for c = 1 to t.k - 1 do
+          if counts.(c) > counts.(!best) then best := c
+        done;
+        !best)
+      t.blocks
+  in
+  Partition.create ~k:t.k colors

@@ -1,0 +1,19 @@
+(** Lemma B.3: partitioning stays NP-complete on hyperDAG inputs —
+    reduction from general hypergraph partitioning via dense hyperDAG
+    blocks and light generator nodes. *)
+
+type t
+
+val build : ?eps:float -> Hypergraph.t -> k:int -> t
+(** Requires eps > 0 (the paper handles eps = 0 by composing with
+    Lemma A.1). *)
+
+val hypergraph : t -> Hypergraph.t
+val eps' : t -> float
+(** The rescaled balance parameter of the derived instance. *)
+
+val extend : t -> Partition.t -> Partition.t
+(** Original partition → hyperDAG partition of the same cost. *)
+
+val restrict : t -> Partition.t -> Partition.t
+(** HyperDAG partition → original partition (majority per block). *)

@@ -1,0 +1,254 @@
+(* Theorem 5.2: 3-coloring reduces to layer-wise balanced hyperDAG
+   partitioning with optimal cost 0, so the layer-wise problem cannot be
+   approximated to any finite factor (fixed or flexible layering).
+
+   Architecture, following the proof (k = 2, eps = 0):
+   - one directed path ("component") per gadget: a path (v, i) for every
+     vertex v and color i in [3], a dummy path (e, i) for every edge e and
+     color i, and as many filler paths as the gadget paths combined;
+   - two control paths whose colors are forced to differ by a dedicated
+     layer holding a large block on each (the fixed-color source of
+     Lemma D.2 / Appendix D.6);
+   - one layer per logical constraint; the layer holds one extra node on
+     each member path plus filler blocks on the control paths sized so
+     that ε = 0 balance forces "exactly h member paths are red":
+       per vertex v: exactly one red among the paths (v, 1..3);
+       per edge e = (u, v), color i: exactly one red among
+         (u, i), (v, i), dummy (e, i)
+     (so at most one endpoint carries color i, with the dummy absorbing
+     the all-blue case);
+   - every extra node is wired between consecutive path nodes, so all
+     nodes lie on maximum-length paths and the layering is unique — the
+     hardness therefore covers the flexible-layering case too.
+
+   A layer-wise balanced (ε = 0) partition of cost 0 exists iff the graph
+   is 3-colorable.  Redness of a path encodes "this gadget is selected". *)
+
+type component = Gadget of int * int | Dummy of int * int | Filler of int | Control of int
+
+type t = {
+  graph : Npc.Graph.t;
+  dag : Hyperdag.Dag.t;
+  hypergraph : Hypergraph.t; (* the hyperDAG of [dag] *)
+  layers : int array array; (* the unique layering, grouped *)
+  path_head : int array; (* first DAG node of each component's path *)
+  components : component array;
+  gadget_index : (int * int, int) Hashtbl.t; (* (v, i) -> component id *)
+  dummy_index : (int * int, int) Hashtbl.t; (* (e, i) -> component id *)
+  num_layers : int;
+}
+
+let colors_count = 3
+
+(* Constraint: [members] are component ids; exactly [target] must be red. *)
+type layer_spec = { members : int array; target : int }
+
+let build graph =
+  let nv = Npc.Graph.num_nodes graph in
+  let ne = Npc.Graph.num_edges graph in
+  let gadget_index = Hashtbl.create 64 and dummy_index = Hashtbl.create 64 in
+  let components = ref [] and count = ref 0 in
+  let add c =
+    components := c :: !components;
+    let id = !count in
+    incr count;
+    id
+  in
+  for v = 0 to nv - 1 do
+    for i = 0 to colors_count - 1 do
+      Hashtbl.add gadget_index (v, i) (add (Gadget (v, i)))
+    done
+  done;
+  for e = 0 to ne - 1 do
+    for i = 0 to colors_count - 1 do
+      Hashtbl.add dummy_index (e, i) (add (Dummy (e, i)))
+    done
+  done;
+  let n_main = !count in
+  for f = 0 to n_main - 1 do
+    ignore (add (Filler f))
+  done;
+  let control = Array.init 2 (fun c -> add (Control c)) in
+  let components = Array.of_list (List.rev !components) in
+  let num_components = Array.length components in
+  (* Constraint specs, one layer each. *)
+  let vertex_specs =
+    Support.Util.list_init nv (fun v ->
+        {
+          members =
+            Array.init colors_count (fun i -> Hashtbl.find gadget_index (v, i));
+          target = 1;
+        })
+  in
+  let edge_specs =
+    List.concat_map
+      (fun e ->
+        let u, v = (Npc.Graph.edges graph).(e) in
+        Support.Util.list_init colors_count (fun i ->
+            {
+              members =
+                [|
+                  Hashtbl.find gadget_index (u, i);
+                  Hashtbl.find gadget_index (v, i);
+                  Hashtbl.find dummy_index (e, i);
+                |];
+              target = 1;
+            }))
+      (List.init ne Fun.id)
+  in
+  let specs = Array.of_list (vertex_specs @ edge_specs) in
+  let c = Array.length specs in
+  (* Layers (1-based in the proof, 0-based here):
+     0: plain; 1..c: constraints; c+1: control; c+2: plain tail. *)
+  let num_layers = c + 3 in
+  let control_layer = c + 1 in
+  (* Extra nodes per (component, layer). *)
+  let extras = Array.make_matrix num_components num_layers 0 in
+  Array.iteri
+    (fun idx spec ->
+      let layer = idx + 1 in
+      Array.iter
+        (fun comp -> extras.(comp).(layer) <- extras.(comp).(layer) + 1)
+        spec.members;
+      let s = Array.length spec.members and h = spec.target in
+      extras.(control.(0)).(layer) <-
+        extras.(control.(0)).(layer) + max 0 (s - (2 * h));
+      extras.(control.(1)).(layer) <-
+        extras.(control.(1)).(layer) + max 0 ((2 * h) - s))
+    specs;
+  let m1 = n_main + 1 in
+  extras.(control.(0)).(control_layer) <- m1;
+  extras.(control.(1)).(control_layer) <- m1;
+  (* Materialize the DAG: per component a spine node in every layer, plus
+     the extras wired between consecutive spine nodes. *)
+  let next_node = ref 0 in
+  let fresh () =
+    let id = !next_node in
+    incr next_node;
+    id
+  in
+  let spine = Array.init num_components (fun _ -> Array.init num_layers (fun _ -> fresh ())) in
+  let edges = ref [] in
+  let node_layer = Hashtbl.create 1024 in
+  Array.iteri
+    (fun comp spine_nodes ->
+      Array.iteri (fun l node -> Hashtbl.add node_layer node l) spine_nodes;
+      for l = 0 to num_layers - 2 do
+        edges := (spine_nodes.(l), spine_nodes.(l + 1)) :: !edges
+      done;
+      for l = 1 to num_layers - 2 do
+        for _ = 1 to extras.(comp).(l) do
+          let x = fresh () in
+          Hashtbl.add node_layer x l;
+          edges := (spine_nodes.(l - 1), x) :: (x, spine_nodes.(l + 1)) :: !edges
+        done
+      done)
+    spine;
+  let dag = Hyperdag.Dag.of_edges ~n:!next_node !edges in
+  let layering = Hyperdag.Layering.earliest dag in
+  (* Sanity: the intended layering is the unique one. *)
+  assert (Hyperdag.Layering.is_rigid dag);
+  Hashtbl.iter (fun node l -> assert (layering.(node) = l)) node_layer;
+  let layers = Hyperdag.Layering.groups dag layering in
+  let hypergraph = Hyperdag.hypergraph_of_dag dag in
+  {
+    graph;
+    dag;
+    hypergraph;
+    layers;
+    path_head = Array.map (fun s -> s.(0)) spine;
+    components;
+    gadget_index;
+    dummy_index;
+    num_layers;
+  }
+
+(* Component of every DAG node, recovered from connectivity. *)
+let component_colors t part =
+  Array.map (fun head -> Partition.color part head) t.path_head
+
+(* Encode a proper coloring. *)
+let embed t coloring =
+  let num_components = Array.length t.components in
+  let comp_color = Array.make num_components 0 in
+  let red = 1 and blue = 0 in
+  let n_main = ref 0 in
+  Array.iteri
+    (fun idx c ->
+      match c with
+      | Gadget (v, i) ->
+          incr n_main;
+          comp_color.(idx) <- (if coloring.(v) = i then red else blue)
+      | Dummy (e, i) ->
+          incr n_main;
+          let u, v = (Npc.Graph.edges t.graph).(e) in
+          comp_color.(idx) <-
+            (if coloring.(u) <> i && coloring.(v) <> i then red else blue)
+      | Filler _ | Control _ -> ())
+    t.components;
+  (* Fillers top the red count among main + filler components up to half. *)
+  let red_mains =
+    Support.Util.array_count (fun c -> c = red)
+      (Array.sub comp_color 0 !n_main)
+  in
+  let red_needed = ref (!n_main - red_mains) in
+  Array.iteri
+    (fun idx c ->
+      match c with
+      | Filler _ ->
+          if !red_needed > 0 then begin
+            comp_color.(idx) <- red;
+            decr red_needed
+          end
+          else comp_color.(idx) <- blue
+      | Control 0 -> comp_color.(idx) <- red
+      | Control _ -> comp_color.(idx) <- blue
+      | Gadget _ | Dummy _ -> ())
+    t.components;
+  (* Paint every node with its component's color: nodes are connected to a
+     unique spine; recover components by a union-find over DAG edges. *)
+  let n = Hyperdag.Dag.num_nodes t.dag in
+  let dsu = Support.Dsu.create n in
+  List.iter
+    (fun (u, v) -> ignore (Support.Dsu.union dsu u v))
+    (Hyperdag.Dag.edges t.dag);
+  let colors = Array.make n 0 in
+  let color_of_root = Hashtbl.create 64 in
+  Array.iteri
+    (fun comp head ->
+      Hashtbl.replace color_of_root (Support.Dsu.find dsu head)
+        comp_color.(comp))
+    t.path_head;
+  for v = 0 to n - 1 do
+    colors.(v) <- Hashtbl.find color_of_root (Support.Dsu.find dsu v)
+  done;
+  Partition.create ~k:2 colors
+
+(* Decode a 0-cost layer-wise-feasible partition into a coloring. *)
+let extract t part =
+  let comp_color = component_colors t part in
+  let red =
+    (* "Red" is the color of control path 0. *)
+    let control0 =
+      let idx = ref (-1) in
+      Array.iteri
+        (fun i c -> match c with Control 0 -> idx := i | _ -> ())
+        t.components;
+      !idx
+    in
+    comp_color.(control0)
+  in
+  let nv = Npc.Graph.num_nodes t.graph in
+  Array.init nv (fun v ->
+      let chosen = ref (-1) in
+      for i = 0 to colors_count - 1 do
+        if comp_color.(Hashtbl.find t.gadget_index (v, i)) = red then
+          chosen := i
+      done;
+      !chosen)
+
+let is_zero_cost_feasible t part =
+  Partition.connectivity_cost t.hypergraph part = 0
+  && Partition.Layerwise.feasible ~eps:0.0 t.layers part
+
+let hypergraph t = t.hypergraph

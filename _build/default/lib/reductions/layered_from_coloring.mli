@@ -1,0 +1,13 @@
+(** Theorem 5.2: 3-coloring → layer-wise balanced hyperDAG partitioning
+    (0-cost decision); the layering is unique, so the hardness covers the
+    flexible case. *)
+
+type t
+
+val build : Npc.Graph.t -> t
+val hypergraph : t -> Hypergraph.t
+(** The hyperDAG of the construction's DAG. *)
+
+val embed : t -> int array -> Partition.t
+val extract : t -> Partition.t -> int array
+val is_zero_cost_feasible : t -> Partition.t -> bool

@@ -1,0 +1,148 @@
+(* Theorem E.1: finding the best layering of a DAG (flexible layering) is
+   inapproximable — via a reduction from 3-Partition.
+
+   Construction (k = 2, eps = 0):
+   - a red spine path through layers 0 .. 2t+1, carrying group gadgets:
+     for each integer a_i, a *first-level group* of a_i nodes (no incoming
+     edges) that all precede a *second-level group* of a_i * m nodes
+     (m > t*b), each of which precedes the spine node of layer 2t+1;
+   - a blue control path with b extra nodes in every odd layer 1..2t-1 and
+     m*b extras in every even layer 2..2t.
+
+   With two components and eps = 0, the two spines take different colors in
+   any cost-0 layer-wise-feasible partition, and the gadget nodes must
+   follow the red spine.  Balance then forces the flexible gadget nodes to
+   fill odd layers with exactly b first-level nodes and even layers with
+   exactly m*b second-level nodes — possible iff the integers split into
+   triplets of sum b. *)
+
+type t = {
+  instance : Npc.Three_partition.instance;
+  dag : Hyperdag.Dag.t;
+  hypergraph : Hypergraph.t;
+  m : int;
+  red_spine : int array; (* spine nodes by layer, 0 .. 2t+1 *)
+  blue_spine : int array;
+  blue_extras : int array array; (* per layer *)
+  first_level : int array array; (* per integer i *)
+  second_level : int array array;
+}
+
+let build instance =
+  let numbers = Npc.Three_partition.numbers instance in
+  let b = Npc.Three_partition.target instance in
+  let t = Array.length numbers / 3 in
+  let m = (t * b) + 1 in
+  let num_layers = (2 * t) + 2 in
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let red_spine = Array.init num_layers (fun _ -> fresh ()) in
+  let blue_spine = Array.init num_layers (fun _ -> fresh ()) in
+  let blue_extras =
+    Array.init num_layers (fun l ->
+        if l >= 1 && l <= 2 * t then
+          Array.init (if l mod 2 = 1 then b else m * b) (fun _ -> fresh ())
+        else [||])
+  in
+  let first_level = Array.map (fun a -> Array.init a (fun _ -> fresh ())) numbers in
+  let second_level =
+    Array.map (fun a -> Array.init (a * m) (fun _ -> fresh ())) numbers
+  in
+  let edges = ref [] in
+  for l = 0 to num_layers - 2 do
+    edges := (red_spine.(l), red_spine.(l + 1)) :: !edges;
+    edges := (blue_spine.(l), blue_spine.(l + 1)) :: !edges
+  done;
+  Array.iteri
+    (fun l extras ->
+      Array.iter
+        (fun x ->
+          edges :=
+            (blue_spine.(l - 1), x) :: (x, blue_spine.(l + 1)) :: !edges)
+        extras)
+    blue_extras;
+  Array.iteri
+    (fun i firsts ->
+      Array.iter
+        (fun f ->
+          Array.iter (fun s -> edges := (f, s) :: !edges) second_level.(i))
+        firsts)
+    first_level;
+  Array.iter
+    (Array.iter (fun s ->
+         edges := (s, red_spine.(num_layers - 1)) :: !edges))
+    second_level;
+  let dag = Hyperdag.Dag.of_edges ~n:!next !edges in
+  {
+    instance;
+    dag;
+    hypergraph = Hyperdag.hypergraph_of_dag dag;
+    m;
+    red_spine;
+    blue_spine;
+    blue_extras;
+    first_level;
+    second_level;
+  }
+
+(* Encode a 3-partition solution as (layering, partition). *)
+let embed t triplets =
+  let n = Hyperdag.Dag.num_nodes t.dag in
+  let num_layers = Array.length t.red_spine in
+  let layer = Array.make n (-1) in
+  Array.iteri (fun l v -> layer.(v) <- l) t.red_spine;
+  Array.iteri (fun l v -> layer.(v) <- l) t.blue_spine;
+  Array.iteri
+    (fun l extras -> Array.iter (fun v -> layer.(v) <- l) extras)
+    t.blue_extras;
+  List.iteri
+    (fun j (x, y, z) ->
+      let odd = (2 * j) + 1 and even = (2 * j) + 2 in
+      List.iter
+        (fun i ->
+          Array.iter (fun v -> layer.(v) <- odd) t.first_level.(i);
+          Array.iter (fun v -> layer.(v) <- even) t.second_level.(i))
+        [ x; y; z ])
+    triplets;
+  assert (Array.for_all (fun l -> l >= 0 && l < num_layers) layer);
+  let colors = Array.make n 1 in
+  Array.iteri (fun l v -> ignore l; colors.(v) <- 0) t.blue_spine;
+  Array.iter (Array.iter (fun v -> colors.(v) <- 0)) t.blue_extras;
+  (layer, Partition.create ~k:2 colors)
+
+(* Feasibility of a candidate (layering, partition) pair. *)
+let is_zero_cost_feasible t (layer, part) =
+  Hyperdag.Layering.is_valid t.dag layer
+  && Partition.connectivity_cost t.hypergraph part = 0
+  && Partition.Layerwise.feasible ~eps:0.0
+       (Hyperdag.Layering.groups t.dag layer)
+       part
+
+(* Decode: read the triplets off the odd layers. *)
+let extract t (layer, _part) =
+  let num = Array.length t.first_level in
+  let tcount = num / 3 in
+  let triplet_members = Array.make tcount [] in
+  Array.iteri
+    (fun i firsts ->
+      if Array.length firsts > 0 then begin
+        let l = layer.(firsts.(0)) in
+        if l mod 2 = 1 && l >= 1 && l <= (2 * tcount) - 1 then begin
+          let j = (l - 1) / 2 in
+          triplet_members.(j) <- i :: triplet_members.(j)
+        end
+      end)
+    t.first_level;
+  Array.to_list
+    (Array.map
+       (fun members ->
+         match members with
+         | [ x; y; z ] -> (x, y, z)
+         | _ -> (-1, -1, -1))
+       triplet_members)
+
+let dag t = t.dag

@@ -1,0 +1,12 @@
+(** Theorem E.1: 3-Partition → the flexible-layering problem (cost-0
+    decision over layering choices). *)
+
+type t
+
+val build : Npc.Three_partition.instance -> t
+val dag : t -> Hyperdag.Dag.t
+val embed : t -> (int * int * int) list -> int array * Partition.t
+(** 3-partition solution → (layering, partition). *)
+
+val is_zero_cost_feasible : t -> int array * Partition.t -> bool
+val extract : t -> int array * Partition.t -> (int * int * int) list

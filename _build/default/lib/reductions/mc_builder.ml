@@ -1,0 +1,121 @@
+(* Shared machinery for the multi-constraint reductions (Appendix D).
+
+   Lemma D.2: a balance constraint over a set S plus the right number of
+   fixed red and blue filler nodes enforces "at most h red in S" (or the
+   blue-symmetric "at least h red").  Fixed nodes are supplied by two
+   anchor blocks tied together in one balance constraint (Appendix D.3):
+   in any 0-cost feasible partition each block is monochromatic and the
+   two take different colors; "red" is *defined* as the color of the red
+   anchor block.
+
+   The builder works with k = 2 and eps = 1/2 throughout: for a constraint
+   set V0 of size m, the capacity is floor(3m/4). *)
+
+let eps = 0.5
+
+type bound = At_most_red of int | At_least_red of int
+
+type spec = { subset : int array; bound : bound }
+
+type t = {
+  hypergraph : Hypergraph.t;
+  constraints : Partition.Multi_constraint.t;
+  red_block : int array;
+  blue_block : int array;
+}
+
+(* Filler demand of one constraint: (m, fixed_red, fixed_blue). *)
+let filler_counts spec =
+  let s = Array.length spec.subset in
+  let demand h =
+    (* m > 4h and m > 4(s - h). *)
+    let m = (4 * max h (s - h)) + 4 in
+    let cap = (3 * m) / 4 in
+    (m, cap)
+  in
+  match spec.bound with
+  | At_most_red h ->
+      if h < 0 || h > s then invalid_arg "Mc_builder: bad bound";
+      let m, cap = demand h in
+      let red = cap - h in
+      let blue = m - s - red in
+      (red, blue)
+  | At_least_red h ->
+      if h < 0 || h > s then invalid_arg "Mc_builder: bad bound";
+      (* At most (s - h) blue. *)
+      let m, cap = demand (s - h) in
+      let blue = cap - (s - h) in
+      let red = m - s - blue in
+      (red, blue)
+
+(* Consume the specs, allocate anchor blocks sized to the total filler
+   demand plus two reserved nodes each (Definition 6.1 requires the
+   constraint subsets to be disjoint, so the differ-in-color anchor
+   constraint lives on its own reserved nodes — which still share the
+   block's single hyperedge, hence its color), and emit the hypergraph and
+   constraint system. *)
+let finalize builder specs =
+  let demands = List.map filler_counts specs in
+  let reserved = 2 in
+  let red_total =
+    reserved + List.fold_left (fun acc (r, _) -> acc + r) 0 demands
+  in
+  let blue_total =
+    reserved + List.fold_left (fun acc (_, b) -> acc + b) 0 demands
+  in
+  let red_block = Hypergraph.Builder.add_nodes builder red_total in
+  let blue_block = Hypergraph.Builder.add_nodes builder blue_total in
+  ignore (Hypergraph.Builder.add_edge builder red_block);
+  ignore (Hypergraph.Builder.add_edge builder blue_block);
+  let next_red = ref 0 and next_blue = ref 0 in
+  let take pool next count =
+    let out = Array.sub pool !next count in
+    next := !next + count;
+    out
+  in
+  let subsets =
+    List.map
+      (fun (spec, (r, b)) ->
+        Array.concat
+          [
+            spec.subset;
+            take red_block next_red r;
+            take blue_block next_blue b;
+          ])
+      (List.combine specs demands)
+  in
+  (* The anchor constraint forcing the two blocks to differ in color:
+     2 + 2 reserved nodes, capacity floor(3 * 4 / 4) = 3 < 4, so a
+     monochromatic pair of blocks is infeasible. *)
+  let anchor =
+    Array.append
+      (take red_block next_red reserved)
+      (take blue_block next_blue reserved)
+  in
+  let constraints =
+    Partition.Multi_constraint.create (Array.of_list (anchor :: subsets))
+  in
+  {
+    hypergraph = Hypergraph.Builder.build builder;
+    constraints;
+    red_block;
+    blue_block;
+  }
+
+(* The color playing "red" in a partition: the (majority) color of the red
+   anchor block. *)
+let red_color t part =
+  let red =
+    Support.Util.array_count (fun v -> Partition.color part v = 1) t.red_block
+  in
+  if 2 * red >= Array.length t.red_block then 1 else 0
+
+(* Color the anchor blocks in a partial assignment under construction. *)
+let paint_anchors t colors =
+  Array.iter (fun v -> colors.(v) <- 1) t.red_block;
+  Array.iter (fun v -> colors.(v) <- 0) t.blue_block
+
+let feasible t part =
+  Partition.Multi_constraint.feasible ~eps t.constraints part
+
+let cost t part = Partition.connectivity_cost t.hypergraph part

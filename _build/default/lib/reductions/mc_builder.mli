@@ -1,0 +1,28 @@
+(** Lemma D.2 / Appendix D.3 machinery: balance constraints with fixed-color
+    filler nodes supplied by two anchor blocks (k = 2, ε = 1/2). *)
+
+val eps : float
+
+type bound =
+  | At_most_red of int
+  | At_least_red of int
+
+type spec = { subset : int array; bound : bound }
+
+type t = {
+  hypergraph : Hypergraph.t;
+  constraints : Partition.Multi_constraint.t;
+  red_block : int array;
+  blue_block : int array;
+}
+
+val finalize : Hypergraph.Builder.b -> spec list -> t
+val red_color : t -> Partition.t -> int
+(** The color playing "red": the majority color of the red anchor block. *)
+
+val paint_anchors : t -> int array -> unit
+(** Colors the anchors red = 1, blue = 0 in an assignment under
+    construction. *)
+
+val feasible : t -> Partition.t -> bool
+val cost : t -> Partition.t -> int

@@ -1,0 +1,110 @@
+(* Lemma 6.3: 3-coloring reduces to multi-constraint partitioning with cost
+   0, giving para-NP-hardness and inapproximability to any finite factor
+   once c >= n^delta.
+
+   For every vertex v and color i in [3] there is a gadget of nodes
+   { marker1, marker2 } + { slot(v, e, i) : e incident to v }, tied
+   together by one hyperedge (so a 0-cost partition colors each gadget
+   uniformly; gadget (v, i) being red means "v gets color i").
+   Constraints (via the Lemma D.2 filler machinery in Mc_builder):
+   - per vertex v: at most one red among the marker1(v, i), and at least
+     one red among the marker2(v, i)  (exactly one color per vertex);
+   - per edge (u, v) and color i: at most one red among
+     slot(u, e, i), slot(v, e, i)  (proper coloring). *)
+
+type t = {
+  graph : Npc.Graph.t;
+  builder : Mc_builder.t;
+  gadget_nodes : int array array array;
+      (* gadget_nodes.(v).(i): all node ids of gadget (v, i),
+         marker1 first, marker2 second *)
+}
+
+let colors_count = 3
+
+let build graph =
+  let n = Npc.Graph.num_nodes graph in
+  let b = Hypergraph.Builder.create () in
+  let gadget_nodes =
+    Array.init n (fun v ->
+        Array.init colors_count (fun _ ->
+            let deg = Npc.Graph.degree graph v in
+            let nodes = Hypergraph.Builder.add_nodes b (2 + deg) in
+            ignore (Hypergraph.Builder.add_edge b nodes);
+            nodes))
+  in
+  (* slot (v, e, i): position 2 + (index of e in v's incidence list). *)
+  let slot v e i =
+    let incident = Npc.Graph.incident_edges graph v in
+    let rec index j = function
+      | [] -> invalid_arg "Mc_from_coloring: edge not incident"
+      | e' :: rest -> if e' = e then j else index (j + 1) rest
+    in
+    gadget_nodes.(v).(i).(2 + index 0 incident)
+  in
+  let vertex_specs =
+    List.concat_map
+      (fun v ->
+        [
+          {
+            Mc_builder.subset =
+              Array.init colors_count (fun i -> gadget_nodes.(v).(i).(0));
+            bound = Mc_builder.At_most_red 1;
+          };
+          {
+            Mc_builder.subset =
+              Array.init colors_count (fun i -> gadget_nodes.(v).(i).(1));
+            bound = Mc_builder.At_least_red 1;
+          };
+        ])
+      (List.init n Fun.id)
+  in
+  let edge_specs =
+    List.concat_map
+      (fun e ->
+        let u, v = (Npc.Graph.edges graph).(e) in
+        Support.Util.list_init colors_count (fun i ->
+            {
+              Mc_builder.subset = [| slot u e i; slot v e i |];
+              bound = Mc_builder.At_most_red 1;
+            }))
+      (List.init (Npc.Graph.num_edges graph) Fun.id)
+  in
+  let builder = Mc_builder.finalize b (vertex_specs @ edge_specs) in
+  { graph; builder; gadget_nodes }
+
+let hypergraph t = t.builder.Mc_builder.hypergraph
+let constraints t = t.builder.Mc_builder.constraints
+let num_constraints t =
+  Partition.Multi_constraint.num_constraints (constraints t)
+
+(* Encode a proper 3-coloring as a 0-cost feasible partition. *)
+let embed t coloring =
+  let colors = Array.make (Hypergraph.num_nodes (hypergraph t)) 0 in
+  Mc_builder.paint_anchors t.builder colors;
+  Array.iteri
+    (fun v gadgets ->
+      Array.iteri
+        (fun i nodes ->
+          if coloring.(v) = i then
+            Array.iter (fun x -> colors.(x) <- 1) nodes)
+        gadgets)
+    t.gadget_nodes;
+  Partition.create ~k:2 colors
+
+(* Decode a 0-cost feasible partition into a coloring. *)
+let extract t part =
+  let red = Mc_builder.red_color t.builder part in
+  Array.map
+    (fun gadgets ->
+      let chosen = ref (-1) in
+      Array.iteri
+        (fun i nodes -> if Partition.color part nodes.(0) = red then chosen := i)
+        gadgets;
+      !chosen)
+    t.gadget_nodes
+
+let is_zero_cost_feasible t part =
+  Mc_builder.cost t.builder part = 0 && Mc_builder.feasible t.builder part
+
+let graph t = t.graph

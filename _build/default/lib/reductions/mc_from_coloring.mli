@@ -1,0 +1,19 @@
+(** Lemma 6.3: 3-coloring → multi-constraint partitioning (0-cost decision),
+    hence para-NP-hardness for c ≥ n^δ constraints. *)
+
+type t
+
+val build : Npc.Graph.t -> t
+val hypergraph : t -> Hypergraph.t
+val constraints : t -> Partition.Multi_constraint.t
+val num_constraints : t -> int
+
+val embed : t -> int array -> Partition.t
+(** Proper 3-coloring → 0-cost feasible partition. *)
+
+val extract : t -> Partition.t -> int array
+(** 0-cost feasible partition → coloring (entries in [0, 3)). *)
+
+val is_zero_cost_feasible : t -> Partition.t -> bool
+
+val graph : t -> Npc.Graph.t

@@ -1,0 +1,18 @@
+(** Theorem 6.4: Orthogonal Vectors → multi-constraint partitioning with
+    c = D + O(1) constraints (SETH subquadratic hardness). *)
+
+type t
+
+val build : Npc.Ovp.instance -> t
+val hypergraph : t -> Hypergraph.t
+val constraints : t -> Partition.Multi_constraint.t
+val num_constraints : t -> int
+
+val embed : t -> int * int -> Partition.t
+(** Orthogonal pair → 0-cost feasible partition. *)
+
+val extract : t -> Partition.t -> (int * int) option
+val is_zero_cost_feasible : t -> Partition.t -> bool
+
+val zero_cost_solution_exists : t -> (int * int) option
+(** Exhaustive validation helper (tiny m only). *)

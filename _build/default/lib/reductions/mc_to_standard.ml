@@ -1,0 +1,133 @@
+(* Lemma D.1 (first half of Lemma 6.2): with c = O(1) constraints, the
+   multi-constraint k-section problem reduces to the standard k-section
+   problem.
+
+   Every node of constraint class V_i is replaced by a block of size m_i,
+   with m_i growing geometrically (m_i = n0 * m_{i-1}), so that a single
+   global balance constraint forces each class to be balanced separately:
+   by downward induction, everything outside class i weighs less than one
+   class-i block.  Nodes in no class get (k-1) isolated companions so they
+   can take any color.
+
+   m_1 is additionally raised above the worst reasonable cut cost
+   (k-1) * total-edge-weight, so splitting any block is suboptimal — the
+   small-block role the paper covers with the denser Appendix D.1 gadget
+   when |E| is super-linear. *)
+
+type t = {
+  original : Hypergraph.t;
+  constraints : Partition.Multi_constraint.t;
+  k : int;
+  transformed : Hypergraph.t;
+  block_of_node : int array array; (* original node -> its block (or [|v'|]) *)
+  class_of_node : int array; (* -1 for free nodes *)
+  free_nodes : int array; (* original ids *)
+  isolated : int array; (* transformed ids of the isolated companions *)
+}
+
+let build hg constraints ~k =
+  let n = Hypergraph.num_nodes hg in
+  let subsets = Partition.Multi_constraint.subsets constraints in
+  let c = Array.length subsets in
+  let class_of_node = Array.make n (-1) in
+  Array.iteri
+    (fun i subset ->
+      Array.iter
+        (fun v ->
+          if Array.length subset mod k <> 0 then
+            invalid_arg "Mc_to_standard.build: |V_i| must be divisible by k";
+          class_of_node.(v) <- i)
+        subset)
+    subsets;
+  let free_nodes =
+    Array.of_list
+      (List.filter (fun v -> class_of_node.(v) < 0) (List.init n Fun.id))
+  in
+  let n0 = n + ((k - 1) * Array.length free_nodes) in
+  (* Block sizes: m_1 dominates any reasonable cut, m_i = n0 * m_{i-1}. *)
+  let m1 =
+    max n0 (((k - 1) * Hypergraph.total_edge_weight hg) + 2)
+  in
+  let m = Array.make (c + 1) 0 in
+  if c > 0 then m.(1) <- max 2 m1;
+  for i = 2 to c do
+    m.(i) <- n0 * m.(i - 1)
+  done;
+  let b = Hypergraph.Builder.create () in
+  let block_of_node =
+    Array.init n (fun v ->
+        let cls = class_of_node.(v) in
+        if cls < 0 then [| Hypergraph.Builder.add_node b |]
+        else Hypergraph.Gadgets.block b ~size:m.(cls + 1))
+  in
+  (* Original hyperedges, rerouted through one representative per block. *)
+  for e = 0 to Hypergraph.num_edges hg - 1 do
+    let pins =
+      Array.map (fun v -> block_of_node.(v).(0)) (Hypergraph.edge_pins hg e)
+    in
+    ignore
+      (Hypergraph.Builder.add_edge ~weight:(Hypergraph.edge_weight hg e) b pins)
+  done;
+  let isolated =
+    Hypergraph.Builder.add_nodes b ((k - 1) * Array.length free_nodes)
+  in
+  let transformed = Hypergraph.Builder.build b in
+  {
+    original = hg;
+    constraints;
+    k;
+    transformed;
+    block_of_node;
+    class_of_node;
+    free_nodes;
+    isolated;
+  }
+
+let transformed t = t.transformed
+
+(* Map a k-section of the transformed hypergraph back: each original node
+   takes the (majority) color of its block. *)
+let restrict t section =
+  let colors =
+    Array.map
+      (fun block ->
+        let counts = Array.make t.k 0 in
+        Array.iter
+          (fun v ->
+            counts.(Partition.color section v) <-
+              counts.(Partition.color section v) + 1)
+          block;
+        let best = ref 0 in
+        for cc = 1 to t.k - 1 do
+          if counts.(cc) > counts.(!best) then best := cc
+        done;
+        !best)
+      t.block_of_node
+  in
+  Partition.create ~k:t.k colors
+
+(* Map a feasible multi-constraint k-section forward: blocks take their
+   node's color, isolated companions top every color up to n' / k. *)
+let extend t part =
+  let n' = Hypergraph.num_nodes t.transformed in
+  let colors = Array.make n' 0 in
+  Array.iteri
+    (fun v block ->
+      Array.iter (fun x -> colors.(x) <- Partition.color part v) block)
+    t.block_of_node;
+  (* Free-node colors among the original nodes. *)
+  let free_counts = Array.make t.k 0 in
+  Array.iter
+    (fun v ->
+      free_counts.(Partition.color part v) <-
+        free_counts.(Partition.color part v) + 1)
+    t.free_nodes;
+  let total_free = Array.length t.free_nodes in
+  let next = ref 0 in
+  for color = 0 to t.k - 1 do
+    for _ = 1 to total_free - free_counts.(color) do
+      colors.(t.isolated.(!next)) <- color;
+      incr next
+    done
+  done;
+  Partition.create ~k:t.k colors

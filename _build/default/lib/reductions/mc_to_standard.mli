@@ -1,0 +1,16 @@
+(** Lemma D.1 (Lemma 6.2, first half): multi-constraint k-section reduces
+    to standard k-section via geometric block sizes. *)
+
+type t
+
+val build : Hypergraph.t -> Partition.Multi_constraint.t -> k:int -> t
+(** Requires every class size divisible by [k] (the paper's relaxed
+    rounding is not applied). *)
+
+val transformed : t -> Hypergraph.t
+
+val restrict : t -> Partition.t -> Partition.t
+(** Transformed k-section → multi-constraint k-section, same cost. *)
+
+val extend : t -> Partition.t -> Partition.t
+(** Feasible multi-constraint k-section → transformed k-section. *)

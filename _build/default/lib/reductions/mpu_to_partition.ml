@@ -1,0 +1,104 @@
+(* Appendix C.5: the Lemma C.1 reduction extends verbatim from SpES to
+   Minimum p-Union — the source problem of the stronger inapproximability
+   factors of Corollary 4.2 (Gap-ETH, one-way functions, Hypergraph Dense
+   vs Random).
+
+   Structure is as in Spes_to_partition, with a block B_e per *hyperedge*
+   of the MpU instance and a main hyperedge per *node* v containing b_v
+   and a node from each incident block; a block may now have up to n
+   incident main hyperedges. *)
+
+type t = {
+  instance : Hypergraph.t; (* the MpU hypergraph *)
+  p : int;
+  eps : float;
+  hypergraph : Hypergraph.t;
+  m : int;
+  blocks : int array array;
+  vertex_nodes : int array;
+  a_nodes : int array;
+  a'_nodes : int array;
+  capacity : int;
+}
+
+let rec find_sizes ~eps ~s ~p ~m n' =
+  let cap = Partition.capacity ~eps ~total_weight:n' ~k:2 () in
+  let red_min = n' - cap in
+  let a' = red_min - (p * m) in
+  let a = cap - s + (p * m) in
+  if 2 * cap >= n' && red_min > s && a' >= 2 && a >= 2 then (n', cap, a, a')
+  else find_sizes ~eps ~s ~p ~m (n' + 1)
+
+let build ?(eps = 0.0) instance ~p =
+  let n = Hypergraph.num_nodes instance in
+  let num_edges = Hypergraph.num_edges instance in
+  if p < 1 || p > num_edges then invalid_arg "Mpu_to_partition.build: bad p";
+  let m = n + 1 in
+  let s = (num_edges * m) + n in
+  let n', cap, a_size, a'_size = find_sizes ~eps ~s ~p ~m (2 * s) in
+  ignore n';
+  let b = Hypergraph.Builder.create () in
+  let blocks =
+    Array.init num_edges (fun _ -> Hypergraph.Gadgets.block b ~size:m)
+  in
+  let vertex_nodes = Hypergraph.Builder.add_nodes b n in
+  let a_nodes = Hypergraph.Gadgets.block b ~size:a_size in
+  let a'_nodes = Hypergraph.Gadgets.block b ~size:a'_size in
+  for v = 0 to n - 1 do
+    let incident = Hypergraph.incident_edges instance v in
+    let pins =
+      Array.append
+        [| vertex_nodes.(v) |]
+        (Array.map (fun e -> blocks.(e).(0)) incident)
+    in
+    ignore (Hypergraph.Builder.add_edge b pins);
+    for j = 0 to m - 1 do
+      ignore
+        (Hypergraph.Builder.add_edge b
+           [| a_nodes.(j mod a_size); vertex_nodes.(v) |])
+    done
+  done;
+  {
+    instance;
+    p;
+    eps;
+    hypergraph = Hypergraph.Builder.build b;
+    m;
+    blocks;
+    vertex_nodes;
+    a_nodes;
+    a'_nodes;
+    capacity = cap;
+  }
+
+let hypergraph t = t.hypergraph
+
+(* Encode an MpU edge selection; cost = |union of the selected edges|. *)
+let embed t chosen_edges =
+  if Array.length chosen_edges <> t.p then
+    invalid_arg "Mpu_to_partition.embed: need exactly p edges";
+  let colors = Array.make (Hypergraph.num_nodes t.hypergraph) 0 in
+  Array.iter (fun v -> colors.(v) <- 1) t.a'_nodes;
+  Array.iter
+    (fun e -> Array.iter (fun v -> colors.(v) <- 1) t.blocks.(e))
+    chosen_edges;
+  Partition.create ~k:2 colors
+
+let extract t part =
+  let majority nodes =
+    let red =
+      Support.Util.array_count (fun v -> Partition.color part v = 1) nodes
+    in
+    if 2 * red >= Array.length nodes then 1 else 0
+  in
+  let red = majority t.a'_nodes in
+  let score e =
+    Support.Util.array_count
+      (fun v -> Partition.color part v = red)
+      t.blocks.(e)
+  in
+  let order = Array.init (Array.length t.blocks) Fun.id in
+  Array.sort (fun x y -> compare (score y) (score x)) order;
+  Array.sub order 0 t.p
+
+let union_size t chosen_edges = Npc.Mpu.union_size t.instance chosen_edges

@@ -1,0 +1,12 @@
+(** Appendix C.5: the main reduction extended from SpES to Minimum p-Union
+    (the route to the stronger factors of Corollary 4.2). *)
+
+type t
+
+val build : ?eps:float -> Hypergraph.t -> p:int -> t
+val hypergraph : t -> Hypergraph.t
+val embed : t -> int array -> Partition.t
+(** p MpU hyperedges → balanced partition of cost |union|. *)
+
+val extract : t -> Partition.t -> int array
+val union_size : t -> int array -> int

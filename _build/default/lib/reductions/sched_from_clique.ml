@@ -1,0 +1,120 @@
+(* Theorem 5.5 (bounded-height DAGs): computing mu_p is NP-hard for k = 2
+   even at constant height — via the clique problem.
+
+   Given a graph G(V, E) and clique size L:
+   - a processor-0 node per vertex and a processor-1 node per edge, with
+     DAG edges vertex -> incident edge (height 2);
+   - a rigid 4-layer component C (complete bipartite between consecutive
+     layers) whose one-node-per-step execution sequence is forced:
+     L nodes on processor 1, then C(L,2) on processor 0, then |V| - L on
+     processor 1, then |E| - C(L,2) on processor 0.
+
+   mu_p = |V| + |E| (no idle step) iff G has a clique of size L: during
+   C's first L steps the other processor must run L vertices, and the next
+   C(L,2) steps need that many edge nodes already released — exactly the
+   edges induced by the L vertices. *)
+
+type t = {
+  graph : Npc.Graph.t;
+  l : int;
+  dag : Hyperdag.Dag.t;
+  assignment : int array;
+  vertex_nodes : int array;
+  edge_nodes : int array;
+  target : int;
+}
+
+let build graph ~l =
+  let nv = Npc.Graph.num_nodes graph and ne = Npc.Graph.num_edges graph in
+  let needed_edges = Support.Util.choose l 2 in
+  if l < 2 || l > nv || needed_edges > ne then
+    invalid_arg "Sched_from_clique.build: bad clique size";
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let vertex_nodes = Array.init nv (fun _ -> fresh ()) in
+  let edge_nodes = Array.init ne (fun _ -> fresh ()) in
+  let layer_sizes = [| l; needed_edges; nv - l; ne - needed_edges |] in
+  let layer_procs = [| 1; 0; 1; 0 |] in
+  let c_layers =
+    Array.map (fun size -> Array.init size (fun _ -> fresh ())) layer_sizes
+  in
+  let edges = ref [] in
+  Array.iteri
+    (fun e (u, v) ->
+      edges := (vertex_nodes.(u), edge_nodes.(e)) :: !edges;
+      edges := (vertex_nodes.(v), edge_nodes.(e)) :: !edges)
+    (Npc.Graph.edges graph);
+  for layer = 0 to 2 do
+    Array.iter
+      (fun a ->
+        Array.iter (fun b -> edges := (a, b) :: !edges) c_layers.(layer + 1))
+      c_layers.(layer)
+  done;
+  let dag = Hyperdag.Dag.of_edges ~n:!next !edges in
+  let assignment = Array.make !next 0 in
+  Array.iter (fun v -> assignment.(v) <- 0) vertex_nodes;
+  Array.iter (fun v -> assignment.(v) <- 1) edge_nodes;
+  Array.iteri
+    (fun layer nodes ->
+      Array.iter (fun v -> assignment.(v) <- layer_procs.(layer)) nodes)
+    c_layers;
+  { graph; l; dag; assignment; vertex_nodes; edge_nodes; target = nv + ne }
+
+(* Exact decision via the mu_p dynamic program (small instances). *)
+let perfect_schedule_exists t =
+  Scheduling.Mu.exact_makespan_fixed t.dag t.assignment ~k:2 = t.target
+
+(* Encode a clique as a perfect schedule. *)
+let embed t clique =
+  if Array.length clique <> t.l then
+    invalid_arg "Sched_from_clique.embed: wrong clique size";
+  let nv = Npc.Graph.num_nodes t.graph and ne = Npc.Graph.num_edges t.graph in
+  let needed_edges = Support.Util.choose t.l 2 in
+  let n = Hyperdag.Dag.num_nodes t.dag in
+  let time = Array.make n 0 in
+  let in_clique = Array.make nv false in
+  Array.iter (fun v -> in_clique.(v) <- true) clique;
+  (* Vertices: clique first, others during C's third phase. *)
+  let clock = ref 1 in
+  Array.iter
+    (fun v ->
+      time.(t.vertex_nodes.(v)) <- !clock;
+      incr clock)
+    clique;
+  (* Induced clique edges during phase 2, remaining edges in phase 4. *)
+  let phase2 = ref (t.l + 1) in
+  let phase4 = ref (t.l + needed_edges + (nv - t.l) + 1) in
+  Array.iteri
+    (fun e (u, v) ->
+      if in_clique.(u) && in_clique.(v) then begin
+        time.(t.edge_nodes.(e)) <- !phase2;
+        incr phase2
+      end
+      else begin
+        time.(t.edge_nodes.(e)) <- !phase4;
+        incr phase4
+      end)
+    (Npc.Graph.edges t.graph);
+  (* Remaining vertices in phase 3. *)
+  let phase3 = ref (t.l + needed_edges + 1) in
+  for v = 0 to nv - 1 do
+    if not in_clique.(v) then begin
+      time.(t.vertex_nodes.(v)) <- !phase3;
+      incr phase3
+    end
+  done;
+  (* The component C runs one node per step, layer by layer; its DAG node
+     ids are everything after vertices and edges, already in layer order. *)
+  let c_start = nv + ne in
+  for i = c_start to n - 1 do
+    time.(i) <- i - c_start + 1
+  done;
+  Scheduling.Schedule.create ~proc:(Array.copy t.assignment) ~time
+
+let dag t = t.dag
+let assignment t = t.assignment
+let target t = t.target

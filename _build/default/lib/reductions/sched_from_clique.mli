@@ -1,0 +1,15 @@
+(** Theorem 5.5 (bounded-height DAGs): μ_p is NP-hard for k = 2 at height
+    4 — via the clique problem. *)
+
+type t
+
+val build : Npc.Graph.t -> l:int -> t
+val dag : t -> Hyperdag.Dag.t
+val assignment : t -> int array
+val target : t -> int
+
+val perfect_schedule_exists : t -> bool
+(** μ_p = |V| + |E|?  (Exact DP; small instances.) *)
+
+val embed : t -> int array -> Scheduling.Schedule.t
+(** Clique of size L → perfect schedule. *)

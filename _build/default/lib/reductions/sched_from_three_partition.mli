@@ -1,0 +1,16 @@
+(** Theorem 5.5 (chain graphs / out-trees / level-order DAGs): μ_p is
+    NP-hard for k = 2 — via 3-Partition. *)
+
+type t
+
+val build : ?rooted:bool -> Npc.Three_partition.instance -> t
+val dag : t -> Hyperdag.Dag.t
+val assignment : t -> int array
+val target : t -> int
+(** n/2: the zero-idle makespan. *)
+
+val perfect_schedule_exists : t -> bool
+(** μ_p = target?  (Unrooted instances.) *)
+
+val embed : t -> (int * int * int) list -> Scheduling.Schedule.t
+(** 3-partition solution → explicit perfect schedule (unrooted). *)

@@ -1,0 +1,176 @@
+(* The Delta = 2 form of the main reduction (Lemma C.6) and its hyperDAG
+   conversion (Appendix C.3), for k = 2.
+
+   Block gadgets are replaced by grid gadgets (Definition C.2):
+   - each graph edge e gets an extended grid B_e of side l = 2n with two
+     outsider nodes, one per endpoint of e;
+   - A becomes an extended grid with one outsider b_v per vertex v (the
+     outsider doubles as the vertex node, so its degree stays 2: its row
+     hyperedge plus the main hyperedge);
+   - A' is a grid, padded with extra outsiders to hit the exact size the
+     balance computation requires;
+   - the main hyperedge of vertex v contains b_v and the outsiders
+     representing v in the incident edge grids.
+
+   Every node has degree at most 2.  With [hyperdag = true], one more
+   degree-1 outsider is appended to A and A', which makes the whole
+   construction a hyperDAG (Appendix C.3) — verified by the linear-time
+   recognizer rather than by an explicit generator assignment. *)
+
+type t = {
+  graph : Npc.Graph.t;
+  p : int;
+  eps : float;
+  hypergraph : Hypergraph.t;
+  ell : int; (* side of the edge grids *)
+  edge_grids : Hypergraph.Gadgets.grid array;
+  a_grid : Hypergraph.Gadgets.grid;
+  a'_grid : Hypergraph.Gadgets.grid;
+  vertex_nodes : int array; (* b_v: outsiders of A *)
+  main_edges : int array;
+  capacity : int;
+}
+
+(* Decompose [target] as side^2 + outsiders with outsiders <= 2 * side;
+   possible for every target >= 4. *)
+let grid_shape target =
+  if target < 4 then invalid_arg "Spes_delta2.grid_shape: target < 4";
+  let side = int_of_float (sqrt (float_of_int target)) in
+  let side = if side * side > target then side - 1 else side in
+  let side = max 2 side in
+  let outsiders = target - (side * side) in
+  assert (outsiders >= 0 && outsiders <= 2 * side);
+  (side, outsiders)
+
+(* Pick n' so that the blue capacity exactly fits A plus (|E| - p) edge
+   grids plus the n vertex outsiders, with both anchor sizes >= 4.  When
+   [need_pad] (the hyperDAG conversion), both anchor grids must also have
+   at least one padding outsider, which is the required degree-1 node of
+   Appendix C.3. *)
+let rec find_sizes ~eps ~s ~p ~m ~need_pad n' =
+  let cap = Partition.capacity ~eps ~total_weight:n' ~k:2 () in
+  let red_min = n' - cap in
+  let a'_size = red_min - (p * m) in
+  let a_size = cap - s + (p * m) in
+  let pad_ok size =
+    (not need_pad) || size - Support.Util.pow (int_of_float (sqrt (float_of_int size))) 2 >= 1
+  in
+  if
+    2 * cap >= n' && red_min > s && a'_size >= 5 && a_size >= 5
+    && pad_ok a_size && pad_ok a'_size
+  then (n', cap, a_size, a'_size)
+  else find_sizes ~eps ~s ~p ~m ~need_pad (n' + 1)
+
+let build ?(eps = 0.0) ?(hyperdag = false) graph ~p =
+  let n = Npc.Graph.num_nodes graph in
+  let num_edges = Npc.Graph.num_edges graph in
+  if p < 1 || p > num_edges then invalid_arg "Spes_delta2.build: bad p";
+  let ell = 2 * n in
+  (* Size of one edge grid: l^2 cells + 2 outsiders. *)
+  let m = (ell * ell) + 2 in
+  (* s counts everything except A and A': edge grids + the n vertex
+     outsiders (the b_v belong to A's gadget but we account for them
+     separately, as the paper does). *)
+  let s = (num_edges * m) + n in
+  let n', cap, a_size, a'_size =
+    find_sizes ~eps ~s ~p ~m ~need_pad:hyperdag (2 * s)
+  in
+  ignore n';
+  (* A's gadget: a_size nodes (cells + padding outsiders) plus the n vertex
+     outsiders; when [hyperdag], the padding outsiders double as the
+     degree-1 nodes of the Appendix C.3 conversion. *)
+  let b = Hypergraph.Builder.create () in
+  let edge_grids =
+    Array.init num_edges (fun _ ->
+        Hypergraph.Gadgets.grid ~outsiders:2 b ~side:ell)
+  in
+  let a_side, a_pad = grid_shape a_size in
+  if a_pad + n > 2 * a_side then
+    invalid_arg "Spes_delta2.build: graph too large for the A grid";
+  let a_grid =
+    Hypergraph.Gadgets.grid ~outsiders:(a_pad + n) b ~side:a_side
+  in
+  let a'_side, a'_pad = grid_shape a'_size in
+  let a'_grid = Hypergraph.Gadgets.grid ~outsiders:a'_pad b ~side:a'_side in
+  (* The vertex nodes b_v are the outsiders of A after the padding ones. *)
+  let vertex_nodes =
+    Array.init n (fun v -> a_grid.Hypergraph.Gadgets.outsiders.(a_pad + v))
+  in
+  (* Main hyperedges: b_v plus the outsider representing v in each
+     incident edge grid. *)
+  let endpoint_slot = Hashtbl.create (2 * num_edges) in
+  Array.iteri
+    (fun e (u, v) ->
+      Hashtbl.add endpoint_slot (e, u) 0;
+      Hashtbl.add endpoint_slot (e, v) 1)
+    (Npc.Graph.edges graph);
+  let main_edges =
+    Array.init n (fun v ->
+        let incident = Npc.Graph.incident_edges graph v in
+        let pins =
+          vertex_nodes.(v)
+          :: List.map
+               (fun e ->
+                 let slot = Hashtbl.find endpoint_slot (e, v) in
+                 edge_grids.(e).Hypergraph.Gadgets.outsiders.(slot))
+               incident
+        in
+        Hypergraph.Builder.add_edge b (Array.of_list pins))
+  in
+  let hypergraph = Hypergraph.Builder.build b in
+  {
+    graph;
+    p;
+    eps;
+    hypergraph;
+    ell;
+    edge_grids;
+    a_grid;
+    a'_grid;
+    vertex_nodes;
+    main_edges;
+    capacity = cap;
+  }
+
+(* Encode an SpES edge selection: chosen edge grids and A' red, the rest
+   blue.  The partition is balanced by the size computation and its cost is
+   (number of covered vertices). *)
+let embed t chosen_edges =
+  if Array.length chosen_edges <> t.p then
+    invalid_arg "Spes_delta2.embed: need exactly p edges";
+  let n' = Hypergraph.num_nodes t.hypergraph in
+  let colors = Array.make n' 0 in
+  Array.iter
+    (fun v -> colors.(v) <- 1)
+    (Hypergraph.Gadgets.grid_nodes t.a'_grid);
+  Array.iter
+    (fun e ->
+      Array.iter
+        (fun v -> colors.(v) <- 1)
+        (Hypergraph.Gadgets.grid_nodes t.edge_grids.(e)))
+    chosen_edges;
+  Partition.create ~k:2 colors
+
+(* Decode: red = majority color of A' cells; take the p reddest edge
+   grids. *)
+let extract t part =
+  let majority grid =
+    let nodes = Hypergraph.Gadgets.grid_nodes grid in
+    let red =
+      Support.Util.array_count (fun v -> Partition.color part v = 1) nodes
+    in
+    if 2 * red >= Array.length nodes then 1 else 0
+  in
+  let red = majority t.a'_grid in
+  let score e =
+    let nodes = Hypergraph.Gadgets.grid_nodes t.edge_grids.(e) in
+    Support.Util.array_count (fun v -> Partition.color part v = red) nodes
+  in
+  let order = Array.init (Array.length t.edge_grids) Fun.id in
+  Array.sort (fun x y -> compare (score y) (score x)) order;
+  Array.sub order 0 t.p
+
+let hypergraph t = t.hypergraph
+let capacity t = t.capacity
+let vertex_nodes t = t.vertex_nodes
+let main_edges t = t.main_edges

@@ -1,0 +1,13 @@
+(** The Δ = 2 form of the main reduction (Lemma C.6) with grid gadgets,
+    and its hyperDAG conversion (Appendix C.3) via [~hyperdag:true]. *)
+
+type t
+
+val build : ?eps:float -> ?hyperdag:bool -> Npc.Graph.t -> p:int -> t
+val hypergraph : t -> Hypergraph.t
+val capacity : t -> int
+val vertex_nodes : t -> int array
+val main_edges : t -> int array
+
+val embed : t -> int array -> Partition.t
+val extract : t -> Partition.t -> int array

@@ -1,0 +1,147 @@
+(* Appendix C.4: the main reduction generalized to k >= 3 colors.
+
+   As in Lemma C.1, with blue capacity exactly |A| + (|E| - p) m + n; the
+   remaining nodes are split into k0 - 1 equal components of size
+   T0 = (n' - cap) / (k0 - 1), where k0 = ceil(k / (1 + eps)) is the
+   minimum number of parts that can cover the hypergraph: the component
+   holding A' and the p red edge blocks, plus k0 - 2 extra filler blocks,
+   one per additional color.  The remaining k - k0 colors stay empty. *)
+
+type t = {
+  graph : Npc.Graph.t;
+  p : int;
+  k : int;
+  eps : float;
+  hypergraph : Hypergraph.t;
+  m : int;
+  blocks : int array array;
+  vertex_nodes : int array;
+  a_nodes : int array;
+  a'_nodes : int array;
+  extra_blocks : int array array;
+  capacity : int;
+}
+
+(* Search n' such that all component sizes are integral and large enough. *)
+let rec find_sizes ~eps ~k ~k0 ~s ~p ~m n' =
+  let cap = Partition.capacity ~eps ~total_weight:n' ~k () in
+  let rest = n' - cap in
+  if rest mod (k0 - 1) <> 0 then find_sizes ~eps ~k ~k0 ~s ~p ~m (n' + 1)
+  else begin
+    let t0 = rest / (k0 - 1) in
+    let a' = t0 - (p * m) in
+    (* Blue holds A, the unchosen blocks and the vertex nodes:
+       a + (s - p m) = cap. *)
+    let a = cap - s + (p * m) in
+    if t0 <= cap && t0 > s && a' >= 2 && a >= 2 then (n', cap, a, a', t0)
+    else find_sizes ~eps ~k ~k0 ~s ~p ~m (n' + 1)
+  end
+
+let build ?(eps = 0.0) graph ~k ~p =
+  if k < 3 then invalid_arg "Spes_k3.build: use Spes_to_partition for k = 2";
+  (* k0 = ceil(k / (1 + eps)): the fewest parts that can cover V. *)
+  let k0 =
+    max 2 (int_of_float (ceil ((float_of_int k /. (1.0 +. eps)) -. 1e-9)))
+  in
+  let n = Npc.Graph.num_nodes graph in
+  let num_edges = Npc.Graph.num_edges graph in
+  if p < 1 || p > num_edges then invalid_arg "Spes_k3.build: bad p";
+  let m = n + 1 in
+  let s = (num_edges * m) + n in
+  if k0 = 2 then
+    invalid_arg "Spes_k3.build: with 2(1+eps) > k the k = 2 construction applies";
+  let n', cap, a_size, a'_size, t0 =
+    find_sizes ~eps ~k ~k0 ~s ~p ~m (2 * s)
+  in
+  ignore n';
+  let b = Hypergraph.Builder.create () in
+  let blocks =
+    Array.init num_edges (fun _ -> Hypergraph.Gadgets.block b ~size:m)
+  in
+  let vertex_nodes = Hypergraph.Builder.add_nodes b n in
+  let a_nodes = Hypergraph.Gadgets.block b ~size:a_size in
+  let a'_nodes = Hypergraph.Gadgets.block b ~size:a'_size in
+  let extra_blocks =
+    Array.init (k0 - 2) (fun _ -> Hypergraph.Gadgets.block b ~size:t0)
+  in
+  Array.iteri
+    (fun v _ ->
+      let incident = Npc.Graph.incident_edges graph v in
+      let pins =
+        Array.of_list
+          (vertex_nodes.(v) :: List.map (fun e -> blocks.(e).(0)) incident)
+      in
+      ignore (Hypergraph.Builder.add_edge b pins);
+      for j = 0 to m - 1 do
+        ignore
+          (Hypergraph.Builder.add_edge b
+             [| a_nodes.(j mod a_size); vertex_nodes.(v) |])
+      done)
+    vertex_nodes;
+  {
+    graph;
+    p;
+    k;
+    eps;
+    hypergraph = Hypergraph.Builder.build b;
+    m;
+    blocks;
+    vertex_nodes;
+    a_nodes;
+    a'_nodes;
+    extra_blocks;
+    capacity = cap;
+  }
+
+let hypergraph t = t.hypergraph
+let capacity t = t.capacity
+
+(* Encode a p-edge selection: blue (0) for A, unchosen blocks and vertex
+   nodes; red (1) for A' and the chosen blocks; color 2+i for the i-th
+   extra block; colors beyond k0 - 1 stay empty. *)
+let embed t chosen_edges =
+  if Array.length chosen_edges <> t.p then
+    invalid_arg "Spes_k3.embed: need exactly p edges";
+  let colors = Array.make (Hypergraph.num_nodes t.hypergraph) 0 in
+  Array.iter (fun v -> colors.(v) <- 1) t.a'_nodes;
+  Array.iter
+    (fun e -> Array.iter (fun v -> colors.(v) <- 1) t.blocks.(e))
+    chosen_edges;
+  Array.iteri
+    (fun i block -> Array.iter (fun v -> colors.(v) <- 2 + i) block)
+    t.extra_blocks;
+  Partition.create ~k:t.k colors
+
+let extract t part =
+  (* Red := the majority color of A'. *)
+  let majority nodes =
+    let counts = Array.make t.k 0 in
+    Array.iter
+      (fun v ->
+        counts.(Partition.color part v) <- counts.(Partition.color part v) + 1)
+      nodes;
+    let best = ref 0 in
+    for c = 1 to t.k - 1 do
+      if counts.(c) > counts.(!best) then best := c
+    done;
+    !best
+  in
+  let red = majority t.a'_nodes in
+  let score e =
+    Support.Util.array_count
+      (fun v -> Partition.color part v = red)
+      t.blocks.(e)
+  in
+  let order = Array.init (Array.length t.blocks) Fun.id in
+  Array.sort (fun x y -> compare (score y) (score x)) order;
+  Array.sub order 0 t.p
+
+let covered_vertices t chosen_edges =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      let u, v = (Npc.Graph.edges t.graph).(e) in
+      Hashtbl.replace seen u ();
+      Hashtbl.replace seen v ())
+    chosen_edges;
+  Hashtbl.length seen

@@ -1,0 +1,11 @@
+(** Appendix C.4: the Theorem 4.1 reduction generalized to k ≥ 3 colors
+    (extra filler components, one per color up to k₀ = ⌈k/(1+ε)⌉). *)
+
+type t
+
+val build : ?eps:float -> Npc.Graph.t -> k:int -> p:int -> t
+val hypergraph : t -> Hypergraph.t
+val capacity : t -> int
+val embed : t -> int array -> Partition.t
+val extract : t -> Partition.t -> int array
+val covered_vertices : t -> int array -> int

@@ -1,0 +1,142 @@
+(* The main reduction (Theorem 4.1 / Lemma C.1), general-hypergraph form
+   with block gadgets, for k = 2.
+
+   Given an SpES instance (G(V, E), p) and a balance parameter eps, the
+   construction has:
+   - a block B_e of size m = n + 1 for every edge e of G (cost of splitting
+     a block exceeds any reasonable cut);
+   - a node b_v for every vertex v of G;
+   - one *main hyperedge* per vertex v: { b_v } + one node from each B_e
+     with e incident to v;
+   - m parallel hyperedges { a, b_v } tying every b_v to the blue block A;
+   - anchor blocks A (blue) and A' (red), sized so that (1) A and A' cannot
+     share a color within the balance capacity, and (2) exactly p of the
+     edge blocks must join the red side.
+
+   Then the optimal partition cost equals the SpES optimum: the cut main
+   hyperedges are exactly the vertices covered by the p red edge blocks. *)
+
+type t = {
+  graph : Npc.Graph.t;
+  p : int;
+  eps : float;
+  hypergraph : Hypergraph.t;
+  m : int; (* edge-block size *)
+  blocks : int array array; (* per graph edge: node ids of B_e *)
+  vertex_nodes : int array; (* b_v *)
+  a_nodes : int array;
+  a'_nodes : int array;
+  main_edges : int array; (* hyperedge id of each vertex's main hyperedge *)
+  capacity : int;
+}
+
+(* Find the total size n' such that with cap = capacity(n'), the red side
+   minimum n' - cap equals |A'| + p * m for a valid |A'| >= 2, and
+   n' - cap > s (so A and A' must differ). *)
+let rec find_sizes ~eps ~s ~p ~m n' =
+  let cap = Partition.capacity ~eps ~total_weight:n' ~k:2 () in
+  let red_min = n' - cap in
+  let a' = red_min - (p * m) in
+  (* a = n' - s - a' = cap - s + p * m *)
+  let a = cap - s + (p * m) in
+  if 2 * cap >= n' && red_min > s && a' >= 2 && a >= 2 then (n', cap, a, a')
+  else find_sizes ~eps ~s ~p ~m (n' + 1)
+
+let build ?(eps = 0.0) graph ~p =
+  let n = Npc.Graph.num_nodes graph in
+  let num_edges = Npc.Graph.num_edges graph in
+  if p < 1 || p > num_edges then invalid_arg "Spes_to_partition.build: bad p";
+  let m = n + 1 in
+  let s = (num_edges * m) + n in
+  let n', cap, a_size, a'_size = find_sizes ~eps ~s ~p ~m (2 * s) in
+  ignore n';
+  let b = Hypergraph.Builder.create () in
+  let blocks =
+    Array.init num_edges (fun _ -> Hypergraph.Gadgets.block b ~size:m)
+  in
+  let vertex_nodes = Hypergraph.Builder.add_nodes b n in
+  let a_nodes = Hypergraph.Gadgets.block b ~size:a_size in
+  let a'_nodes = Hypergraph.Gadgets.block b ~size:a'_size in
+  (* Main hyperedges. *)
+  let main_edges =
+    Array.init n (fun v ->
+        let incident = Npc.Graph.incident_edges graph v in
+        let pins =
+          Array.of_list
+            (vertex_nodes.(v) :: List.map (fun e -> blocks.(e).(0)) incident)
+        in
+        Hypergraph.Builder.add_edge b pins)
+  in
+  (* m parallel edges pinning each b_v to A. *)
+  for v = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      ignore
+        (Hypergraph.Builder.add_edge b
+           [| a_nodes.(j mod a_size); vertex_nodes.(v) |])
+    done
+  done;
+  let hypergraph = Hypergraph.Builder.build b in
+  assert (Hypergraph.num_nodes hypergraph = s + a_size + a'_size);
+  {
+    graph;
+    p;
+    eps;
+    hypergraph;
+    m;
+    blocks;
+    vertex_nodes;
+    a_nodes;
+    a'_nodes;
+    main_edges;
+    capacity = cap;
+  }
+
+(* Encode an SpES solution (a set of >= p induced edges' endpoints) as a
+   balanced partition whose cost is the number of covered vertices. *)
+let embed t chosen_edges =
+  if Array.length chosen_edges <> t.p then
+    invalid_arg "Spes_to_partition.embed: need exactly p edges";
+  let n' = Hypergraph.num_nodes t.hypergraph in
+  let colors = Array.make n' 0 in
+  (* blue = 0, red = 1. *)
+  Array.iter (fun v -> colors.(v) <- 1) t.a'_nodes;
+  Array.iter
+    (fun e -> Array.iter (fun v -> colors.(v) <- 1) t.blocks.(e))
+    chosen_edges;
+  Partition.create ~k:2 colors
+
+(* Decode a partition into an SpES edge selection, applying the cleanup of
+   Lemma C.1: define red as the majority color of A'; pick the p edge
+   blocks with the most nodes of that color. *)
+let extract t part =
+  let majority nodes =
+    let red =
+      Support.Util.array_count (fun v -> Partition.color part v = 1) nodes
+    in
+    if 2 * red >= Array.length nodes then 1 else 0
+  in
+  let red = majority t.a'_nodes in
+  let score e =
+    Support.Util.array_count
+      (fun v -> Partition.color part v = red)
+      t.blocks.(e)
+  in
+  let order = Array.init (Array.length t.blocks) Fun.id in
+  Array.sort (fun x y -> compare (score y) (score x)) order;
+  Array.sub order 0 t.p
+
+(* The SpES objective of an edge selection: vertices covered. *)
+let covered_vertices t chosen_edges =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      let u, v = (Npc.Graph.edges t.graph).(e) in
+      Hashtbl.replace seen u ();
+      Hashtbl.replace seen v ())
+    chosen_edges;
+  Hashtbl.length seen
+
+let hypergraph t = t.hypergraph
+let capacity t = t.capacity
+let p t = t.p
+let eps t = t.eps

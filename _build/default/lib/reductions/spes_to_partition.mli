@@ -1,0 +1,20 @@
+(** The main reduction (Theorem 4.1 / Lemma C.1): SpES → ε-balanced
+    bisection with block gadgets.  OPT_SpES = OPT_partition. *)
+
+type t
+
+val build : ?eps:float -> Npc.Graph.t -> p:int -> t
+val hypergraph : t -> Hypergraph.t
+val capacity : t -> int
+val p : t -> int
+val eps : t -> float
+
+val embed : t -> int array -> Partition.t
+(** A selection of exactly p graph edges → a balanced partition whose cost
+    is the number of covered vertices. *)
+
+val extract : t -> Partition.t -> int array
+(** Cleanup of Lemma C.1: the p reddest edge blocks. *)
+
+val covered_vertices : t -> int array -> int
+(** The SpES objective of an edge selection. *)

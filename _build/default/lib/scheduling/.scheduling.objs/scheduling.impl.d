@@ -1,0 +1,1 @@
+lib/scheduling/scheduling.ml: Coffman_graham List_sched Mu Schedule

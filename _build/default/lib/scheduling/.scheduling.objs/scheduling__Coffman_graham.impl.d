@@ -1,0 +1,1 @@
+lib/scheduling/coffman_graham.ml: Array Hyperdag List List_sched Schedule

@@ -1,0 +1,1 @@
+lib/scheduling/coffman_graham.mli: Hyperdag Schedule

@@ -1,0 +1,1 @@
+lib/scheduling/list_sched.ml: Array Hyperdag List Schedule

@@ -1,0 +1,1 @@
+lib/scheduling/list_sched.mli: Hyperdag Schedule

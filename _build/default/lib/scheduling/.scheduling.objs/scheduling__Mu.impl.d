@@ -1,0 +1,1 @@
+lib/scheduling/mu.ml: Array Coffman_graham Hashtbl Hyperdag List List_sched Queue Schedule Support

@@ -1,0 +1,1 @@
+lib/scheduling/mu.mli: Hyperdag Schedule

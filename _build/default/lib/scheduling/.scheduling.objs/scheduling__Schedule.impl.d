@@ -1,0 +1,1 @@
+lib/scheduling/schedule.ml: Array Fmt Fun Hashtbl Hyperdag List Support

@@ -1,0 +1,1 @@
+lib/scheduling/schedule.mli: Format Hyperdag

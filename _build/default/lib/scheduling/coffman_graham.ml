@@ -1,0 +1,49 @@
+(* Coffman-Graham algorithm [13]: optimal two-processor scheduling of
+   unit-time tasks.
+
+   Phase 1 assigns labels 1..n: repeatedly pick, among nodes whose
+   successors are all labeled, one whose decreasing sequence of successor
+   labels is lexicographically smallest.  Phase 2 list-schedules by
+   decreasing label.  Optimal for k = 2 (and a (2 - 2/k)-approximation in
+   general). *)
+
+let labels dag =
+  (* The optimality proof is stated on the Hasse diagram; transitive edges
+     would distort the lexicographic comparison. *)
+  let dag = Hyperdag.Dag.transitive_reduction dag in
+  let n = Hyperdag.Dag.num_nodes dag in
+  let label = Array.make n 0 in
+  let unlabeled_succs = Array.init n (fun v -> Hyperdag.Dag.out_degree dag v) in
+  (* Candidates: nodes with all successors labeled. *)
+  let succ_labels v =
+    let ls =
+      Array.to_list (Array.map (fun w -> label.(w)) (Hyperdag.Dag.succs dag v))
+    in
+    List.sort (fun a b -> compare b a) ls
+  in
+  for next = 1 to n do
+    let best = ref None in
+    for v = 0 to n - 1 do
+      if label.(v) = 0 && unlabeled_succs.(v) = 0 then begin
+        let ls = succ_labels v in
+        match !best with
+        | Some (_, bls) when compare bls ls <= 0 -> ()
+        | _ -> best := Some (v, ls)
+      end
+    done;
+    match !best with
+    | None -> invalid_arg "Coffman_graham.labels: not a DAG"
+    | Some (v, _) ->
+        label.(v) <- next;
+        Hyperdag.Dag.iter_preds dag v (fun u ->
+            unlabeled_succs.(u) <- unlabeled_succs.(u) - 1)
+  done;
+  label
+
+let schedule dag ~k =
+  List_sched.schedule ~priority:(labels dag) dag ~k
+
+let makespan dag ~k = Schedule.makespan (schedule dag ~k)
+
+(* Optimal two-processor makespan. *)
+let two_processor_makespan dag = makespan dag ~k:2

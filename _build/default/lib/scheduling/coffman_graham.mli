@@ -1,0 +1,7 @@
+(** Coffman–Graham labeling: optimal two-processor scheduling of unit
+    tasks [13]. *)
+
+val labels : Hyperdag.Dag.t -> int array
+val schedule : Hyperdag.Dag.t -> k:int -> Schedule.t
+val makespan : Hyperdag.Dag.t -> k:int -> int
+val two_processor_makespan : Hyperdag.Dag.t -> int

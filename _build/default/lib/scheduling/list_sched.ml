@@ -1,0 +1,50 @@
+(* List scheduling of unit-time tasks: at each time step, run the (at most
+   k) ready nodes of highest priority.  With the "level" priority (longest
+   path to a sink) this is Hu's algorithm, optimal on in- and out-forests;
+   in general it is a 2 - 1/k approximation (Graham). *)
+
+let level_priority dag = Hyperdag.Dag.longest_path_from dag
+
+let schedule ?priority dag ~k =
+  if k < 1 then invalid_arg "List_sched.schedule: k >= 1";
+  let n = Hyperdag.Dag.num_nodes dag in
+  let priority = match priority with Some p -> p | None -> level_priority dag in
+  let indeg = Array.init n (fun v -> Hyperdag.Dag.in_degree dag v) in
+  let proc = Array.make n 0 and time = Array.make n 0 in
+  (* Ready pool as a list re-sorted lazily per step; n is small enough in
+     every use of this module that O(n^2 log n) is irrelevant. *)
+  let ready = ref [] in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then ready := v :: !ready
+  done;
+  let step = ref 0 and scheduled = ref 0 in
+  while !scheduled < n do
+    incr step;
+    let sorted =
+      List.sort (fun a b -> compare priority.(b) priority.(a)) !ready
+    in
+    let rec take acc cnt = function
+      | [] -> (List.rev acc, [])
+      | rest when cnt = k -> (List.rev acc, rest)
+      | x :: rest -> take (x :: acc) (cnt + 1) rest
+    in
+    let chosen, rest = take [] 0 sorted in
+    ready := rest;
+    assert (chosen <> []);
+    List.iteri
+      (fun i v ->
+        proc.(v) <- i;
+        time.(v) <- !step;
+        incr scheduled)
+      chosen;
+    (* Release successors that became ready. *)
+    List.iter
+      (fun v ->
+        Hyperdag.Dag.iter_succs dag v (fun w ->
+            indeg.(w) <- indeg.(w) - 1;
+            if indeg.(w) = 0 then ready := w :: !ready))
+      chosen
+  done;
+  Schedule.create ~proc ~time
+
+let makespan ?priority dag ~k = Schedule.makespan (schedule ?priority dag ~k)

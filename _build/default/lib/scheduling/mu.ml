@@ -1,0 +1,177 @@
+(* Optimal makespans: mu (over all processor assignments) and mu_p (with a
+   fixed partitioning), per Section 5.2.
+
+   mu: polynomially solvable for k = 2 (Coffman-Graham) and for in/out
+   forests (Hu's level algorithm); otherwise we fall back to an exact
+   bitmask dynamic program, exponential in n (the general problem is a
+   long-standing open question for constant k >= 3).
+
+   mu_p: NP-hard even for k = 2 and out-trees / level-order / bounded-height
+   DAGs (Theorem 5.5); we provide the exact bitmask DP plus a greedy upper
+   bound.  WLOG restriction to busy schedules (never idle a processor whose
+   ready set is non-empty) is sound for unit tasks: moving a task earlier
+   into an idle slot keeps the schedule feasible. *)
+
+exception Too_large
+
+let max_dp_nodes = 22
+
+(* Ready set of a completion mask. *)
+let ready_nodes dag mask =
+  let n = Hyperdag.Dag.num_nodes dag in
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if mask land (1 lsl v) = 0 then begin
+      let ok = ref true in
+      Hyperdag.Dag.iter_preds dag v (fun u ->
+          if mask land (1 lsl u) = 0 then ok := false);
+      if !ok then acc := v :: !acc
+    end
+  done;
+  !acc
+
+(* Exact mu by BFS over completion masks; each step runs min(|ready|, k)
+   tasks (busy schedules are WLOG optimal). *)
+let exact_makespan dag ~k =
+  let n = Hyperdag.Dag.num_nodes dag in
+  if n > max_dp_nodes then raise Too_large;
+  if n = 0 then 0
+  else begin
+    let full = (1 lsl n) - 1 in
+    let dist = Hashtbl.create 1024 in
+    Hashtbl.add dist 0 0;
+    let frontier = Queue.create () in
+    Queue.add 0 frontier;
+    let answer = ref None in
+    while !answer = None && not (Queue.is_empty frontier) do
+      let mask = Queue.pop frontier in
+      let d = Hashtbl.find dist mask in
+      if mask = full then answer := Some d
+      else begin
+        let ready = ready_nodes dag mask in
+        let r = List.length ready in
+        let take = min r k in
+        let ready = Array.of_list ready in
+        Support.Util.iter_subsets ~n:r ~k:take (fun subset ->
+            let mask' =
+              Array.fold_left
+                (fun acc i -> acc lor (1 lsl ready.(i)))
+                mask subset
+            in
+            if not (Hashtbl.mem dist mask') then begin
+              Hashtbl.add dist mask' (d + 1);
+              Queue.add mask' frontier
+            end)
+      end
+    done;
+    match !answer with Some d -> d | None -> assert false
+  end
+
+(* Exact mu_p: at each step every processor runs one of its ready tasks (or
+   idles only if it has none). *)
+let exact_makespan_fixed dag assignment ~k =
+  let n = Hyperdag.Dag.num_nodes dag in
+  if n > max_dp_nodes then raise Too_large;
+  if n = 0 then 0
+  else begin
+    let full = (1 lsl n) - 1 in
+    let dist = Hashtbl.create 1024 in
+    Hashtbl.add dist 0 0;
+    let frontier = Queue.create () in
+    Queue.add 0 frontier;
+    let answer = ref None in
+    while !answer = None && not (Queue.is_empty frontier) do
+      let mask = Queue.pop frontier in
+      let d = Hashtbl.find dist mask in
+      if mask = full then answer := Some d
+      else begin
+        let ready = ready_nodes dag mask in
+        let by_proc = Array.make k [] in
+        List.iter
+          (fun v -> by_proc.(assignment.(v)) <- v :: by_proc.(assignment.(v)))
+          ready;
+        (* Cartesian product over processors with a non-empty ready set. *)
+        let active = List.filter (fun l -> l <> []) (Array.to_list by_proc) in
+        let rec product chosen = function
+          | [] ->
+              let mask' =
+                List.fold_left (fun acc v -> acc lor (1 lsl v)) mask chosen
+              in
+              if not (Hashtbl.mem dist mask') then begin
+                Hashtbl.add dist mask' (d + 1);
+                Queue.add mask' frontier
+              end
+          | options :: rest ->
+              List.iter (fun v -> product (v :: chosen) rest) options
+        in
+        product [] active
+      end
+    done;
+    match !answer with Some d -> d | None -> assert false
+  end
+
+(* Greedy upper bound on mu_p: per-processor level-priority list schedule. *)
+let greedy_fixed dag assignment ~k =
+  let n = Hyperdag.Dag.num_nodes dag in
+  let priority = List_sched.level_priority dag in
+  let indeg = Array.init n (fun v -> Hyperdag.Dag.in_degree dag v) in
+  let ready = Array.make k [] in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then ready.(assignment.(v)) <- v :: ready.(assignment.(v))
+  done;
+  let proc = Array.copy assignment and time = Array.make n 0 in
+  let scheduled = ref 0 and step = ref 0 in
+  while !scheduled < n do
+    incr step;
+    let executed = ref [] in
+    for p = 0 to k - 1 do
+      match
+        List.sort (fun a b -> compare priority.(b) priority.(a)) ready.(p)
+      with
+      | [] -> ()
+      | v :: rest ->
+          ready.(p) <- rest;
+          time.(v) <- !step;
+          incr scheduled;
+          executed := v :: !executed
+    done;
+    List.iter
+      (fun v ->
+        Hyperdag.Dag.iter_succs dag v (fun w ->
+            indeg.(w) <- indeg.(w) - 1;
+            if indeg.(w) = 0 then
+              ready.(assignment.(w)) <- w :: ready.(assignment.(w))))
+      !executed
+  done;
+  Schedule.create ~proc ~time
+
+(* Lower bounds on mu. *)
+let lower_bound dag ~k =
+  max
+    (Hyperdag.Dag.critical_path_length dag)
+    (Support.Util.ceil_div (Hyperdag.Dag.num_nodes dag) k)
+
+(* Best polynomial route to the exact mu, when one applies. *)
+type mu_result = Exact of int | Bounds of int * int
+
+let makespan_general dag ~k =
+  if k = 2 then Exact (Coffman_graham.two_processor_makespan dag)
+  else if Hyperdag.Dag.is_in_forest dag then Exact (List_sched.makespan dag ~k)
+  else if Hyperdag.Dag.is_out_forest dag then
+    (* Hu on the reversed (in-forest) DAG; mirroring times preserves
+       makespan and validity. *)
+    Exact (List_sched.makespan (Hyperdag.Dag.reverse dag) ~k)
+  else if Hyperdag.Dag.num_nodes dag <= max_dp_nodes then Exact (exact_makespan dag ~k)
+  else Bounds (lower_bound dag ~k, List_sched.makespan dag ~k)
+
+(* Schedule-based balance constraint (Definition 5.4): a partitioning is
+   feasible iff mu_p <= (1 + eps) * mu.  Exact only at DP scale — exactly
+   the practical obstruction Theorem 5.5 formalizes. *)
+let schedule_based_feasible ~eps dag assignment ~k =
+  let mu =
+    match makespan_general dag ~k with
+    | Exact m -> m
+    | Bounds _ -> raise Too_large
+  in
+  let mu_p = exact_makespan_fixed dag assignment ~k in
+  float_of_int mu_p <= ((1.0 +. eps) *. float_of_int mu) +. 1e-9

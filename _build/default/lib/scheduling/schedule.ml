@@ -1,0 +1,53 @@
+(* Schedules of unit-time tasks on k processors (Definition 5.3): an
+   assignment of nodes to processors p : V -> [k] and time steps
+   t : V -> Z+ such that no two nodes share a (processor, time) slot and
+   every edge (u, v) has t(u) < t(v).  Communication is *not* charged here;
+   the makespan measures parallelizability only (Section 5.2). *)
+
+type t = { proc : int array; time : int array (* 1-based time steps *) }
+
+let create ~proc ~time =
+  if Array.length proc <> Array.length time then
+    invalid_arg "Schedule.create: length mismatch";
+  { proc; time }
+
+let proc t v = t.proc.(v)
+let time t v = t.time.(v)
+let num_nodes t = Array.length t.proc
+
+let makespan t =
+  if num_nodes t = 0 then 0 else Support.Util.max_array t.time
+
+(* Validity per Definition 5.3. *)
+let is_valid ?k dag t =
+  let n = Hyperdag.Dag.num_nodes dag in
+  Array.length t.proc = n
+  && Array.for_all (fun x -> x >= 1) t.time
+  && (match k with
+     | None -> true
+     | Some k -> Array.for_all (fun p -> p >= 0 && p < k) t.proc)
+  && begin
+       let slots = Hashtbl.create (2 * n) in
+       let ok = ref true in
+       for v = 0 to n - 1 do
+         let slot = (t.proc.(v), t.time.(v)) in
+         if Hashtbl.mem slots slot then ok := false;
+         Hashtbl.add slots slot ()
+       done;
+       !ok
+     end
+  && List.for_all (fun (u, v) -> t.time.(u) < t.time.(v)) (Hyperdag.Dag.edges dag)
+
+(* Whether the schedule respects a fixed partitioning p : V -> [k]
+   (Section 5.2's mu_p setting). *)
+let respects_partition t assignment =
+  Array.length assignment = num_nodes t
+  && Array.for_all Fun.id
+       (Array.mapi (fun v p -> t.proc.(v) = p) assignment)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>schedule (makespan %d):@," (makespan t);
+  for v = 0 to num_nodes t - 1 do
+    Fmt.pf ppf "  node %d: proc %d, step %d@," v t.proc.(v) t.time.(v)
+  done;
+  Fmt.pf ppf "@]"

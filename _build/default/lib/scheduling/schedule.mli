@@ -1,0 +1,17 @@
+(** Unit-task schedules on k processors (Definition 5.3). *)
+
+type t
+
+val create : proc:int array -> time:int array -> t
+(** Time steps are 1-based. *)
+
+val proc : t -> int -> int
+val time : t -> int -> int
+val num_nodes : t -> int
+val makespan : t -> int
+
+val is_valid : ?k:int -> Hyperdag.Dag.t -> t -> bool
+(** No (processor, step) collision and every edge strictly increases time. *)
+
+val respects_partition : t -> int array -> bool
+val pp : Format.formatter -> t -> unit

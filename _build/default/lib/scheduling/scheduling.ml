@@ -1,0 +1,5 @@
+(* Library root. *)
+module Schedule = Schedule
+module List_sched = List_sched
+module Coffman_graham = Coffman_graham
+module Mu = Mu

@@ -1,0 +1,1 @@
+lib/solvers/solvers.ml: Coarsen Constrained Exact Initial Kl_swap Multilevel Pin_counts Recursive_bisection Refine Xp

@@ -1,0 +1,1 @@
+lib/solvers/coarsen.ml: Array Hashtbl Hypergraph List Partition Support

@@ -1,0 +1,1 @@
+lib/solvers/coarsen.mli: Hypergraph Partition Support

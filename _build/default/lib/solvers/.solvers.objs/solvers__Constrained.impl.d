@@ -1,0 +1,1 @@
+lib/solvers/constrained.ml: Array Fun Hypergraph Partition Pin_counts Support

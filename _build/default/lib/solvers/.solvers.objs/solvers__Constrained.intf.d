@@ -1,0 +1,1 @@
+lib/solvers/constrained.mli: Hypergraph Partition Support

@@ -1,0 +1,1 @@
+lib/solvers/exact.ml: Array Constrained Fun Hypergraph List Partition Support

@@ -1,0 +1,1 @@
+lib/solvers/exact.mli: Constrained Hypergraph Partition

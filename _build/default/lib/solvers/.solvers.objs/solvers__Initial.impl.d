@@ -1,0 +1,1 @@
+lib/solvers/initial.ml: Array Hypergraph Partition Queue Support

@@ -1,0 +1,1 @@
+lib/solvers/initial.mli: Hypergraph Partition Support

@@ -1,0 +1,1 @@
+lib/solvers/kl_swap.ml: Array Hypergraph Partition Pin_counts

@@ -1,0 +1,1 @@
+lib/solvers/kl_swap.mli: Hypergraph Partition

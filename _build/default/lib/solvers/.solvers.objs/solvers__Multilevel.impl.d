@@ -1,0 +1,1 @@
+lib/solvers/multilevel.ml: Array Coarsen Hypergraph Initial List Logs Partition Refine Support

@@ -1,0 +1,1 @@
+lib/solvers/multilevel.mli: Hypergraph Partition Support

@@ -1,0 +1,1 @@
+lib/solvers/pin_counts.ml: Array Hypergraph Partition

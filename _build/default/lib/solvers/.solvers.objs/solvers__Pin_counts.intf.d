@@ -1,0 +1,1 @@
+lib/solvers/pin_counts.mli: Hypergraph Partition

@@ -1,0 +1,1 @@
+lib/solvers/recursive_bisection.ml: Array Fun Hypergraph List Multilevel Partition Pin_counts Support

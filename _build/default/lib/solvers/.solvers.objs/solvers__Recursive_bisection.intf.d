@@ -1,0 +1,1 @@
+lib/solvers/recursive_bisection.mli: Hypergraph Multilevel Partition Support

@@ -1,0 +1,1 @@
+lib/solvers/refine.ml: Array Hypergraph Partition Pin_counts Support

@@ -1,0 +1,1 @@
+lib/solvers/refine.mli: Hypergraph Partition

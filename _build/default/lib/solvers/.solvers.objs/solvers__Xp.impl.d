@@ -1,0 +1,1 @@
+lib/solvers/xp.ml: Array Hypergraph List Partition Set Support

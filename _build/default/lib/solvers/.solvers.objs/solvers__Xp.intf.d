@@ -1,0 +1,1 @@
+lib/solvers/xp.mli: Hypergraph Partition

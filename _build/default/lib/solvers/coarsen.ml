@@ -1,0 +1,110 @@
+(* Coarsening by heavy-connectivity clustering (first-choice style, as in
+   multilevel partitioners like hMETIS/KaHyPar): visit nodes in random
+   order and merge each with the neighbour of highest rating
+
+     rating(v, u) = sum over shared edges e of w_e / (|e| - 1),
+
+   subject to a maximum cluster weight that protects balance feasibility at
+   the coarse level. *)
+
+type level = {
+  coarse : Hypergraph.t;
+  label : int array; (* fine node -> coarse node *)
+}
+
+let cluster ?within rng hg ~max_cluster_weight =
+  let n = Hypergraph.num_nodes hg in
+  let same_side u v =
+    match within with None -> true | Some part -> part.(u) = part.(v)
+  in
+  let leader = Array.init n (fun v -> v) in
+  (* cluster weight, indexed by current leader *)
+  let weight = Array.init n (fun v -> Hypergraph.node_weight hg v) in
+  let rec find v = if leader.(v) = v then v else find leader.(v) in
+  let order = Support.Rng.permutation rng n in
+  let rating = Hashtbl.create 64 in
+  Array.iter
+    (fun v ->
+      if leader.(v) = v then begin
+        Hashtbl.reset rating;
+        Hypergraph.iter_incident hg v (fun e ->
+            let size = Hypergraph.edge_size hg e in
+            if size > 1 && size <= 64 then begin
+              let r =
+                float_of_int (Hypergraph.edge_weight hg e)
+                /. float_of_int (size - 1)
+              in
+              Hypergraph.iter_pins hg e (fun u ->
+                  let lu = find u in
+                  if lu <> v && same_side u v then
+                    Hashtbl.replace rating lu
+                      (r
+                      +.
+                      match Hashtbl.find_opt rating lu with
+                      | Some x -> x
+                      | None -> 0.0))
+            end);
+        let best = ref None in
+        Hashtbl.iter
+          (fun u r ->
+            if weight.(u) + weight.(v) <= max_cluster_weight then
+              match !best with
+              | Some (_, br) when br >= r -> ()
+              | _ -> best := Some (u, r))
+          rating;
+        match !best with
+        | Some (u, _) ->
+            leader.(v) <- u;
+            weight.(u) <- weight.(u) + weight.(v)
+        | None -> ()
+      end)
+    order;
+  (* Compact leaders to consecutive labels. *)
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    let r = find v in
+    if label.(r) < 0 then begin
+      label.(r) <- !next;
+      incr next
+    end
+  done;
+  for v = 0 to n - 1 do
+    label.(v) <- label.(find v)
+  done;
+  (label, !next)
+
+let one_level ?within rng hg ~max_cluster_weight =
+  let label, count = cluster ?within rng hg ~max_cluster_weight in
+  if count = Hypergraph.num_nodes hg then None
+  else
+    let coarse = Hypergraph.contract hg label count in
+    Some { coarse; label }
+
+(* Full coarsening hierarchy down to [stop_nodes] nodes (or until clustering
+   stalls).  The max cluster weight keeps every coarse node small enough for
+   an eps-balanced k-way split to remain possible. *)
+let hierarchy rng hg ~k ~stop_nodes =
+  let total = Hypergraph.total_node_weight hg in
+  let max_cluster_weight = max 1 (Support.Util.ceil_div total (4 * k)) in
+  let rec go acc current =
+    if Hypergraph.num_nodes current <= stop_nodes then (current, List.rev acc)
+    else
+      match one_level rng current ~max_cluster_weight with
+      | None -> (current, List.rev acc)
+      | Some level ->
+          let shrink =
+            float_of_int (Hypergraph.num_nodes level.coarse)
+            /. float_of_int (Hypergraph.num_nodes current)
+          in
+          if shrink > 0.95 then (current, List.rev acc)
+          else go (level :: acc) level.coarse
+  in
+  go [] hg
+
+(* Project a coarse partition back through one level. *)
+let project level coarse_part =
+  Partition.create ~k:(Partition.k coarse_part)
+    (Array.map
+       (fun l -> Partition.color coarse_part l)
+       level.label)

@@ -1,0 +1,35 @@
+(** Coarsening by heavy-connectivity clustering for the multilevel solver. *)
+
+type level = {
+  coarse : Hypergraph.t;
+  label : int array;  (** fine node → coarse node *)
+}
+
+val cluster :
+  ?within:int array ->
+  Support.Rng.t ->
+  Hypergraph.t ->
+  max_cluster_weight:int ->
+  int array * int
+(** One clustering pass; [(label, cluster_count)].  With [within], nodes
+    merge only when they share the given label (used by v-cycles to keep
+    clusters inside partition classes). *)
+
+val one_level :
+  ?within:int array ->
+  Support.Rng.t ->
+  Hypergraph.t ->
+  max_cluster_weight:int ->
+  level option
+(** [None] when clustering made no progress. *)
+
+val hierarchy :
+  Support.Rng.t ->
+  Hypergraph.t ->
+  k:int ->
+  stop_nodes:int ->
+  Hypergraph.t * level list
+(** [(coarsest, levels)] with levels ordered fine → coarse. *)
+
+val project : level -> Partition.t -> Partition.t
+(** Pull a partition of [level.coarse] back to the finer hypergraph. *)

@@ -1,0 +1,126 @@
+(* Initial partitioners: cheap constructions used at the coarsest level of
+   the multilevel solver and as baselines in the experiments.  All respect
+   the weighted epsilon-balance capacity when possible. *)
+
+let capacity ?variant ~eps hg ~k =
+  Partition.capacity ?variant ~eps
+    ~total_weight:(Hypergraph.total_node_weight hg)
+    ~k ()
+
+(* Round-robin over a random node order into the lightest part that still
+   has room; falls back to the lightest part if none has room (the result
+   is then infeasible but as close as greedy gets). *)
+let random_balanced ?variant ~eps rng hg ~k =
+  let n = Hypergraph.num_nodes hg in
+  let cap = capacity ?variant ~eps hg ~k in
+  let order = Support.Rng.permutation rng n in
+  let weights = Array.make k 0 in
+  let colors = Array.make n 0 in
+  Array.iter
+    (fun v ->
+      let w = Hypergraph.node_weight hg v in
+      let best = ref (-1) in
+      for c = 0 to k - 1 do
+        if
+          weights.(c) + w <= cap
+          && (!best < 0 || weights.(c) < weights.(!best))
+        then best := c
+      done;
+      let c =
+        if !best >= 0 then !best
+        else begin
+          (* No part has room: lightest part overall. *)
+          let lightest = ref 0 in
+          for c = 1 to k - 1 do
+            if weights.(c) < weights.(!lightest) then lightest := c
+          done;
+          !lightest
+        end
+      in
+      colors.(v) <- c;
+      weights.(c) <- weights.(c) + w)
+    order;
+  Partition.create ~k colors
+
+(* BFS growth: grow part after part from random seeds, following hyperedge
+   adjacency, stopping each part near the ideal weight W/k. *)
+let bfs_growth ?variant ~eps rng hg ~k =
+  let n = Hypergraph.num_nodes hg in
+  let total = Hypergraph.total_node_weight hg in
+  let cap = capacity ?variant ~eps hg ~k in
+  let colors = Array.make n (-1) in
+  let order = Support.Rng.permutation rng n in
+  let queue = Queue.create () in
+  let next_seed = ref 0 in
+  (* [blocked] marks nodes that failed to fit in the current part, so an
+     unplaceable seed is never re-picked (with weighted nodes it otherwise
+     would be, forever). *)
+  let blocked = Array.make n false in
+  let pick_seed () =
+    while
+      !next_seed < n
+      && (colors.(order.(!next_seed)) >= 0 || blocked.(order.(!next_seed)))
+    do
+      incr next_seed
+    done;
+    if !next_seed < n then Some order.(!next_seed) else None
+  in
+  let weights = Array.make k 0 in
+  for c = 0 to k - 1 do
+    Array.fill blocked 0 n false;
+    (* Target: leave enough weight for the remaining parts. *)
+    let target = min cap (Support.Util.ceil_div total k) in
+    (match pick_seed () with Some s -> Queue.add s queue | None -> ());
+    let continue = ref true in
+    while !continue do
+      if Queue.is_empty queue then begin
+        (* Disconnected remainder: re-seed if the part is still light. *)
+        if weights.(c) < target then
+          match pick_seed () with
+          | Some s -> Queue.add s queue
+          | None -> continue := false
+        else continue := false
+      end
+      else begin
+        let v = Queue.pop queue in
+        if colors.(v) < 0 && not blocked.(v) then begin
+          let w = Hypergraph.node_weight hg v in
+          if weights.(c) + w <= cap && weights.(c) < target then begin
+            colors.(v) <- c;
+            weights.(c) <- weights.(c) + w;
+            Hypergraph.iter_incident hg v (fun e ->
+                Hypergraph.iter_pins hg e (fun u ->
+                    if colors.(u) < 0 then Queue.add u queue))
+          end
+          else if weights.(c) >= target then continue := false
+          else blocked.(v) <- true
+        end
+      end
+    done;
+    Queue.clear queue;
+    (* The seed pointer only moved past nodes blocked for this part; reset
+       it so later parts reconsider them. *)
+    next_seed := 0
+  done;
+  (* Any stragglers: lightest part with room. *)
+  for v = 0 to n - 1 do
+    if colors.(v) < 0 then begin
+      let w = Hypergraph.node_weight hg v in
+      let best = ref 0 in
+      for c = 1 to k - 1 do
+        if weights.(c) < weights.(!best) then best := c
+      done;
+      (* Prefer a part with room. *)
+      for c = 0 to k - 1 do
+        if weights.(c) + w <= cap && weights.(c) < weights.(!best) then
+          best := c
+      done;
+      colors.(v) <- !best;
+      weights.(!best) <- weights.(!best) + w
+    end
+  done;
+  Partition.create ~k colors
+
+(* Deterministic fallback: nodes in index order, round robin. *)
+let round_robin hg ~k =
+  Partition.of_predicate ~k ~n:(Hypergraph.num_nodes hg) (fun v -> v mod k)

@@ -1,0 +1,134 @@
+(* Kernighan-Lin refinement: pairwise swaps of equal-weight boundary nodes
+   between two parts, so the balance is preserved *exactly* — the natural
+   refinement at eps = 0, where single FM moves are never feasible.
+
+   A pass follows the classic KL discipline: repeatedly apply the best
+   available swap *even when its gain is negative*, lock the swapped
+   nodes, and finally roll back to the best prefix of the swap sequence.
+   The tentative negative swaps are what lets KL escape states where no
+   single swap helps (e.g. two perfectly interleaved blocks).
+
+   Swap gains are evaluated exactly (apply the first move, evaluate the
+   second, undo), so interactions through shared hyperedges are
+   accounted for.  Cost per pass is O(#swaps * boundary^2 * degree):
+   intended for small-to-medium instances and as a post-pass after FM. *)
+
+type config = {
+  metric : Partition.metric;
+  max_passes : int;
+  max_swaps_per_pass : int; (* 0 = no limit *)
+}
+
+let default_config =
+  { metric = Partition.Connectivity; max_passes = 4; max_swaps_per_pass = 0 }
+
+let boundary_nodes hg part =
+  let n = Hypergraph.num_nodes hg in
+  let mark = Array.make n false in
+  for e = 0 to Hypergraph.num_edges hg - 1 do
+    if Partition.is_cut hg part e then
+      Hypergraph.iter_pins hg e (fun v -> mark.(v) <- true)
+  done;
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if mark.(v) then acc := v :: !acc
+  done;
+  Array.of_list !acc
+
+(* Exact cost change of swapping v and u (in different parts). *)
+let swap_delta cfg hg counts assignment v u =
+  let cv = assignment.(v) and cu = assignment.(u) in
+  let d1 = Pin_counts.move_delta ~metric:cfg.metric counts v ~src:cv ~dst:cu in
+  Pin_counts.move counts v ~src:cv ~dst:cu;
+  assignment.(v) <- cu;
+  let d2 = Pin_counts.move_delta ~metric:cfg.metric counts u ~src:cu ~dst:cv in
+  Pin_counts.move counts v ~src:cu ~dst:cv;
+  assignment.(v) <- cv;
+  ignore hg;
+  d1 + d2
+
+let apply_swap counts assignment v u =
+  let cv = assignment.(v) and cu = assignment.(u) in
+  Pin_counts.move counts v ~src:cv ~dst:cu;
+  assignment.(v) <- cu;
+  Pin_counts.move counts u ~src:cu ~dst:cv;
+  assignment.(u) <- cv
+
+(* Hyperedges containing both nodes: the tie-breaker.  On a gain plateau,
+   swapping two tightly coupled nodes is a structural no-op (e.g. two nodes
+   of the same block), so among equal-gain swaps we prefer the loosest
+   pair. *)
+let shared_edges hg v u =
+  Hypergraph.fold_incident hg v
+    (fun acc e -> if Hypergraph.edge_mem hg e u then acc + 1 else acc)
+    0
+
+let kl_pass cfg hg counts part =
+  let assignment = Partition.assignment part in
+  let boundary = boundary_nodes hg part in
+  let len = Array.length boundary in
+  let locked = Array.make (Hypergraph.num_nodes hg) false in
+  let swaps = ref [] and cum = ref 0 and best_cum = ref 0 in
+  let nswaps = ref 0 and best_len = ref 0 in
+  let limit =
+    if cfg.max_swaps_per_pass > 0 then cfg.max_swaps_per_pass else len
+  in
+  let continue = ref true in
+  while !continue && !nswaps < limit do
+    (* Best swap among unlocked equal-weight cross pairs; ties broken
+       toward the pair sharing the fewest hyperedges. *)
+    let best = ref None in
+    for i = 0 to len - 1 do
+      let v = boundary.(i) in
+      if not locked.(v) then
+        for j = i + 1 to len - 1 do
+          let u = boundary.(j) in
+          if
+            (not locked.(u))
+            && assignment.(v) <> assignment.(u)
+            && Hypergraph.node_weight hg v = Hypergraph.node_weight hg u
+          then begin
+            let d = swap_delta cfg hg counts assignment v u in
+            let key = (d, shared_edges hg v u) in
+            match !best with
+            | Some (_, _, bkey) when bkey <= key -> ()
+            | _ -> best := Some (v, u, key)
+          end
+        done
+    done;
+    match !best with
+    | None -> continue := false
+    | Some (v, u, (d, _)) ->
+        apply_swap counts assignment v u;
+        locked.(v) <- true;
+        locked.(u) <- true;
+        swaps := (v, u) :: !swaps;
+        incr nswaps;
+        cum := !cum + d;
+        if !cum < !best_cum then begin
+          best_cum := !cum;
+          best_len := !nswaps
+        end
+  done;
+  (* Roll back the swaps after the best prefix (swapping back = same op). *)
+  let rec undo l i =
+    if i > !best_len then
+      match l with
+      | (v, u) :: rest ->
+          apply_swap counts assignment v u;
+          undo rest (i - 1)
+      | [] -> assert false
+  in
+  undo !swaps !nswaps;
+  - !best_cum
+
+(* Refine in place by repeated KL passes; returns the final cost.  Part
+   weights are preserved exactly. *)
+let refine ?(config = default_config) hg part =
+  let counts = Pin_counts.create hg part in
+  let passes = ref 0 and improving = ref true in
+  while !improving && !passes < config.max_passes do
+    incr passes;
+    if kl_pass config hg counts part <= 0 then improving := false
+  done;
+  Pin_counts.cost ~metric:config.metric counts

@@ -1,0 +1,15 @@
+(** Kernighan–Lin pairwise-swap refinement: preserves part weights exactly
+    (the natural refinement at ε = 0), with the classic tentative
+    negative-gain swap sequences and rollback to the best prefix. *)
+
+type config = {
+  metric : Partition.metric;
+  max_passes : int;
+  max_swaps_per_pass : int;  (** 0 = bounded only by the boundary size *)
+}
+
+val default_config : config
+
+val refine : ?config:config -> Hypergraph.t -> Partition.t -> int
+(** Refines in place by equal-weight boundary swaps; returns the final
+    cost.  Part weights are unchanged. *)

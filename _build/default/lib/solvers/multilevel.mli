@@ -1,0 +1,40 @@
+(** Multilevel k-way hypergraph partitioner (coarsen / initial portfolio /
+    uncoarsen + FM), the main heuristic of the library. *)
+
+type config = {
+  eps : float;
+  variant : Partition.balance;
+  metric : Partition.metric;
+  refine_passes : int;
+  initial_tries : int;
+  stop_nodes : int;
+}
+
+val default_config : config
+(** ε = 0.03, strict balance, connectivity metric. *)
+
+val partition :
+  ?config:config -> Support.Rng.t -> Hypergraph.t -> k:int -> Partition.t
+
+val partition_with_cost :
+  ?config:config -> Support.Rng.t -> Hypergraph.t -> k:int -> Partition.t * int
+
+val vcycle :
+  ?config:config ->
+  ?cycles:int ->
+  Support.Rng.t ->
+  Hypergraph.t ->
+  Partition.t ->
+  int
+(** Improve an existing partition in place by coarsening within its parts
+    and refining on the way back up; returns the final cost. *)
+
+val partition_best :
+  ?config:config ->
+  ?restarts:int ->
+  Support.Rng.t ->
+  Hypergraph.t ->
+  k:int ->
+  Partition.t
+(** Best of several independent runs (default 4), preferring feasible
+    partitions. *)

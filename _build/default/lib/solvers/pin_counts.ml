@@ -1,0 +1,76 @@
+(* Per-edge color counts: counts.(e * k + c) is the number of pins of edge e
+   currently in part c.  This is the shared incremental state of the FM and
+   k-way refinement passes; moving one node updates it in O(degree). *)
+
+type t = {
+  hg : Hypergraph.t;
+  k : int;
+  counts : int array; (* m * k *)
+  lambdas : int array; (* m; number of non-empty colors per edge *)
+}
+
+let create hg part =
+  let k = Partition.k part in
+  let m = Hypergraph.num_edges hg in
+  let counts = Array.make (m * k) 0 in
+  let lambdas = Array.make m 0 in
+  for e = 0 to m - 1 do
+    Hypergraph.iter_pins hg e (fun v ->
+        let c = Partition.color part v in
+        let idx = (e * k) + c in
+        if counts.(idx) = 0 then lambdas.(e) <- lambdas.(e) + 1;
+        counts.(idx) <- counts.(idx) + 1)
+  done;
+  { hg; k; counts; lambdas }
+
+let count t e c = t.counts.((e * t.k) + c)
+let lambda t e = t.lambdas.(e)
+
+(* Record that node v moved from part [src] to part [dst]; the caller is
+   responsible for updating the partition itself. *)
+let move t v ~src ~dst =
+  if src <> dst then
+    Hypergraph.iter_incident t.hg v (fun e ->
+        let si = (e * t.k) + src and di = (e * t.k) + dst in
+        t.counts.(si) <- t.counts.(si) - 1;
+        if t.counts.(si) = 0 then t.lambdas.(e) <- t.lambdas.(e) - 1;
+        if t.counts.(di) = 0 then t.lambdas.(e) <- t.lambdas.(e) + 1;
+        t.counts.(di) <- t.counts.(di) + 1)
+
+(* Cost change if node v moved from [src] to [dst] (not performing it). *)
+let move_delta ?(metric = Partition.Connectivity) t v ~src ~dst =
+  if src = dst then 0
+  else begin
+    let delta = ref 0 in
+    Hypergraph.iter_incident t.hg v (fun e ->
+        let w = Hypergraph.edge_weight t.hg e in
+        let leaving_empties = count t e src = 1 in
+        let entering_fresh = count t e dst = 0 in
+        match metric with
+        | Partition.Connectivity ->
+            if leaving_empties then delta := !delta - w;
+            if entering_fresh then delta := !delta + w
+        | Partition.Cut_net ->
+            let l = lambda t e in
+            let l' =
+              l
+              - (if leaving_empties then 1 else 0)
+              + if entering_fresh then 1 else 0
+            in
+            let cut b = if b then 1 else 0 in
+            delta := !delta + (w * (cut (l' > 1) - cut (l > 1))))
+    ;
+    !delta
+  end
+
+(* Total cost from the maintained lambdas (cheap consistency source). *)
+let cost ?(metric = Partition.Connectivity) t =
+  let total = ref 0 in
+  Array.iteri
+    (fun e l ->
+      let w = Hypergraph.edge_weight t.hg e in
+      match metric with
+      | Partition.Cut_net -> if l > 1 then total := !total + w
+      | Partition.Connectivity -> total := !total + (w * (l - 1)))
+    t.lambdas;
+  !total

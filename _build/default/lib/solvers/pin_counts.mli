@@ -1,0 +1,19 @@
+(** Incremental per-edge color counts shared by the refinement passes. *)
+
+type t
+
+val create : Hypergraph.t -> Partition.t -> t
+val count : t -> int -> int -> int
+(** [count t e c]: pins of edge [e] in part [c]. *)
+
+val lambda : t -> int -> int
+(** Maintained λ_e. *)
+
+val move : t -> int -> src:int -> dst:int -> unit
+(** Update counts for a node move (the partition itself is the caller's). *)
+
+val move_delta :
+  ?metric:Partition.metric -> t -> int -> src:int -> dst:int -> int
+(** Cost change of moving node [v] from [src] to [dst], without moving. *)
+
+val cost : ?metric:Partition.metric -> t -> int

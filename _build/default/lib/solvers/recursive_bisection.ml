@@ -1,0 +1,138 @@
+(* k-way partitioning by recursive bisection (Section 7.1): split the node
+   set into two groups carrying ceil(k/2) and floor(k/2) parts, then recurse
+   on the induced sub-hypergraphs.
+
+   Besides being a standard heuristic, this solver is the subject of
+   Lemma 7.2, which exhibits instances where even *optimal* recursive steps
+   end up a Theta(n) factor off the direct k-way optimum; experiment E7
+   reproduces that separation with this module (using the exact bisector
+   on the gadget sizes involved). *)
+
+type bisector =
+  Hypergraph.t -> eps:float -> parts_left:int -> parts_right:int -> Partition.t
+(* A 2-way split where the left side must carry weight for [parts_left]
+   parts and the right side for [parts_right]; balance: the left side gets
+   at most (1+eps) * W * parts_left / (parts_left + parts_right). *)
+
+(* Default bisector: multilevel 2-way with node weights scaled so that the
+   target ratio is parts_left : parts_right.  We emulate the ratio by
+   temporarily duplicating the capacity check through an epsilon shift:
+   for unequal splits we fall back to a weighted greedy + FM refinement. *)
+let multilevel_bisector ?(config = Multilevel.default_config) rng : bisector =
+ fun hg ~eps ~parts_left ~parts_right ->
+  if parts_left = parts_right then
+    Multilevel.partition ~config:{ config with eps } rng hg ~k:2
+  else begin
+    (* Unequal split: treat as a 2-way problem with ratio r = left/(l+r).
+       Greedy fill to the target then FM with a capacity that matches the
+       larger side; the ratio constraint is enforced by construction. *)
+    let total = Hypergraph.total_node_weight hg in
+    let n = Hypergraph.num_nodes hg in
+    let target_left =
+      int_of_float
+        (floor
+           ((1.0 +. eps) *. float_of_int (total * parts_left)
+            /. float_of_int (parts_left + parts_right)
+           +. 1e-9))
+    in
+    let order = Support.Rng.permutation rng n in
+    let colors = Array.make n 1 in
+    let weight_left = ref 0 in
+    Array.iter
+      (fun v ->
+        let w = Hypergraph.node_weight hg v in
+        if !weight_left + w <= target_left then begin
+          colors.(v) <- 0;
+          weight_left := !weight_left + w
+        end)
+      order;
+    let part = Partition.create ~k:2 colors in
+    (* Local improvement under the asymmetric capacity: swap-based FM would
+       need per-part capacities; a greedy positive-gain pass suffices here. *)
+    let counts = Pin_counts.create hg part in
+    let weights = Partition.part_weights hg part in
+    let cap = Array.make 2 0 in
+    cap.(0) <- target_left;
+    cap.(1) <-
+      int_of_float
+        (floor
+           ((1.0 +. eps) *. float_of_int (total * parts_right)
+            /. float_of_int (parts_left + parts_right)
+           +. 1e-9));
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      for v = 0 to n - 1 do
+        let src = Partition.color part v in
+        let dst = 1 - src in
+        let w = Hypergraph.node_weight hg v in
+        if weights.(dst) + w <= cap.(dst) then begin
+          let delta = Pin_counts.move_delta counts v ~src ~dst in
+          if delta < 0 then begin
+            Pin_counts.move counts v ~src ~dst;
+            (Partition.assignment part).(v) <- dst;
+            weights.(src) <- weights.(src) - w;
+            weights.(dst) <- weights.(dst) + w;
+            improved := true
+          end
+        end
+      done
+    done;
+    part
+  end
+
+let partition ?(eps = 0.03) ~bisector hg ~k =
+  if k < 1 then invalid_arg "Recursive_bisection.partition: k >= 1";
+  let n = Hypergraph.num_nodes hg in
+  let colors = Array.make n 0 in
+  (* Recurse on (sub-hypergraph, node ids in original graph, color range). *)
+  let rec go sub old_nodes ~first_color ~parts =
+    if parts = 1 then
+      Array.iter (fun v -> colors.(v) <- first_color) old_nodes
+    else begin
+      let parts_left = (parts + 1) / 2 in
+      let parts_right = parts - parts_left in
+      let split = bisector sub ~eps ~parts_left ~parts_right in
+      let side s =
+        let ids = ref [] in
+        for v = Hypergraph.num_nodes sub - 1 downto 0 do
+          if Partition.color split v = s then ids := v :: !ids
+        done;
+        Array.of_list !ids
+      in
+      let recurse s ~first_color ~parts =
+        let local = side s in
+        (* Build the sub-hypergraph induced by the side, keeping the edges
+           that intersect it (restricted to the side), so lower levels still
+           see their internal connectivity. *)
+        let in_side = Array.make (Hypergraph.num_nodes sub) false in
+        Array.iter (fun v -> in_side.(v) <- true) local;
+        let new_id = Array.make (Hypergraph.num_nodes sub) (-1) in
+        Array.iteri (fun i v -> new_id.(v) <- i) local;
+        let edges = ref [] in
+        for e = Hypergraph.num_edges sub - 1 downto 0 do
+          let pins =
+            Hypergraph.fold_pins sub e
+              (fun acc v -> if in_side.(v) then new_id.(v) :: acc else acc)
+              []
+          in
+          if List.length pins > 1 then
+            edges := (Array.of_list pins, Hypergraph.edge_weight sub e) :: !edges
+        done;
+        let arr = Array.of_list !edges in
+        let side_hg =
+          Hypergraph.of_edges
+            ~n:(Array.length local)
+            ~node_weights:(Array.map (fun v -> Hypergraph.node_weight sub v) local)
+            ~edge_weights:(Array.map snd arr) (Array.map fst arr)
+        in
+        go side_hg
+          (Array.map (fun v -> old_nodes.(v)) local)
+          ~first_color ~parts
+      in
+      recurse 0 ~first_color ~parts:parts_left;
+      recurse 1 ~first_color:(first_color + parts_left) ~parts:parts_right
+    end
+  in
+  go hg (Array.init n Fun.id) ~first_color:0 ~parts:k;
+  Partition.create ~k colors

@@ -1,0 +1,168 @@
+(* FM-style k-way refinement with gain buckets, node locking and rollback
+   to the best prefix of the move sequence.  Works for any k >= 2 and both
+   cost metrics; for k = 2 it is classic Fiduccia-Mattheyses.
+
+   Stale bucket priorities are revalidated lazily at pop time instead of
+   updating all neighbours after every move: a popped node whose recorded
+   gain no longer matches its recomputed gain is re-inserted with the fresh
+   value.  Between two applied moves every node is corrected at most once,
+   so a pass terminates. *)
+
+type config = {
+  eps : float;
+  variant : Partition.balance;
+  metric : Partition.metric;
+  max_passes : int;
+}
+
+let default_config =
+  { eps = 0.0; variant = Partition.Strict; metric = Partition.Connectivity;
+    max_passes = 8 }
+
+(* Best move of node v: (dst, delta) minimizing cost delta among parts with
+   capacity room, or None. *)
+let best_move cfg hg counts part weights cap v =
+  let src = Partition.color part v in
+  let w = Hypergraph.node_weight hg v in
+  let best = ref None in
+  for dst = 0 to Partition.k part - 1 do
+    if dst <> src && weights.(dst) + w <= cap then begin
+      let delta = Pin_counts.move_delta ~metric:cfg.metric counts v ~src ~dst in
+      match !best with
+      | Some (_, d) when d <= delta -> ()
+      | _ -> best := Some (dst, delta)
+    end
+  done;
+  !best
+
+let apply_move hg counts part weights v ~src ~dst =
+  Pin_counts.move counts v ~src ~dst;
+  (Partition.assignment part).(v) <- dst;
+  let w = Hypergraph.node_weight hg v in
+  weights.(src) <- weights.(src) - w;
+  weights.(dst) <- weights.(dst) + w
+
+(* One FM pass; returns the (non-negative) total gain realized.
+
+   During the pass moves may overfill a part by one node (the classic FM
+   slack that lets a perfectly balanced bisection trade nodes); the
+   rollback then only accepts prefixes whose imbalance is no worse than the
+   starting one, so a feasible partition never degrades. *)
+let fm_pass cfg hg counts part weights cap =
+  let n = Hypergraph.num_nodes hg in
+  let max_node_weight = ref 0 in
+  for v = 0 to n - 1 do
+    if Hypergraph.node_weight hg v > !max_node_weight then
+      max_node_weight := Hypergraph.node_weight hg v
+  done;
+  let cap_pass = cap + !max_node_weight in
+  (* Maximum absolute gain: the largest total incident edge weight. *)
+  let max_gain = ref 1 in
+  for v = 0 to n - 1 do
+    let s = Hypergraph.fold_incident hg v
+        (fun acc e -> acc + Hypergraph.edge_weight hg e) 0
+    in
+    if s > !max_gain then max_gain := s
+  done;
+  let queue =
+    Support.Bucket_queue.create ~min_priority:(- !max_gain)
+      ~max_priority:!max_gain n
+  in
+  let locked = Array.make n false in
+  for v = 0 to n - 1 do
+    match best_move cfg hg counts part weights cap_pass v with
+    | Some (_, delta) -> Support.Bucket_queue.insert queue v (-delta)
+    | None -> ()
+  done;
+  let overweight () =
+    Support.Util.array_count (fun w -> w > cap) weights
+  in
+  let start_overweight = overweight () in
+  (* Move log for rollback. *)
+  let moves = ref [] in
+  let cum = ref 0 and best_cum = ref 0 and best_len = ref 0 and len = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Support.Bucket_queue.pop_max queue with
+    | None -> continue := false
+    | Some (v, prio) ->
+        if not locked.(v) then begin
+          match best_move cfg hg counts part weights cap_pass v with
+          | None -> () (* no feasible move anymore: drop *)
+          | Some (dst, delta) ->
+              if -delta <> prio then
+                (* Stale priority: correct and retry later. *)
+                Support.Bucket_queue.insert queue v (-delta)
+              else begin
+                let src = Partition.color part v in
+                apply_move hg counts part weights v ~src ~dst;
+                locked.(v) <- true;
+                moves := (v, src, dst) :: !moves;
+                incr len;
+                cum := !cum + (-delta);
+                if !cum > !best_cum && overweight () <= start_overweight
+                then begin
+                  best_cum := !cum;
+                  best_len := !len
+                end
+              end
+        end
+  done;
+  (* Roll back the moves after the best (balance-acceptable) prefix. *)
+  let rec undo ms i =
+    if i > !best_len then
+      match ms with
+      | (v, src, dst) :: rest ->
+          apply_move hg counts part weights v ~src:dst ~dst:src;
+          undo rest (i - 1)
+      | [] -> assert false
+  in
+  undo !moves !len;
+  !best_cum
+
+(* Push overweight parts under capacity with cheapest-delta moves; used when
+   coarse-level solutions project to an infeasible partition. *)
+let rebalance cfg hg counts part weights cap =
+  let n = Hypergraph.num_nodes hg in
+  let progress = ref true in
+  while
+    !progress
+    && Array.exists (fun w -> w > cap) weights
+  do
+    progress := false;
+    (* Pick the cheapest move out of any overweight part. *)
+    let best = ref None in
+    for v = 0 to n - 1 do
+      let src = Partition.color part v in
+      if weights.(src) > cap then
+        match best_move cfg hg counts part weights cap v with
+        | Some (dst, delta) -> (
+            match !best with
+            | Some (_, _, _, d) when d <= delta -> ()
+            | _ -> best := Some (v, src, dst, delta))
+        | None -> ()
+    done;
+    match !best with
+    | Some (v, src, dst, _) ->
+        apply_move hg counts part weights v ~src ~dst;
+        progress := true
+    | None -> ()
+  done
+
+(* Refine [part] in place; returns the final cost. *)
+let refine ?(config = default_config) hg part =
+  let counts = Pin_counts.create hg part in
+  let weights = Partition.part_weights hg part in
+  let cap =
+    Partition.capacity ~variant:config.variant ~eps:config.eps
+      ~total_weight:(Hypergraph.total_node_weight hg)
+      ~k:(Partition.k part) ()
+  in
+  rebalance config hg counts part weights cap;
+  let passes = ref 0 and improving = ref true in
+  while !improving && !passes < config.max_passes do
+    incr passes;
+    let gain = fm_pass config hg counts part weights cap in
+    if gain <= 0 then improving := false
+  done;
+  Pin_counts.cost ~metric:config.metric counts

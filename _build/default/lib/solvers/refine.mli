@@ -1,0 +1,16 @@
+(** FM-style k-way refinement with gain buckets, locking and rollback
+    (classic Fiduccia–Mattheyses for k = 2). *)
+
+type config = {
+  eps : float;
+  variant : Partition.balance;
+  metric : Partition.metric;
+  max_passes : int;
+}
+
+val default_config : config
+(** ε = 0, strict balance, connectivity metric, 8 passes. *)
+
+val refine : ?config:config -> Hypergraph.t -> Partition.t -> int
+(** Refines the partition in place (first rebalancing if some part exceeds
+    capacity) and returns the final cost under the configured metric. *)

@@ -1,0 +1,1 @@
+lib/support/bucket_queue.mli:

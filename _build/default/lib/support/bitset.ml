@@ -1,0 +1,71 @@
+(* Fixed-capacity bitset over [0, capacity). Used for dense membership
+   tests in solvers and for the bit-parallel Orthogonal Vectors solver. *)
+
+type t = { words : Bytes.t; capacity : int }
+
+let bits_per_word = 8 (* bytes keep the code simple and allocation cheap *)
+
+let word_count capacity = (capacity + bits_per_word - 1) / bits_per_word
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Bytes.make (word_count capacity) '\000'; capacity }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  let w = Char.code (Bytes.get t.words (i / 8)) in
+  w land (1 lsl (i mod 8)) <> 0
+
+let add t i =
+  check t i;
+  let idx = i / 8 in
+  let w = Char.code (Bytes.get t.words idx) in
+  Bytes.set t.words idx (Char.chr (w lor (1 lsl (i mod 8))))
+
+let remove t i =
+  check t i;
+  let idx = i / 8 in
+  let w = Char.code (Bytes.get t.words idx) in
+  Bytes.set t.words idx (Char.chr (w land lnot (1 lsl (i mod 8)) land 0xff))
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let popcount_byte =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun c -> tbl.(Char.code c)
+
+let cardinal t =
+  let total = ref 0 in
+  Bytes.iter (fun c -> total := !total + popcount_byte c) t.words;
+  !total
+
+let intersects a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.intersects: capacity";
+  let n = Bytes.length a.words in
+  let rec go i =
+    if i >= n then false
+    else if Char.code (Bytes.get a.words i) land Char.code (Bytes.get b.words i) <> 0
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc

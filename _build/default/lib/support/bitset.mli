@@ -1,0 +1,16 @@
+(** Fixed-capacity bitset over [0, capacity). *)
+
+type t
+
+val create : int -> t
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+val cardinal : t -> int
+val intersects : t -> t -> bool
+(** Whether the two sets (of equal capacity) share an element. *)
+
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list

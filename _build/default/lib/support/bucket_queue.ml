@@ -1,0 +1,96 @@
+(* Bucket priority queue over items 0..n-1 with bounded integer priorities,
+   as used by Fiduccia–Mattheyses gain tables.  All operations are O(1)
+   except [pop_max] / [max_priority], which scan downward from the cached
+   maximum (amortized O(1) over an FM pass).
+
+   Implementation: one doubly-linked list per priority value, intrusive
+   links stored in arrays indexed by item. *)
+
+type t = {
+  offset : int; (* priority p is stored in bucket p + offset *)
+  heads : int array; (* bucket -> first item, or -1 *)
+  next : int array; (* item -> next item in its bucket, or -1 *)
+  prev : int array; (* item -> previous item, or -1 *)
+  priority : int array; (* item -> current priority (valid iff present) *)
+  present : bool array;
+  mutable max_bucket : int; (* upper bound on the highest non-empty bucket *)
+  mutable size : int;
+}
+
+let create ~min_priority ~max_priority n =
+  if min_priority > max_priority then
+    invalid_arg "Bucket_queue.create: empty priority range";
+  let buckets = max_priority - min_priority + 1 in
+  {
+    offset = -min_priority;
+    heads = Array.make buckets (-1);
+    next = Array.make n (-1);
+    prev = Array.make n (-1);
+    priority = Array.make n 0;
+    present = Array.make n false;
+    max_bucket = -1;
+    size = 0;
+  }
+
+let size t = t.size
+let is_empty t = t.size = 0
+let mem t item = t.present.(item)
+
+let priority t item =
+  if not t.present.(item) then invalid_arg "Bucket_queue.priority: absent item";
+  t.priority.(item)
+
+let bucket_of t p =
+  let b = p + t.offset in
+  if b < 0 || b >= Array.length t.heads then
+    invalid_arg "Bucket_queue: priority out of range";
+  b
+
+let insert t item p =
+  if t.present.(item) then invalid_arg "Bucket_queue.insert: duplicate item";
+  let b = bucket_of t p in
+  let head = t.heads.(b) in
+  t.next.(item) <- head;
+  t.prev.(item) <- -1;
+  if head >= 0 then t.prev.(head) <- item;
+  t.heads.(b) <- item;
+  t.priority.(item) <- p;
+  t.present.(item) <- true;
+  t.size <- t.size + 1;
+  if b > t.max_bucket then t.max_bucket <- b
+
+let remove t item =
+  if not t.present.(item) then invalid_arg "Bucket_queue.remove: absent item";
+  let b = bucket_of t t.priority.(item) in
+  let nx = t.next.(item) and pv = t.prev.(item) in
+  if pv >= 0 then t.next.(pv) <- nx else t.heads.(b) <- nx;
+  if nx >= 0 then t.prev.(nx) <- pv;
+  t.present.(item) <- false;
+  t.size <- t.size - 1
+
+let update t item p =
+  if t.present.(item) && t.priority.(item) = p then ()
+  else begin
+    if t.present.(item) then remove t item;
+    insert t item p
+  end
+
+let settle_max t =
+  while t.max_bucket >= 0 && t.heads.(t.max_bucket) < 0 do
+    t.max_bucket <- t.max_bucket - 1
+  done
+
+let max_item t =
+  if t.size = 0 then None
+  else begin
+    settle_max t;
+    Some (t.heads.(t.max_bucket))
+  end
+
+let pop_max t =
+  match max_item t with
+  | None -> None
+  | Some item ->
+      let p = t.priority.(item) in
+      remove t item;
+      Some (item, p)

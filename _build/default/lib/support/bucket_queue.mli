@@ -1,0 +1,31 @@
+(** Bucket priority queue over items [0 .. n-1] with bounded integer
+    priorities, as used by Fiduccia–Mattheyses gain tables. *)
+
+type t
+
+val create : min_priority:int -> max_priority:int -> int -> t
+(** [create ~min_priority ~max_priority n] holds items [0 .. n-1] with
+    priorities in the given inclusive range. *)
+
+val size : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val priority : t -> int -> int
+(** Current priority of a present item. Raises if absent. *)
+
+val insert : t -> int -> int -> unit
+(** [insert t item p]. Raises if [item] is already present or [p] is out of
+    range. *)
+
+val remove : t -> int -> unit
+(** Raises if the item is absent. *)
+
+val update : t -> int -> int -> unit
+(** [update t item p] inserts or re-prioritizes [item] at [p]. *)
+
+val max_item : t -> int option
+(** Some present item of maximal priority (LIFO within a bucket). *)
+
+val pop_max : t -> (int * int) option
+(** Removes and returns a maximal item with its priority. *)

@@ -1,0 +1,46 @@
+(* Disjoint-set union with path halving and union by size. *)
+
+type t = { parent : int array; size : int array; mutable components : int }
+
+let create n =
+  if n < 0 then invalid_arg "Dsu.create: negative size";
+  { parent = Array.init n (fun i -> i); size = Array.make n 1; components = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    t.parent.(x) <- t.parent.(p);
+    find t t.parent.(x)
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let ra, rb = if t.size.(ra) >= t.size.(rb) then (ra, rb) else (rb, ra) in
+    t.parent.(rb) <- ra;
+    t.size.(ra) <- t.size.(ra) + t.size.(rb);
+    t.components <- t.components - 1;
+    true
+  end
+
+let same t a b = find t a = find t b
+let component_size t a = t.size.(find t a)
+let components t = t.components
+
+(* Relabel roots to consecutive component ids in [0, components). *)
+let labeling t =
+  let n = Array.length t.parent in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  let out = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let r = find t v in
+    if label.(r) < 0 then begin
+      label.(r) <- !next;
+      incr next
+    end;
+    out.(v) <- label.(r)
+  done;
+  (out, !next)

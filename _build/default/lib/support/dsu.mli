@@ -1,0 +1,17 @@
+(** Disjoint-set union (union–find) with path halving and union by size. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> bool
+(** [union t a b] merges the sets of [a] and [b]; returns [false] if they
+    were already in the same set. *)
+
+val same : t -> int -> int -> bool
+val component_size : t -> int -> int
+val components : t -> int
+
+val labeling : t -> int array * int
+(** [labeling t] is [(label, count)] where [label.(v)] is a component id in
+    [\[0, count)], consecutive in order of first appearance. *)

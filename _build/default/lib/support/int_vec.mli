@@ -1,0 +1,22 @@
+(** Growable array of ints with amortized O(1) push. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val clear : t -> unit
+(** [clear t] resets the length to 0 without shrinking capacity. *)
+
+val push : t -> int -> unit
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val pop : t -> int
+(** Removes and returns the last element. Raises on empty. *)
+
+val to_array : t -> int array
+val of_array : int array -> t
+val iter : (int -> unit) -> t -> unit
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val unsafe_data : t -> int array
+(** The backing array; entries beyond [length t] are unspecified. *)

@@ -1,0 +1,66 @@
+(* Deterministic pseudo-random number generation.
+
+   Every randomized component of the library takes an explicit [Rng.t] so
+   that experiments and tests are reproducible from a seed.  This is a thin
+   wrapper around [Random.State] with a few sampling helpers that are used
+   throughout the workload generators and solvers. *)
+
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x85ebca6b |]
+
+let split t =
+  let seed = Random.State.bits t in
+  create seed
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t bound
+
+let int_in_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound = Random.State.float t bound
+
+let bool t = Random.State.bool t
+
+let bernoulli t p = Random.State.float t 1.0 < p
+
+let shuffle_in_place t a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a
+
+let choose t a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t n)
+
+(* Floyd's algorithm: sample [k] distinct values from [0, n). *)
+let sample_distinct t ~n ~k =
+  if k > n then invalid_arg "Rng.sample_distinct: k > n";
+  let seen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    let v = if Hashtbl.mem seen r then j else r in
+    Hashtbl.replace seen v ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun v () ->
+      out.(!i) <- v;
+      incr i)
+    seen;
+  Array.sort compare out;
+  out

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation.
+
+    Every randomized component of the library takes an explicit [Rng.t],
+    making experiments and tests reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator determined entirely by [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises on [bound <= 0]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in [\[lo, hi\]] (inclusive). Raises if the range is empty. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform permutation of [0 .. n-1]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_distinct : t -> n:int -> k:int -> int array
+(** [sample_distinct t ~n ~k] is a sorted array of [k] distinct values from
+    [\[0, n)], sampled uniformly. Raises if [k > n]. *)

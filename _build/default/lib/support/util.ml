@@ -1,0 +1,78 @@
+(* Small shared helpers. *)
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Util.ceil_div: non-positive divisor";
+  if a >= 0 then (a + b - 1) / b else a / b
+
+let sum_array a = Array.fold_left ( + ) 0 a
+let sum_float_array a = Array.fold_left ( +. ) 0.0 a
+
+let max_array a =
+  if Array.length a = 0 then invalid_arg "Util.max_array: empty";
+  Array.fold_left max a.(0) a
+
+let min_array a =
+  if Array.length a = 0 then invalid_arg "Util.min_array: empty";
+  Array.fold_left min a.(0) a
+
+let rec pow base exp =
+  if exp < 0 then invalid_arg "Util.pow: negative exponent"
+  else if exp = 0 then 1
+  else begin
+    let half = pow base (exp / 2) in
+    if exp mod 2 = 0 then half * half else half * half * base
+  end
+
+let rec choose n k =
+  if k < 0 || k > n then 0
+  else if k = 0 || k = n then 1
+  else if k > n - k then choose n (n - k)
+  else choose (n - 1) (k - 1) * n / k
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* Iterate over all k-subsets of [0, n) as sorted arrays. *)
+let iter_subsets ~n ~k f =
+  if k < 0 || k > n then ()
+  else begin
+    let sel = Array.init k (fun i -> i) in
+    let rec next () =
+      f (Array.copy sel);
+      (* Advance to the lexicographically next combination. *)
+      let rec bump i =
+        if i < 0 then false
+        else if sel.(i) < n - k + i then begin
+          sel.(i) <- sel.(i) + 1;
+          for j = i + 1 to k - 1 do
+            sel.(j) <- sel.(j - 1) + 1
+          done;
+          true
+        end
+        else bump (i - 1)
+      in
+      if bump (k - 1) then next ()
+    in
+    if k = 0 then f [||] else next ()
+  end
+
+(* Iterate over all assignments [0,base)^len, presented as an int array that
+   must not be retained across calls. *)
+let iter_tuples ~base ~len f =
+  if base <= 0 then invalid_arg "Util.iter_tuples: non-positive base";
+  let tuple = Array.make len 0 in
+  let rec go pos = if pos = len then f tuple
+    else
+      for v = 0 to base - 1 do
+        tuple.(pos) <- v;
+        go (pos + 1)
+      done
+  in
+  go 0
+
+let list_init n f = List.init n f
+
+let array_count p a =
+  Array.fold_left (fun acc x -> if p x then acc + 1 else acc) 0 a

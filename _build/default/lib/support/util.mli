@@ -1,0 +1,29 @@
+(** Small shared helpers. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [⌈a / b⌉] for positive [b]. *)
+
+val sum_array : int array -> int
+val sum_float_array : float array -> float
+val max_array : int array -> int
+val min_array : int array -> int
+
+val pow : int -> int -> int
+(** Integer exponentiation; raises on negative exponent. *)
+
+val choose : int -> int -> int
+(** Binomial coefficient; 0 when [k] is out of range. *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** [time_it f] runs [f ()] and returns its result with elapsed seconds. *)
+
+val iter_subsets : n:int -> k:int -> (int array -> unit) -> unit
+(** Calls the function on every sorted [k]-subset of [\[0, n)]. The array is
+    fresh for each call. *)
+
+val iter_tuples : base:int -> len:int -> (int array -> unit) -> unit
+(** Calls the function on every tuple in [\[0, base)^len]. The array is
+    reused between calls and must not be retained. *)
+
+val list_init : int -> (int -> 'a) -> 'a list
+val array_count : ('a -> bool) -> 'a array -> int

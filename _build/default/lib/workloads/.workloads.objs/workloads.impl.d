@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Dag_gen Rand_hg Spmv

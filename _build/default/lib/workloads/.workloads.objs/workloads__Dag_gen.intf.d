@@ -1,0 +1,1 @@
+lib/workloads/dag_gen.mli: Hyperdag Support

@@ -1,0 +1,1 @@
+lib/workloads/rand_hg.ml: Array Fun Hypergraph List Support

@@ -1,0 +1,1 @@
+lib/workloads/rand_hg.mli: Hypergraph Support

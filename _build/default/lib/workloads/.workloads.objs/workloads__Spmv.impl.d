@@ -1,0 +1,1 @@
+lib/workloads/spmv.ml: Array Hashtbl Hypergraph List Support

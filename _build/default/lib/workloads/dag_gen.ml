@@ -1,0 +1,112 @@
+(* Computational DAG families used by the hyperDAG experiments and
+   examples. *)
+
+module D = Hyperdag.Dag
+
+let chain n =
+  D.of_edges ~n (Support.Util.list_init (n - 1) (fun i -> (i, i + 1)))
+
+let independent n = D.of_edges ~n []
+
+(* Complete binary reduction (in-tree): 2^levels leaves reduced pairwise;
+   node 0 .. 2^levels - 1 are leaves, internal nodes follow. *)
+let binary_reduction ~levels =
+  let leaves = Support.Util.pow 2 levels in
+  let n = (2 * leaves) - 1 in
+  (* Heap layout reversed: node ids so that children precede parents. *)
+  let edges = ref [] in
+  (* First [leaves] ids: inputs of level 0; level l starts at offset. *)
+  let offset = Array.make (levels + 1) 0 in
+  for l = 1 to levels do
+    offset.(l) <- offset.(l - 1) + (leaves lsr (l - 1))
+  done;
+  for l = 1 to levels do
+    let width = leaves lsr l in
+    for i = 0 to width - 1 do
+      let parent = offset.(l) + i in
+      let left = offset.(l - 1) + (2 * i) in
+      let right = left + 1 in
+      edges := (left, parent) :: (right, parent) :: !edges
+    done
+  done;
+  D.of_edges ~n !edges
+
+(* FFT butterfly: [stages] stages over 2^stages points; node (s, i) depends
+   on (s-1, i) and (s-1, i xor 2^(s-1)). *)
+let fft ~stages =
+  let width = Support.Util.pow 2 stages in
+  let id s i = (s * width) + i in
+  let n = (stages + 1) * width in
+  let edges = ref [] in
+  for s = 1 to stages do
+    for i = 0 to width - 1 do
+      edges := (id (s - 1) i, id s i) :: !edges;
+      edges := (id (s - 1) (i lxor (1 lsl (s - 1))), id s i) :: !edges
+    done
+  done;
+  D.of_edges ~n !edges
+
+(* Explicit time-stepping on a 1-D stencil: value (t, i) depends on
+   (t-1, i-1), (t-1, i), (t-1, i+1). *)
+let stencil_1d ~width ~steps =
+  let id t i = (t * width) + i in
+  let n = (steps + 1) * width in
+  let edges = ref [] in
+  for t = 1 to steps do
+    for i = 0 to width - 1 do
+      for di = -1 to 1 do
+        let j = i + di in
+        if j >= 0 && j < width then edges := (id (t - 1) j, id t i) :: !edges
+      done
+    done
+  done;
+  D.of_edges ~n !edges
+
+(* Fork-join: a source fans out to [width] parallel chains of [depth],
+   which join into a sink. *)
+let fork_join ~width ~depth =
+  let n = 2 + (width * depth) in
+  let source = 0 and sink = n - 1 in
+  let id w d = 1 + (w * depth) + d in
+  let edges = ref [] in
+  for w = 0 to width - 1 do
+    edges := (source, id w 0) :: !edges;
+    for d = 1 to depth - 1 do
+      edges := (id w (d - 1), id w d) :: !edges
+    done;
+    edges := (id w (depth - 1), sink) :: !edges
+  done;
+  D.of_edges ~n !edges
+
+(* Random layered DAG: [layers] layers of [width] nodes, each node drawing
+   1..max_indegree predecessors from the previous layer. *)
+let layered rng ~layers ~width ~max_indegree =
+  let id l i = (l * width) + i in
+  let n = layers * width in
+  let edges = ref [] in
+  for l = 1 to layers - 1 do
+    for i = 0 to width - 1 do
+      let d = 1 + Support.Rng.int rng (min max_indegree width) in
+      let preds = Support.Rng.sample_distinct rng ~n:width ~k:d in
+      Array.iter (fun p -> edges := (id (l - 1) p, id l i) :: !edges) preds
+    done
+  done;
+  D.of_edges ~n !edges
+
+(* Random DAG over a fixed topological order. *)
+let random rng ~n ~edge_probability =
+  let edges = ref [] in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      if Support.Rng.bernoulli rng edge_probability then
+        edges := (u, v) :: !edges
+    done
+  done;
+  D.of_edges ~n !edges
+
+(* Random out-tree: each node's parent is a uniformly chosen earlier
+   node. *)
+let random_out_tree rng ~n =
+  D.of_edges ~n
+    (Support.Util.list_init (n - 1) (fun i ->
+         (Support.Rng.int rng (i + 1), i + 1)))

@@ -1,0 +1,17 @@
+(** Computational DAG families for the hyperDAG experiments. *)
+
+val chain : int -> Hyperdag.Dag.t
+val independent : int -> Hyperdag.Dag.t
+val binary_reduction : levels:int -> Hyperdag.Dag.t
+(** Pairwise reduction in-tree over 2^levels inputs. *)
+
+val fft : stages:int -> Hyperdag.Dag.t
+(** Butterfly over 2^stages points. *)
+
+val stencil_1d : width:int -> steps:int -> Hyperdag.Dag.t
+val fork_join : width:int -> depth:int -> Hyperdag.Dag.t
+val layered :
+  Support.Rng.t -> layers:int -> width:int -> max_indegree:int ->
+  Hyperdag.Dag.t
+val random : Support.Rng.t -> n:int -> edge_probability:float -> Hyperdag.Dag.t
+val random_out_tree : Support.Rng.t -> n:int -> Hyperdag.Dag.t

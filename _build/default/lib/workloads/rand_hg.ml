@@ -1,0 +1,58 @@
+(* Random hypergraph generators used by the experiments and benchmarks. *)
+
+(* m hyperedges with sizes uniform in [min_size, max_size], pins sampled
+   without replacement. *)
+let uniform rng ~n ~m ~min_size ~max_size =
+  if min_size < 1 || max_size < min_size || max_size > n then
+    invalid_arg "Rand_hg.uniform: bad size range";
+  let edges =
+    Array.init m (fun _ ->
+        let size = Support.Rng.int_in_range rng ~lo:min_size ~hi:max_size in
+        Support.Rng.sample_distinct rng ~n ~k:size)
+  in
+  Hypergraph.of_edges ~n edges
+
+(* Every node has degree exactly 2 (the class of Theorem 4.1's strongest
+   form and of [30]): a random pairing of 2n pin slots into m edges. *)
+let two_regular rng ~n ~m =
+  if m < 2 then invalid_arg "Rand_hg.two_regular: need m >= 2";
+  (* Assign each of the 2n pins a random edge; re-draw duplicates within a
+     node (a node's two edges must differ to avoid duplicate pins). *)
+  let edges = Array.make m [] in
+  for v = 0 to n - 1 do
+    let e1 = Support.Rng.int rng m in
+    let rec fresh () =
+      let e = Support.Rng.int rng m in
+      if e = e1 then fresh () else e
+    in
+    let e2 = fresh () in
+    edges.(e1) <- v :: edges.(e1);
+    edges.(e2) <- v :: edges.(e2)
+  done;
+  let nonempty = Array.of_list (List.filter (fun l -> l <> []) (Array.to_list edges)) in
+  Hypergraph.of_edges ~n (Array.map Array.of_list nonempty)
+
+(* Planted-partition hypergraph: k communities; each edge samples its pins
+   from a single community with probability [locality], otherwise from the
+   whole node set.  Gives partitioners something to find. *)
+let planted rng ~n ~m ~k ~locality ~edge_size =
+  let community = Array.init n (fun v -> v mod k) in
+  let by_community =
+    Array.init k (fun c ->
+        Array.of_list
+          (List.filter (fun v -> community.(v) = c) (List.init n Fun.id)))
+  in
+  let edges =
+    Array.init m (fun _ ->
+        if Support.Rng.bernoulli rng locality then begin
+          let c = Support.Rng.int rng k in
+          let pool = by_community.(c) in
+          let size = min edge_size (Array.length pool) in
+          let idx =
+            Support.Rng.sample_distinct rng ~n:(Array.length pool) ~k:size
+          in
+          Array.map (fun i -> pool.(i)) idx
+        end
+        else Support.Rng.sample_distinct rng ~n ~k:(min edge_size n))
+  in
+  Hypergraph.of_edges ~n edges

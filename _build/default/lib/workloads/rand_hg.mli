@@ -1,0 +1,15 @@
+(** Random hypergraph generators. *)
+
+val uniform :
+  Support.Rng.t -> n:int -> m:int -> min_size:int -> max_size:int ->
+  Hypergraph.t
+
+val two_regular : Support.Rng.t -> n:int -> m:int -> Hypergraph.t
+(** Every node has degree exactly 2 (the class of [30] / Theorem 4.1). *)
+
+val planted :
+  Support.Rng.t ->
+  n:int -> m:int -> k:int -> locality:float -> edge_size:int ->
+  Hypergraph.t
+(** Planted k-community hypergraph; [locality] is the probability an edge
+    stays within one community. *)

@@ -1,0 +1,92 @@
+(* Hypergraph models of sparse matrix-vector multiplication (SpMV), the
+   flagship application of hypergraph partitioning (Sections 1 and 3.2 cite
+   [30]).  A sparse matrix A is given as a list of (row, col) nonzeros.
+
+   Three standard models:
+   - [fine_grain]: one node per nonzero, one hyperedge per row and per
+     column touching it — every node has degree exactly 2 (the SpMV class
+     of [30], for which the Theorem 4.1 hardness also holds);
+   - [row_net]: nodes are columns (vector entries), one hyperedge per row
+     containing its nonzero columns (1-D column distribution);
+   - [column_net]: the transpose view. *)
+
+type matrix = { rows : int; cols : int; nonzeros : (int * int) array }
+
+let create ~rows ~cols nonzeros =
+  let seen = Hashtbl.create (2 * List.length nonzeros) in
+  List.iter
+    (fun (r, c) ->
+      if r < 0 || r >= rows || c < 0 || c >= cols then
+        invalid_arg "Spmv.create: entry out of range";
+      if Hashtbl.mem seen (r, c) then
+        invalid_arg "Spmv.create: duplicate nonzero";
+      Hashtbl.add seen (r, c) ())
+    nonzeros;
+  { rows; cols; nonzeros = Array.of_list (List.sort compare nonzeros) }
+
+let nnz m = Array.length m.nonzeros
+
+let random rng ~rows ~cols ~density =
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if Support.Rng.bernoulli rng density then acc := (r, c) :: !acc
+    done
+  done;
+  (* Guarantee at least one nonzero per row and column so the hypergraphs
+     below have no degenerate empty edges. *)
+  let have_row = Array.make rows false and have_col = Array.make cols false in
+  List.iter
+    (fun (r, c) ->
+      have_row.(r) <- true;
+      have_col.(c) <- true)
+    !acc;
+  for r = 0 to rows - 1 do
+    if not have_row.(r) then begin
+      let c = Support.Rng.int rng cols in
+      acc := (r, c) :: !acc;
+      have_col.(c) <- true
+    end
+  done;
+  for c = 0 to cols - 1 do
+    if not have_col.(c) then acc := (Support.Rng.int rng rows, c) :: !acc
+  done;
+  create ~rows ~cols (List.sort_uniq compare !acc)
+
+(* Banded matrix (classic PDE stencil shape). *)
+let banded ~size ~bandwidth =
+  let acc = ref [] in
+  for r = 0 to size - 1 do
+    for c = max 0 (r - bandwidth) to min (size - 1) (r + bandwidth) do
+      acc := (r, c) :: !acc
+    done
+  done;
+  create ~rows:size ~cols:size !acc
+
+let fine_grain m =
+  let n = nnz m in
+  let row_pins = Array.make m.rows [] and col_pins = Array.make m.cols [] in
+  Array.iteri
+    (fun i (r, c) ->
+      row_pins.(r) <- i :: row_pins.(r);
+      col_pins.(c) <- i :: col_pins.(c))
+    m.nonzeros;
+  let edges =
+    List.filter (fun l -> List.length l >= 2)
+      (Array.to_list row_pins @ Array.to_list col_pins)
+  in
+  Hypergraph.of_edges ~n (Array.of_list (List.map Array.of_list edges))
+
+let row_net m =
+  let pins = Array.make m.rows [] in
+  Array.iter (fun (r, c) -> pins.(r) <- c :: pins.(r)) m.nonzeros;
+  let edges = List.filter (fun l -> List.length l >= 2) (Array.to_list pins) in
+  Hypergraph.of_edges ~n:m.cols (Array.of_list (List.map Array.of_list edges))
+
+let column_net m =
+  row_net
+    {
+      rows = m.cols;
+      cols = m.rows;
+      nonzeros = Array.map (fun (r, c) -> (c, r)) m.nonzeros;
+    }

@@ -1,0 +1,19 @@
+(** Hypergraph models of sparse matrix–vector multiplication. *)
+
+type matrix
+
+val create : rows:int -> cols:int -> (int * int) list -> matrix
+val nnz : matrix -> int
+val random : Support.Rng.t -> rows:int -> cols:int -> density:float -> matrix
+(** Every row and column is guaranteed at least one nonzero. *)
+
+val banded : size:int -> bandwidth:int -> matrix
+
+val fine_grain : matrix -> Hypergraph.t
+(** One node per nonzero, row + column hyperedges; degree exactly 2 (the
+    fine-grain model of [30]). *)
+
+val row_net : matrix -> Hypergraph.t
+(** Nodes are columns; one hyperedge per row. *)
+
+val column_net : matrix -> Hypergraph.t

@@ -1,0 +1,4 @@
+(* Library root. *)
+module Rand_hg = Rand_hg
+module Spmv = Spmv
+module Dag_gen = Dag_gen

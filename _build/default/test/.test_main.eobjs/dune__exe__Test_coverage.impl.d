@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Fmt Fun Hierarchy Hyperdag Hypergraph Matching Npc Partition Reductions Solvers Support Workloads

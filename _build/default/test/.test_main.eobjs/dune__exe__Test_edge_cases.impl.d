@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Hierarchy Hyperdag Hypergraph Partition Scheduling Solvers Support Workloads

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Fun Hyperdag Hypergraph List Npc Partition Reductions Solvers String Support Workloads

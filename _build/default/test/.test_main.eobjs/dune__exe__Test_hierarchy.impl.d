@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Array Fmt Fun Hierarchy Hypergraph List Partition Solvers Support

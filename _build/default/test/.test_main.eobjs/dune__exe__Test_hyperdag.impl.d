@@ -1,0 +1,1 @@
+test/test_hyperdag.ml: Alcotest Array Fun Hyperdag Hypergraph List QCheck QCheck_alcotest Support

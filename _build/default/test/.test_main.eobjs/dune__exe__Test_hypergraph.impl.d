@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Array Fmt Fun Hypergraph List QCheck QCheck_alcotest String Support

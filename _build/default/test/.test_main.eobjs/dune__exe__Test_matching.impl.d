@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array List Matching QCheck QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_npc.ml: Alcotest Array Fmt Hypergraph Npc Support

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Fmt Fun Hierarchy Hyperdag Hypergraph List Partition QCheck QCheck_alcotest Reductions Scheduling Solvers Support Workloads

@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array Fmt Hierarchy Hyperdag Hypergraph List Npc Partition Reductions Scheduling Solvers Support

@@ -1,0 +1,1 @@
+test/test_scheduling.ml: Alcotest Array Hyperdag QCheck QCheck_alcotest Scheduling Support

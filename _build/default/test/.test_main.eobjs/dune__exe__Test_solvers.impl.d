@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Array Hypergraph List Partition Solvers Support

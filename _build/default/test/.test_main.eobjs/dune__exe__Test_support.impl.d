@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Bitset Bucket_queue Dsu Fun Hashtbl Int_vec QCheck QCheck_alcotest Rng Support Util

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hyperdag Hypergraph List Support Workloads

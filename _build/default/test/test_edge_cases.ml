@@ -1,0 +1,176 @@
+(* Edge-case and error-path tests across the libraries: degenerate inputs,
+   alternative metrics, format corners, bound conditions. *)
+
+module H = Hypergraph
+module P = Partition
+
+(* Hypergraph corners --------------------------------------------------------- *)
+
+let test_empty_hypergraph () =
+  let h = H.empty 5 in
+  Alcotest.(check int) "no edges" 0 (H.num_edges h);
+  Alcotest.(check int) "max degree 0" 0 (H.max_degree h);
+  let p = P.trivial ~k:2 ~n:5 in
+  Alcotest.(check int) "zero cost" 0 (P.connectivity_cost h p);
+  (* Partitioning an edgeless hypergraph: any balanced split costs 0. *)
+  match Solvers.Exact.solve ~variant:P.Relaxed ~eps:0.0 h ~k:2 with
+  | Some { Solvers.Exact.cost; _ } -> Alcotest.(check int) "optimum 0" 0 cost
+  | None -> Alcotest.fail "feasible"
+
+let test_zero_node_hypergraph () =
+  let h = H.empty 0 in
+  Alcotest.(check int) "n = 0" 0 (H.num_nodes h);
+  let p = Solvers.Multilevel.partition (Support.Rng.create 1) h ~k:3 in
+  Alcotest.(check int) "empty partition" 0 (Array.length (P.assignment p))
+
+let test_singleton_edges () =
+  (* Size-1 hyperedges are never cut under either metric. *)
+  let h = H.of_edges ~n:3 [| [| 0 |]; [| 1; 2 |] |] in
+  let p = P.create ~k:2 [| 0; 0; 1 |] in
+  Alcotest.(check int) "cutnet counts only the real cut" 1 (P.cutnet_cost h p);
+  Alcotest.(check int) "connectivity too" 1 (P.connectivity_cost h p)
+
+let test_grid_column_outsiders () =
+  (* Outsiders beyond [side] extend column hyperedges (the Appendix C.2
+     padding device). *)
+  let b = H.Builder.create () in
+  let g = H.Gadgets.grid ~outsiders:5 b ~side:3 in
+  let h = H.Builder.build b in
+  Alcotest.(check int) "total outsiders" 5
+    (Array.length g.H.Gadgets.outsiders);
+  (* Rows 0-2 extended, columns 0-1 extended. *)
+  Alcotest.(check int) "row 0 size" 4 (H.edge_size h g.H.Gadgets.row_edges.(0));
+  Alcotest.(check int) "col 0 size" 4 (H.edge_size h g.H.Gadgets.col_edges.(0));
+  Alcotest.(check int) "col 2 size" 3 (H.edge_size h g.H.Gadgets.col_edges.(2));
+  Alcotest.check_raises "too many outsiders"
+    (Invalid_argument "Gadgets.grid: more outsiders than rows and columns")
+    (fun () ->
+      let b = H.Builder.create () in
+      ignore (H.Gadgets.grid ~outsiders:7 b ~side:3))
+
+(* hMETIS format corners -------------------------------------------------------- *)
+
+let test_hmetis_fmt_variants () =
+  (* fmt = 1: edge weights only. *)
+  let h1 = H.Hmetis.of_string "2 3 1\n5 1 2\n7 2 3\n" in
+  Alcotest.(check int) "edge weight parsed" 5 (H.edge_weight h1 0);
+  Alcotest.(check int) "node weight default" 1 (H.node_weight h1 0);
+  (* fmt = 10: node weights only. *)
+  let h10 = H.Hmetis.of_string "1 2 10\n1 2\n3\n4\n" in
+  Alcotest.(check int) "node weight parsed" 4 (H.node_weight h10 1);
+  Alcotest.(check int) "edge weight default" 1 (H.edge_weight h10 0);
+  (* Unsupported fmt rejected. *)
+  (try
+     ignore (H.Hmetis.of_string "1 2 7\n1 2\n");
+     Alcotest.fail "expected unsupported fmt"
+   with Failure _ -> ())
+
+(* Topology corners -------------------------------------------------------------- *)
+
+let test_topology_ancestors () =
+  let t = Hierarchy.Topology.create ~branching:[| 2; 3 |] ~costs:[| 4.0; 1.0 |] in
+  Alcotest.(check int) "k = 6" 6 (Hierarchy.Topology.num_leaves t);
+  (* Leaves 0-2 under child 0; 3-5 under child 1. *)
+  Alcotest.(check int) "ancestor level 1" 0
+    (Hierarchy.Topology.ancestor t 2 ~level:1);
+  Alcotest.(check int) "ancestor level 1 (right)" 1
+    (Hierarchy.Topology.ancestor t 3 ~level:1);
+  Alcotest.(check int) "lca within" 2 (Hierarchy.Topology.lca_level t 3 5);
+  Alcotest.(check int) "lca across" 1 (Hierarchy.Topology.lca_level t 2 3);
+  Alcotest.check_raises "equal leaves"
+    (Invalid_argument "Topology.lca_level: equal leaves") (fun () ->
+      ignore (Hierarchy.Topology.lca_level t 1 1))
+
+let test_steiner_validation () =
+  Alcotest.check_raises "non-square"
+    (Invalid_argument "Steiner: non-square matrix") (fun () ->
+      ignore (Hierarchy.Steiner.exact [| [| 0.0; 1.0 |] |] [| 0 |]));
+  Alcotest.check_raises "asymmetric"
+    (Invalid_argument "Steiner: asymmetric matrix") (fun () ->
+      ignore
+        (Hierarchy.Steiner.exact
+           [| [| 0.0; 1.0 |]; [| 2.0; 0.0 |] |]
+           [| 0; 1 |]))
+
+(* Cut-net metric through the solvers --------------------------------------------- *)
+
+let test_fm_cutnet_metric () =
+  let rng = Support.Rng.create 17 in
+  for _ = 1 to 10 do
+    let hg = Workloads.Rand_hg.uniform rng ~n:16 ~m:20 ~min_size:2 ~max_size:5 in
+    let part = Solvers.Initial.random_balanced ~eps:0.2 rng hg ~k:3 in
+    let before = P.cutnet_cost hg part in
+    let after =
+      Solvers.Refine.refine
+        ~config:
+          { Solvers.Refine.default_config with eps = 0.2; metric = P.Cut_net }
+        hg part
+    in
+    Alcotest.(check int) "returned cutnet cost" (P.cutnet_cost hg part) after;
+    Alcotest.(check bool) "cutnet never worse" true (after <= before)
+  done
+
+let test_xp_cutnet () =
+  let h = H.of_edges ~n:4 [| [| 0; 1; 2 |]; [| 1; 2; 3 |] |] in
+  (* eps 0, k 2: any bisection cuts both size-3 edges: cutnet optimum 2. *)
+  (match Solvers.Xp.optimum ~metric:P.Cut_net ~eps:0.0 h ~k:2 ~limit:3 with
+  | Some (l, part) ->
+      Alcotest.(check int) "cutnet optimum" 2 l;
+      Alcotest.(check int) "witness cutnet cost" 2 (P.cutnet_cost h part)
+  | None -> Alcotest.fail "solution exists");
+  match Solvers.Exact.optimum ~metric:P.Cut_net ~eps:0.0 h ~k:2 with
+  | Some v -> Alcotest.(check int) "exact agrees" 2 v
+  | None -> Alcotest.fail "exact feasible"
+
+(* Schedule corners ----------------------------------------------------------------- *)
+
+let test_schedule_single_node () =
+  let dag = Hyperdag.Dag.of_edges ~n:1 [] in
+  Alcotest.(check int) "mu of single node" 1
+    (Scheduling.Mu.exact_makespan dag ~k:4);
+  Alcotest.(check int) "CG of single node" 1
+    (Scheduling.Coffman_graham.two_processor_makespan dag)
+
+let test_mu_too_large () =
+  let dag = Workloads.Dag_gen.independent 30 in
+  (try
+     ignore (Scheduling.Mu.exact_makespan dag ~k:2);
+     Alcotest.fail "expected Too_large"
+   with Scheduling.Mu.Too_large -> ());
+  match Scheduling.Mu.makespan_general dag ~k:3 with
+  | Scheduling.Mu.Exact m ->
+      (* Independent tasks are an in-forest: Hu applies at any size. *)
+      Alcotest.(check int) "forest route" 10 m
+  | Scheduling.Mu.Bounds _ -> Alcotest.fail "forest should be exact"
+
+(* Eps boundary ----------------------------------------------------------------------- *)
+
+let test_eps_boundaries () =
+  (* Lemma A.4 boundary: eps just below 1/(k-1) forces all parts. *)
+  let h = H.empty 12 in
+  (match Solvers.Exact.solve ~eps:0.3 h ~k:4 with
+  | Some { Solvers.Exact.part; _ } ->
+      Alcotest.(check bool) "A.4: <= cap per part" true
+        (P.is_balanced ~eps:0.3 h part)
+  | None -> Alcotest.fail "feasible");
+  (* Negative eps rejected. *)
+  Alcotest.check_raises "negative eps"
+    (Invalid_argument "Part.capacity: negative eps") (fun () ->
+      ignore (P.capacity ~eps:(-0.1) ~total_weight:10 ~k:2 ()))
+
+let suite =
+  [
+    Alcotest.test_case "empty hypergraph" `Quick test_empty_hypergraph;
+    Alcotest.test_case "zero-node hypergraph" `Quick test_zero_node_hypergraph;
+    Alcotest.test_case "singleton edges" `Quick test_singleton_edges;
+    Alcotest.test_case "grid column outsiders" `Quick
+      test_grid_column_outsiders;
+    Alcotest.test_case "hMETIS fmt variants" `Quick test_hmetis_fmt_variants;
+    Alcotest.test_case "topology ancestors" `Quick test_topology_ancestors;
+    Alcotest.test_case "steiner validation" `Quick test_steiner_validation;
+    Alcotest.test_case "FM with cut-net metric" `Quick test_fm_cutnet_metric;
+    Alcotest.test_case "XP with cut-net metric" `Quick test_xp_cutnet;
+    Alcotest.test_case "single-node schedule" `Quick test_schedule_single_node;
+    Alcotest.test_case "mu size guard" `Quick test_mu_too_large;
+    Alcotest.test_case "eps boundaries" `Quick test_eps_boundaries;
+  ]

@@ -1,0 +1,22 @@
+(* Aggregated alcotest runner for every library in the repository. *)
+
+let () =
+  Alcotest.run "hypartition"
+    [
+      ("support", Test_support.suite);
+      ("hypergraph", Test_hypergraph.suite);
+      ("partition", Test_partition.suite);
+      ("hyperdag", Test_hyperdag.suite);
+      ("solvers", Test_solvers.suite);
+      ("scheduling", Test_scheduling.suite);
+      ("matching", Test_matching.suite);
+      ("npc", Test_npc.suite);
+      ("hierarchy", Test_hierarchy.suite);
+      ("reductions", Test_reductions.suite);
+      ("workloads", Test_workloads.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite);
+      ("experiments", Test_experiments.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("coverage", Test_coverage.suite);
+    ]

@@ -1,0 +1,119 @@
+(* Tests for maximum-weight perfect matching (the b2 = 2 hierarchy
+   assignment engine). *)
+
+module M = Matching
+
+let weight_fn_of_matrix m = fun a b -> m.(a).(b)
+
+let random_matrix rng k =
+  let m = Array.make_matrix k k 0 in
+  for a = 0 to k - 1 do
+    for b = a + 1 to k - 1 do
+      let w = Support.Rng.int rng 100 in
+      m.(a).(b) <- w;
+      m.(b).(a) <- w
+    done
+  done;
+  m
+
+(* Reference: brute force over all pairings by recursion. *)
+let brute_force_best ~k w =
+  let best = ref min_int in
+  let used = Array.make k false in
+  let rec go acc =
+    let rec first i = if i >= k then None else if used.(i) then first (i + 1) else Some i in
+    match first 0 with
+    | None -> if acc > !best then best := acc
+    | Some a ->
+        used.(a) <- true;
+        for b = a + 1 to k - 1 do
+          if not used.(b) then begin
+            used.(b) <- true;
+            go (acc + w a b);
+            used.(b) <- false
+          end
+        done;
+        used.(a) <- false
+  in
+  go 0;
+  !best
+
+let test_exact_small () =
+  let m = [| [| 0; 5; 1; 1 |]; [| 5; 0; 1; 1 |]; [| 1; 1; 0; 7 |]; [| 1; 1; 7; 0 |] |] in
+  let w = weight_fn_of_matrix m in
+  let pairs = M.exact_max_weight ~k:4 w in
+  Alcotest.(check bool) "perfect" true (M.is_perfect_pairing ~k:4 pairs);
+  Alcotest.(check int) "weight 12" 12 (M.pairing_weight w pairs)
+
+let test_exact_vs_brute_force () =
+  let rng = Support.Rng.create 31 in
+  List.iter
+    (fun k ->
+      for _ = 1 to 10 do
+        let m = random_matrix rng k in
+        let w = weight_fn_of_matrix m in
+        let pairs = M.exact_max_weight ~k w in
+        Alcotest.(check bool) "perfect pairing" true
+          (M.is_perfect_pairing ~k pairs);
+        Alcotest.(check int) "matches brute force" (brute_force_best ~k w)
+          (M.pairing_weight w pairs)
+      done)
+    [ 2; 4; 6; 8 ]
+
+let test_heuristic_quality () =
+  let rng = Support.Rng.create 37 in
+  for _ = 1 to 10 do
+    let k = 10 in
+    let m = random_matrix rng k in
+    let w = weight_fn_of_matrix m in
+    let exact = M.pairing_weight w (M.exact_max_weight ~k w) in
+    let heur = M.pairing_weight w (M.heuristic_max_weight ~k w) in
+    Alcotest.(check bool) "heuristic is a valid pairing" true
+      (M.is_perfect_pairing ~k (M.heuristic_max_weight ~k w));
+    Alcotest.(check bool) "heuristic <= exact" true (heur <= exact);
+    Alcotest.(check bool) "heuristic within 25%" true
+      (float_of_int heur >= 0.75 *. float_of_int exact)
+  done
+
+let test_two_opt_improves () =
+  let rng = Support.Rng.create 41 in
+  for _ = 1 to 10 do
+    let k = 8 in
+    let m = random_matrix rng k in
+    let w = weight_fn_of_matrix m in
+    let greedy = M.greedy_max_weight ~k w in
+    let improved = M.two_opt ~k w greedy in
+    Alcotest.(check bool) "two_opt never worse" true
+      (M.pairing_weight w improved >= M.pairing_weight w greedy)
+  done
+
+let test_edge_cases () =
+  Alcotest.(check int) "k=0" 0 (Array.length (M.exact_max_weight ~k:0 (fun _ _ -> 0)));
+  Alcotest.check_raises "odd k"
+    (Invalid_argument "Matching: node count must be even and non-negative")
+    (fun () -> ignore (M.exact_max_weight ~k:3 (fun _ _ -> 0)));
+  (* Negative weights are fine. *)
+  let pairs = M.exact_max_weight ~k:2 (fun _ _ -> -5) in
+  Alcotest.(check int) "negative weight pair" (-5)
+    (M.pairing_weight (fun _ _ -> -5) pairs)
+
+let qcheck_exact_dominates_heuristic =
+  QCheck.Test.make ~name:"exact matching >= greedy+2opt" ~count:50
+    QCheck.(pair (int_range 1 5) small_int)
+    (fun (half, seed) ->
+      let k = 2 * half in
+      let rng = Support.Rng.create seed in
+      let m = random_matrix rng k in
+      let w = fun a b -> m.(a).(b) in
+      M.pairing_weight w (M.exact_max_weight ~k w)
+      >= M.pairing_weight w (M.heuristic_max_weight ~k w))
+
+let suite =
+  [
+    Alcotest.test_case "exact small" `Quick test_exact_small;
+    Alcotest.test_case "exact vs brute force" `Quick test_exact_vs_brute_force;
+    Alcotest.test_case "heuristic quality" `Quick test_heuristic_quality;
+    Alcotest.test_case "two-opt improves" `Quick test_two_opt_improves;
+    Alcotest.test_case "edge cases" `Quick test_edge_cases;
+    QCheck_alcotest.to_alcotest qcheck_exact_dominates_heuristic;
+  ]

@@ -1,0 +1,192 @@
+(* Cross-module property tests (QCheck): invariants that tie the metrics,
+   solvers, reductions and models together. *)
+
+module H = Hypergraph
+module P = Partition
+
+(* Shared generators ---------------------------------------------------------- *)
+
+let gen_hypergraph ~max_n ~max_m =
+  QCheck.Gen.(
+    let* n = int_range 2 max_n in
+    let* m = int_range 1 max_m in
+    let* seed = int_bound 1_000_000 in
+    let rng = Support.Rng.create seed in
+    let edges =
+      Array.init m (fun _ ->
+          let size = 2 + Support.Rng.int rng (min 4 (n - 1)) in
+          Support.Rng.sample_distinct rng ~n ~k:size)
+    in
+    return (H.of_edges ~n edges))
+
+let arb_hypergraph ~max_n ~max_m =
+  QCheck.make
+    ~print:(fun h -> Fmt.str "%a" H.pp h)
+    (gen_hypergraph ~max_n ~max_m)
+
+let gen_dag ~max_n =
+  QCheck.Gen.(
+    let* n = int_range 2 max_n in
+    let* seed = int_bound 1_000_000 in
+    let rng = Support.Rng.create seed in
+    return (Workloads.Dag_gen.random rng ~n ~edge_probability:0.3))
+
+let arb_dag ~max_n =
+  QCheck.make ~print:(fun d -> Fmt.str "%a" Hyperdag.Dag.pp d) (gen_dag ~max_n)
+
+(* Metric invariants ------------------------------------------------------------ *)
+
+let prop_metric_sandwich =
+  QCheck.Test.make ~name:"cutnet <= connectivity <= (k-1) * cutnet" ~count:100
+    QCheck.(pair (arb_hypergraph ~max_n:12 ~max_m:10) small_int)
+    (fun (h, seed) ->
+      let rng = Support.Rng.create seed in
+      let k = 2 + Support.Rng.int rng 3 in
+      let p = P.random rng ~k ~n:(H.num_nodes h) in
+      let cut = P.cutnet_cost h p and conn = P.connectivity_cost h p in
+      cut <= conn && conn <= (k - 1) * cut || (cut = 0 && conn = 0))
+
+let prop_lambda_range =
+  QCheck.Test.make ~name:"1 <= lambda_e <= min(|e|, k)" ~count:100
+    QCheck.(pair (arb_hypergraph ~max_n:12 ~max_m:10) small_int)
+    (fun (h, seed) ->
+      let rng = Support.Rng.create seed in
+      let k = 2 + Support.Rng.int rng 3 in
+      let p = P.random rng ~k ~n:(H.num_nodes h) in
+      let ok = ref true in
+      for e = 0 to H.num_edges h - 1 do
+        let l = P.lambda h p e in
+        if l < 1 || l > min (H.edge_size h e) k then ok := false
+      done;
+      !ok)
+
+let prop_contraction_preserves_cost =
+  QCheck.Test.make
+    ~name:"cost(contract(h, label), p) = cost(h, p . label)" ~count:100
+    QCheck.(pair (arb_hypergraph ~max_n:12 ~max_m:10) small_int)
+    (fun (h, seed) ->
+      let rng = Support.Rng.create seed in
+      let n = H.num_nodes h in
+      let groups = 1 + Support.Rng.int rng n in
+      (* Surjective labeling. *)
+      let label =
+        Array.init n (fun v -> if v < groups then v else Support.Rng.int rng groups)
+      in
+      let coarse = H.contract h label groups in
+      let cp = P.random rng ~k:3 ~n:groups in
+      let fp =
+        P.create ~k:3 (Array.map (fun l -> P.color cp l) label)
+      in
+      P.connectivity_cost coarse cp = P.connectivity_cost h fp
+      && P.cutnet_cost coarse cp <= P.cutnet_cost h fp)
+
+(* Solver invariants ------------------------------------------------------------ *)
+
+let prop_exact_below_heuristics =
+  QCheck.Test.make ~name:"exact optimum <= multilevel cost" ~count:25
+    QCheck.(pair (arb_hypergraph ~max_n:10 ~max_m:8) small_int)
+    (fun (h, seed) ->
+      let rng = Support.Rng.create seed in
+      let eps = 0.5 in
+      match Solvers.Exact.optimum ~eps h ~k:2 with
+      | None -> true
+      | Some opt ->
+          let ml =
+            Solvers.Multilevel.partition
+              ~config:{ Solvers.Multilevel.default_config with eps }
+              rng h ~k:2
+          in
+          (not (P.is_balanced ~eps h ml))
+          || opt <= P.connectivity_cost h ml)
+
+let prop_optimum_monotone_in_eps =
+  QCheck.Test.make ~name:"optimum non-increasing in eps" ~count:25
+    (arb_hypergraph ~max_n:9 ~max_m:7)
+    (fun h ->
+      let opt eps = Solvers.Exact.optimum ~eps h ~k:2 in
+      match (opt 0.0, opt 0.5, opt 1.0 (* eps < k-1 boundary excluded *)) with
+      | Some a, Some b, Some c -> a >= b && b >= c
+      | None, _, _ -> true (* strict eps=0 may be infeasible (odd n) *)
+      | _, None, _ | _, _, None -> false)
+
+let prop_refinement_never_worse =
+  QCheck.Test.make ~name:"FM and KL never increase the cost" ~count:50
+    QCheck.(pair (arb_hypergraph ~max_n:14 ~max_m:12) small_int)
+    (fun (h, seed) ->
+      let rng = Support.Rng.create seed in
+      let p1 = Solvers.Initial.random_balanced ~eps:0.2 rng h ~k:2 in
+      let p2 = P.copy p1 in
+      let before = P.connectivity_cost h p1 in
+      let fm =
+        Solvers.Refine.refine
+          ~config:{ Solvers.Refine.default_config with eps = 0.2 }
+          h p1
+      in
+      let kl = Solvers.Kl_swap.refine h p2 in
+      fm <= before && kl <= before)
+
+(* HyperDAG invariants ------------------------------------------------------------ *)
+
+let prop_hyperdag_edge_bound =
+  QCheck.Test.make ~name:"hyperDAGs have |E| <= n - 1" ~count:100
+    (arb_dag ~max_n:12) (fun dag ->
+      let hg = Hyperdag.hypergraph_of_dag dag in
+      H.num_edges hg <= H.num_nodes hg - 1 && Hyperdag.is_hyperdag hg)
+
+let prop_layering_envelope =
+  QCheck.Test.make ~name:"earliest <= latest, both valid layerings" ~count:100
+    (arb_dag ~max_n:12) (fun dag ->
+      let e = Hyperdag.Layering.earliest dag in
+      let l = Hyperdag.Layering.latest dag in
+      Hyperdag.Layering.is_valid dag e
+      && Hyperdag.Layering.is_valid dag l
+      && Array.for_all Fun.id (Array.mapi (fun v le -> le <= l.(v)) e))
+
+let prop_mu_p_dominates_mu =
+  QCheck.Test.make ~name:"mu <= mu_p for every fixed partition" ~count:50
+    QCheck.(pair (arb_dag ~max_n:9) small_int)
+    (fun (dag, seed) ->
+      let rng = Support.Rng.create seed in
+      let n = Hyperdag.Dag.num_nodes dag in
+      let assignment = Array.init n (fun _ -> Support.Rng.int rng 2) in
+      Scheduling.Mu.exact_makespan dag ~k:2
+      <= Scheduling.Mu.exact_makespan_fixed dag assignment ~k:2)
+
+(* Reduction invariants ------------------------------------------------------------ *)
+
+let prop_eps_reduction_preserves_optimum =
+  QCheck.Test.make ~name:"Lemma A.1 padding preserves the optimum" ~count:15
+    (arb_hypergraph ~max_n:8 ~max_m:7)
+    (fun h ->
+      let red = Reductions.Eps_reduction.build ~eps:0.5 ~k:2 h in
+      Solvers.Exact.optimum ~eps:0.5 h ~k:2
+      = Solvers.Exact.optimum ~eps:0.0 (Reductions.Eps_reduction.padded red) ~k:2)
+
+let prop_hierarchical_cost_bounds =
+  QCheck.Test.make
+    ~name:"connectivity <= hierarchical <= g1 * connectivity (Lemma 7.3)"
+    ~count:50
+    QCheck.(pair (arb_hypergraph ~max_n:12 ~max_m:10) small_int)
+    (fun (h, seed) ->
+      let rng = Support.Rng.create seed in
+      let topo = Hierarchy.Topology.two_level ~b1:2 ~b2:2 ~g1:5.0 in
+      let p = P.random rng ~k:4 ~n:(H.num_nodes h) in
+      let lo, hi = Hierarchy.Hier_cost.connectivity_bounds topo h p in
+      let c = Hierarchy.Hier_cost.cost topo h p in
+      c >= lo -. 1e-9 && c <= hi +. 1e-9)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_metric_sandwich;
+      prop_lambda_range;
+      prop_contraction_preserves_cost;
+      prop_exact_below_heuristics;
+      prop_optimum_monotone_in_eps;
+      prop_refinement_never_worse;
+      prop_hyperdag_edge_bound;
+      prop_layering_envelope;
+      prop_mu_p_dominates_mu;
+      prop_eps_reduction_preserves_optimum;
+      prop_hierarchical_cost_bounds;
+    ]

@@ -1,0 +1,123 @@
+(* Tests for the workload generators: random hypergraphs, SpMV models and
+   DAG families. *)
+
+module H = Hypergraph
+module D = Hyperdag.Dag
+module W = Workloads
+
+let rng () = Support.Rng.create 404
+
+let test_uniform_random () =
+  let r = rng () in
+  let hg = W.Rand_hg.uniform r ~n:50 ~m:80 ~min_size:2 ~max_size:6 in
+  Alcotest.(check int) "n" 50 (H.num_nodes hg);
+  Alcotest.(check int) "m" 80 (H.num_edges hg);
+  for e = 0 to 79 do
+    let s = H.edge_size hg e in
+    Alcotest.(check bool) "edge size range" true (s >= 2 && s <= 6)
+  done;
+  Alcotest.check_raises "bad size range"
+    (Invalid_argument "Rand_hg.uniform: bad size range") (fun () ->
+      ignore (W.Rand_hg.uniform r ~n:5 ~m:1 ~min_size:3 ~max_size:9))
+
+let test_two_regular () =
+  let r = rng () in
+  let hg = W.Rand_hg.two_regular r ~n:100 ~m:40 in
+  Alcotest.(check int) "n" 100 (H.num_nodes hg);
+  for v = 0 to 99 do
+    Alcotest.(check int) "degree exactly 2" 2 (H.node_degree hg v)
+  done
+
+let test_planted () =
+  let r = rng () in
+  let hg = W.Rand_hg.planted r ~n:80 ~m:120 ~k:4 ~locality:1.0 ~edge_size:3 in
+  (* With locality 1 every edge stays inside one community (v mod 4). *)
+  for e = 0 to H.num_edges hg - 1 do
+    let pins = H.edge_pins hg e in
+    let c = pins.(0) mod 4 in
+    Array.iter
+      (fun v -> Alcotest.(check int) "edge within community" c (v mod 4))
+      pins
+  done
+
+let test_spmv_models () =
+  let m = W.Spmv.create ~rows:3 ~cols:3 [ (0, 0); (0, 1); (1, 1); (2, 2); (1, 2) ] in
+  Alcotest.(check int) "nnz" 5 (W.Spmv.nnz m);
+  let fg = W.Spmv.fine_grain m in
+  Alcotest.(check int) "fine-grain nodes = nnz" 5 (H.num_nodes fg);
+  Alcotest.(check bool) "fine-grain degree <= 2" true (H.max_degree fg <= 2);
+  let rn = W.Spmv.row_net m in
+  Alcotest.(check int) "row-net nodes = cols" 3 (H.num_nodes rn);
+  let cn = W.Spmv.column_net m in
+  Alcotest.(check int) "col-net nodes = rows" 3 (H.num_nodes cn);
+  Alcotest.check_raises "duplicate nonzero"
+    (Invalid_argument "Spmv.create: duplicate nonzero") (fun () ->
+      ignore (W.Spmv.create ~rows:2 ~cols:2 [ (0, 0); (0, 0) ]))
+
+let test_spmv_random_covers () =
+  let r = rng () in
+  let m = W.Spmv.random r ~rows:20 ~cols:15 ~density:0.01 in
+  (* Every row and column has at least one nonzero by construction, so the
+     row-net hypergraph has no empty edges and fine-grain covers all. *)
+  Alcotest.(check bool) "nnz >= max(rows, cols)" true (W.Spmv.nnz m >= 20)
+
+let test_banded () =
+  let m = W.Spmv.banded ~size:5 ~bandwidth:1 in
+  (* 5 diagonal + 2*4 off-diagonal entries. *)
+  Alcotest.(check int) "banded nnz" 13 (W.Spmv.nnz m)
+
+let test_dag_families () =
+  Alcotest.(check int) "chain length" 6
+    (D.critical_path_length (W.Dag_gen.chain 6));
+  Alcotest.(check int) "independent has no edges" 0
+    (D.num_edges (W.Dag_gen.independent 7));
+  let tree = W.Dag_gen.binary_reduction ~levels:3 in
+  Alcotest.(check int) "reduction tree nodes" 15 (D.num_nodes tree);
+  Alcotest.(check int) "reduction tree sinks" 1 (Array.length (D.sinks tree));
+  Alcotest.(check bool) "reduction tree is in-forest" true (D.is_in_forest tree);
+  let fft = W.Dag_gen.fft ~stages:3 in
+  Alcotest.(check int) "fft nodes" 32 (D.num_nodes fft);
+  Alcotest.(check int) "fft in-degree 2" 2 (D.in_degree fft (D.num_nodes fft - 1));
+  Alcotest.(check int) "fft critical path" 4 (D.critical_path_length fft);
+  let st = W.Dag_gen.stencil_1d ~width:5 ~steps:3 in
+  Alcotest.(check int) "stencil nodes" 20 (D.num_nodes st);
+  Alcotest.(check int) "stencil layers" 4 (D.critical_path_length st);
+  let fj = W.Dag_gen.fork_join ~width:3 ~depth:2 in
+  Alcotest.(check int) "fork-join nodes" 8 (D.num_nodes fj);
+  Alcotest.(check int) "fork-join path" 4 (D.critical_path_length fj);
+  let r = rng () in
+  let lay = W.Dag_gen.layered r ~layers:4 ~width:5 ~max_indegree:2 in
+  Alcotest.(check int) "layered nodes" 20 (D.num_nodes lay);
+  Alcotest.(check bool) "layered depth" true (D.critical_path_length lay <= 4);
+  let ot = W.Dag_gen.random_out_tree r ~n:12 in
+  Alcotest.(check bool) "random out-tree" true (D.is_out_forest ot);
+  Alcotest.(check int) "out-tree edges" 11 (D.num_edges ot)
+
+let test_dag_hyperdags () =
+  (* Every generated DAG converts to a recognizable hyperDAG. *)
+  let r = rng () in
+  List.iter
+    (fun dag ->
+      let hg = Hyperdag.hypergraph_of_dag dag in
+      Alcotest.(check bool) "generator DAGs are hyperDAGs" true
+        (Hyperdag.is_hyperdag hg))
+    [
+      W.Dag_gen.chain 8;
+      W.Dag_gen.binary_reduction ~levels:3;
+      W.Dag_gen.fft ~stages:3;
+      W.Dag_gen.stencil_1d ~width:4 ~steps:3;
+      W.Dag_gen.fork_join ~width:3 ~depth:2;
+      W.Dag_gen.layered r ~layers:4 ~width:4 ~max_indegree:2;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "uniform random" `Quick test_uniform_random;
+    Alcotest.test_case "two-regular" `Quick test_two_regular;
+    Alcotest.test_case "planted communities" `Quick test_planted;
+    Alcotest.test_case "SpMV models" `Quick test_spmv_models;
+    Alcotest.test_case "SpMV random covers" `Quick test_spmv_random_covers;
+    Alcotest.test_case "banded matrix" `Quick test_banded;
+    Alcotest.test_case "DAG families" `Quick test_dag_families;
+    Alcotest.test_case "DAG families are hyperDAGs" `Quick test_dag_hyperdags;
+  ]
