@@ -4,7 +4,9 @@
      partition FILE   partition an hMETIS hypergraph and report metrics
      stats FILE       structural statistics of an hMETIS hypergraph
      recognize FILE   decide whether the hypergraph is a hyperDAG
-     hierarchical FILE  hierarchical (NUMA) partitioning, Definition 7.1 *)
+     hierarchical FILE  hierarchical (NUMA) partitioning, Definition 7.1
+     check FILE [PARTS]  audit an instance (and a partition) against the
+                      paper invariants; exits non-zero on violations *)
 
 open Cmdliner
 
@@ -405,6 +407,107 @@ let hierarchical_cmd =
       const run_hierarchical $ hypergraph_arg $ eps_arg $ seed_arg
       $ branching_arg $ costs_arg)
 
+(* check: run the invariant auditors of lib/analysis over an instance file
+   and (optionally) a partition vector.  All costs and capacities are
+   recomputed from first principles, so a corrupted partition or a buggy
+   writer cannot audit clean. *)
+
+let check_file_arg =
+  let doc = "Input hypergraph in hMETIS format." in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let check_parts_arg =
+  let doc = "Optional partition vector file: one part id per line." in
+  Arg.(value & pos 1 (some file) None & info [] ~docv:"PARTS" ~doc)
+
+let variant_arg =
+  let doc = "Balance variant of Definition 3.1: strict (floor) or relaxed \
+             (ceil)." in
+  Arg.(
+    value
+    & opt (enum [ ("strict", Partition.Strict); ("relaxed", Partition.Relaxed) ])
+        Partition.Strict
+    & info [ "variant" ] ~docv:"VARIANT" ~doc)
+
+let rules_flag =
+  let doc = "Print the rule catalogue (rule id, enforced paper invariant) \
+             and exit." in
+  Arg.(value & flag & info [ "rules" ] ~doc)
+
+let run_check path parts_path eps variant branching costs rules =
+  if rules then begin
+    List.iter
+      (fun (id, what) -> Printf.printf "%-24s %s\n" id what)
+      Analysis.catalogue;
+    0
+  end
+  else
+    match path with
+    | None ->
+        Printf.eprintf "error: FILE required (or --rules)\n";
+        2
+    | Some path -> (
+        match load_hypergraph path with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok hg -> (
+            let structural =
+              [ Analysis.Audit_hg.audit hg; Analysis.Audit_hyperdag.audit hg ]
+            in
+            let with_partition reports =
+              List.iter (fun r -> print_endline (Analysis.Check.to_string r)) reports;
+              Analysis.Check.exit_code (Analysis.Check.merge ~subject:path reports)
+            in
+            match parts_path with
+            | None -> with_partition structural
+            | Some parts_path -> (
+                match Partition.Io.load ~n:(Hypergraph.num_nodes hg) parts_path with
+                | exception Failure msg ->
+                    Printf.eprintf "error: %s\n" msg;
+                    1
+                | part ->
+                    let k = Partition.k part in
+                    Printf.printf "recomputed connectivity : %d\n"
+                      (Analysis.Audit_partition.recompute_cost
+                         Partition.Connectivity hg part);
+                    Printf.printf "recomputed cut-net      : %d\n"
+                      (Analysis.Audit_partition.recompute_cost Partition.Cut_net
+                         hg part);
+                    let part_report =
+                      Analysis.Audit_partition.audit ~eps ~variant hg part
+                    in
+                    (* Hierarchical audit when the topology matches k. *)
+                    let hier_reports =
+                      match
+                        Hierarchy.Topology.create
+                          ~branching:(Array.of_list branching)
+                          ~costs:(Array.of_list costs)
+                      with
+                      | exception Invalid_argument _ -> []
+                      | topo ->
+                          if Hierarchy.Topology.num_leaves topo = k then begin
+                            Printf.printf "recomputed hierarchical : %.2f\n"
+                              (Analysis.Audit_hierarchy.recompute_cost topo hg
+                                 part);
+                            [ Analysis.Audit_hierarchy.audit topo hg part ]
+                          end
+                          else []
+                    in
+                    with_partition (structural @ (part_report :: hier_reports)))))
+
+let check_cmd =
+  let info =
+    Cmd.info "check"
+      ~doc:
+        "Audit a hypergraph (and optionally a partition) against the paper \
+         invariants; non-zero exit on any violation."
+  in
+  Cmd.v info
+    Term.(
+      const run_check $ check_file_arg $ check_parts_arg $ eps_arg
+      $ variant_arg $ branching_arg $ costs_arg $ rules_flag)
+
 let main =
   let info =
     Cmd.info "hypartition" ~version:"1.0.0"
@@ -413,7 +516,7 @@ let main =
   Cmd.group info
     [
       partition_cmd; stats_cmd; recognize_cmd; hierarchical_cmd;
-      schedule_cmd; convert_cmd; evaluate_cmd; generate_cmd;
+      schedule_cmd; convert_cmd; evaluate_cmd; generate_cmd; check_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,130 @@
+(* Hierarchical partitioning audit (Section 7): topology tree shape,
+   Definition 7.1 cost recomputed from scratch, Lemma 7.3 sandwich.
+
+   The recomputation deliberately re-derives the ancestor structure from
+   the branching digits (suffix products over the leaf index) instead of
+   calling Topology.ancestor, and counts distinct ancestors per level with
+   sorted lists instead of Hier_cost's machinery. *)
+
+module Check = Analysis_core.Check
+module Audit_partition = Analysis_core.Audit_partition
+
+let rules =
+  [
+    ( "HIER-TOPO-SHAPE",
+      "depth >= 1, all branching factors >= 2, k = product of b_i (Sec 7)" );
+    ( "HIER-TOPO-COSTS",
+      "transfer costs non-increasing with g_d = 1 (Sec 7)" );
+    ("HIER-ARITY", "partition colors are leaf indices: k = number of leaves");
+    ( "HIER-COST",
+      "Definition 7.1 cost recomputed from scratch matches Hier_cost (and \
+       any claimed value)" );
+    ( "HIER-SANDWICH",
+      "connectivity <= hierarchical cost <= g_1 * connectivity (Lemma 7.3)" );
+  ]
+
+let float_eq a b = Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a)
+
+let audit_topology topo =
+  let ctx =
+    Check.create
+      ~subject:(Printf.sprintf "topology d=%d" (Hierarchy.Topology.depth topo))
+  in
+  let b = Hierarchy.Topology.branching topo in
+  let d = Array.length b in
+  let product = Array.fold_left ( * ) 1 b in
+  Check.rule ctx ~id:"HIER-TOPO-SHAPE"
+    (d >= 1
+    && Array.for_all (fun bi -> bi >= 2) b
+    && product = Hierarchy.Topology.num_leaves topo)
+    (fun () ->
+      Printf.sprintf "branching %s does not multiply to k=%d"
+        (String.concat "," (Array.to_list (Array.map string_of_int b)))
+        (Hierarchy.Topology.num_leaves topo));
+  let costs_ok = ref (d >= 1) in
+  for i = 1 to d do
+    let g = Hierarchy.Topology.cost_of_level topo i in
+    if i > 1 && g > Hierarchy.Topology.cost_of_level topo (i - 1) +. 1e-9 then
+      costs_ok := false;
+    if i = d && not (float_eq g 1.0) then costs_ok := false
+  done;
+  Check.rule ctx ~id:"HIER-TOPO-COSTS" !costs_ok (fun () ->
+      "costs are not non-increasing with g_d = 1");
+  Check.report ctx
+
+(* Definition 7.1, from scratch: for each edge, the distinct level-i
+   ancestors of its leaves are leaf / (b_{i+1} * ... * b_d); the edge pays
+   g_i per *new* subtree entered at level i. *)
+let recompute_cost topo hg part =
+  let b = Hierarchy.Topology.branching topo in
+  let d = Array.length b in
+  let suffix = Array.make (d + 1) 1 in
+  for i = d - 1 downto 0 do
+    suffix.(i) <- suffix.(i + 1) * b.(i)
+  done;
+  let total = ref 0.0 in
+  for e = 0 to Hypergraph.num_edges hg - 1 do
+    let leaves =
+      List.sort_uniq compare
+        (Hypergraph.fold_pins hg e
+           (fun acc v -> Partition.color part v :: acc)
+           [])
+    in
+    if List.length leaves > 1 then begin
+      let prev = ref 1 in
+      for level = 1 to d do
+        let distinct =
+          List.length
+            (List.sort_uniq compare
+               (List.map (fun leaf -> leaf / suffix.(level)) leaves))
+        in
+        total :=
+          !total
+          +. float_of_int (Hypergraph.edge_weight hg e)
+             *. Hierarchy.Topology.cost_of_level topo level
+             *. float_of_int (distinct - !prev);
+        prev := distinct
+      done
+    end
+  done;
+  !total
+
+let audit ?claimed_cost topo hg part =
+  let topo_report = audit_topology topo in
+  let ctx =
+    Check.create
+      ~subject:
+        (Printf.sprintf "hierarchical partition k=%d"
+           (Hierarchy.Topology.num_leaves topo))
+  in
+  let arity_ok = Partition.k part = Hierarchy.Topology.num_leaves topo in
+  Check.rule ctx ~id:"HIER-ARITY" arity_ok (fun () ->
+      Printf.sprintf "partition has k=%d but the topology has %d leaves"
+        (Partition.k part)
+        (Hierarchy.Topology.num_leaves topo));
+  if arity_ok then begin
+    let recomputed = recompute_cost topo hg part in
+    let library = Hierarchy.Hier_cost.cost topo hg part in
+    Check.rule ctx ~id:"HIER-COST"
+      (float_eq recomputed library
+      &&
+      match claimed_cost with
+      | None -> true
+      | Some c -> float_eq recomputed c)
+      (fun () ->
+        Printf.sprintf "recomputed %.6f, Hier_cost %.6f%s" recomputed library
+          (match claimed_cost with
+          | Some c -> Printf.sprintf ", claimed %.6f" c
+          | None -> ""));
+    let conn =
+      float_of_int (Audit_partition.recompute_cost Partition.Connectivity hg part)
+    in
+    let g1 = Hierarchy.Topology.cost_of_level topo 1 in
+    Check.rule ctx ~id:"HIER-SANDWICH"
+      (recomputed >= conn -. 1e-6 && recomputed <= (g1 *. conn) +. 1e-6)
+      (fun () ->
+        Printf.sprintf "cost %.6f outside [connectivity %.1f, g1 * conn %.1f]"
+          recomputed conn (g1 *. conn))
+  end;
+  let r = Check.report ctx in
+  Check.merge ~subject:r.Check.subject [ topo_report; r ]

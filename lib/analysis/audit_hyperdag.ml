@@ -1,0 +1,95 @@
+(* HyperDAG audit: Definition 3.2 and the two certificates of Appendix B —
+   a generator assignment (Lemma B.2) for yes-instances, an induced
+   subgraph of minimum degree >= 2 (Lemma B.1) for no-instances. *)
+
+module Check = Analysis_core.Check
+
+let rules =
+  [
+    ( "HD-GEN-SHAPE",
+      "generator assignment: one in-range generator per hyperedge, \
+       injective, member of its edge (Def 3.2)" );
+    ( "HD-GEN-VALID",
+      "generator assignment is acyclic per Hd.valid_generator_assignment \
+       (Lemma B.2)" );
+    ( "HD-CERT-MINDEG",
+      "violating subset induces a subgraph of min degree >= 2 (Lemma B.1)" );
+    ( "HD-CERT-IFF",
+      "recognizer and Lemma B.1 certificate are mutually exclusive and \
+       exhaustive" );
+  ]
+
+let audit_generator ctx hg generator =
+  let n = Hypergraph.num_nodes hg and m = Hypergraph.num_edges hg in
+  let seen = Array.make n false in
+  let shape_ok = ref (Array.length generator = m) in
+  if !shape_ok then
+    Array.iteri
+      (fun e g ->
+        if g < 0 || g >= n || seen.(g) then shape_ok := false
+        else begin
+          seen.(g) <- true;
+          (* Membership, by linear scan. *)
+          let found = ref false in
+          Hypergraph.iter_pins hg e (fun v -> if v = g then found := true);
+          if not !found then shape_ok := false
+        end)
+      generator;
+  Check.rule ctx ~id:"HD-GEN-SHAPE" !shape_ok (fun () ->
+      "generator assignment is not an injective edge -> member-node map");
+  Check.rule ctx ~id:"HD-GEN-VALID"
+    (Hyperdag.valid_generator_assignment hg generator)
+    (fun () -> "generator assignment fails Hd.valid_generator_assignment")
+
+let audit_certificate ctx hg cert =
+  let n = Hypergraph.num_nodes hg in
+  let distinct = Array.make n false in
+  let well_formed =
+    Array.length cert > 0
+    && Array.for_all
+         (fun v ->
+           let ok = v >= 0 && v < n && not distinct.(v) in
+           if ok then distinct.(v) <- true;
+           ok)
+         cert
+  in
+  let min_degree_ok =
+    well_formed
+    &&
+    (* The paper's induced subgraph (Appendix B): keep exactly the
+       hyperedges contained in the subset. *)
+    let sub, _, _ = Hypergraph.induced_subgraph hg cert in
+    let ok = ref true in
+    for v = 0 to Hypergraph.num_nodes sub - 1 do
+      if Hypergraph.node_degree sub v < 2 then ok := false
+    done;
+    !ok
+  in
+  Check.rule ctx ~id:"HD-CERT-MINDEG" min_degree_ok (fun () ->
+      "certificate subset has an induced node of degree < 2")
+
+let audit ?generator hg =
+  let ctx =
+    Check.create
+      ~subject:
+        (Printf.sprintf "hyperdag? n=%d m=%d" (Hypergraph.num_nodes hg)
+           (Hypergraph.num_edges hg))
+  in
+  (match generator with
+  | Some g -> audit_generator ctx hg g
+  | None -> ());
+  let recognized = Hyperdag.recognize hg in
+  let cert = Hyperdag.violating_subset hg in
+  (match recognized with
+  | Some g -> audit_generator ctx hg g
+  | None -> ());
+  (match cert with Some c -> audit_certificate ctx hg c | None -> ());
+  Check.rule ctx ~id:"HD-CERT-IFF"
+    (match (recognized, cert) with
+    | Some _, None | None, Some _ -> true
+    | Some _, Some _ | None, None -> false)
+    (fun () ->
+      match recognized with
+      | Some _ -> "recognized as hyperDAG yet a Lemma B.1 certificate exists"
+      | None -> "not a hyperDAG but no Lemma B.1 certificate produced");
+  Check.report ctx

@@ -1,0 +1,13 @@
+(** HyperDAG audit (Definition 3.2, Lemmas B.1 and B.2).
+
+    Cross-checks the recognizer, generator assignments and the Lemma B.1
+    certificate against each other: a claimed generator must be injective,
+    member-of-its-edge and acyclic; a [violating_subset] certificate must
+    induce a subgraph of minimum degree ≥ 2; and exactly one of the two
+    must exist for any hypergraph. *)
+
+val rules : (string * string) list
+
+val audit : ?generator:int array -> Hypergraph.t -> Check.report
+(** Always cross-checks [recognize] against [violating_subset]; with
+    [generator], additionally audits that claimed assignment. *)

@@ -1,0 +1,109 @@
+(* Schedule audit: Definition 5.3 (unit tasks, k processors, strict
+   precedence) and the work / critical-path accounting that lower-bounds
+   the optimal makespan mu (Section 5.2). *)
+
+module Check = Analysis_core.Check
+
+let rules =
+  [
+    ( "SCHED-SHAPE",
+      "one (processor, 1-based step) pair per node, processors in [0, k) \
+       (Def 5.3)" );
+    ("SCHED-SLOT", "no two nodes share a (processor, step) slot (Def 5.3)");
+    ( "SCHED-PREC",
+      "every DAG edge (u, v) has t(u) < t(v) (Def 5.3)" );
+    ( "SCHED-MAKESPAN",
+      "claimed makespan equals the recomputed max time step (Sec 5.2)" );
+    ( "SCHED-WORK-LB",
+      "makespan >= ceil(n / k): the work lower bound on mu (Sec 5.2)" );
+    ( "SCHED-CP-LB",
+      "makespan >= critical path length: the depth lower bound on mu \
+       (Sec 5.2)" );
+    ( "SCHED-RESPECTS",
+      "schedule uses the fixed node -> processor assignment of the mu_p \
+       setting (Sec 5.2)" );
+  ]
+
+let audit ?k ?assignment ?claimed_makespan dag sched =
+  let n = Hyperdag.Dag.num_nodes dag in
+  let ctx =
+    Check.create ~subject:(Printf.sprintf "schedule of dag n=%d" n)
+  in
+  let shape_ok =
+    Scheduling.Schedule.num_nodes sched = n
+    &&
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if Scheduling.Schedule.time sched v < 1 then ok := false;
+      match k with
+      | Some k ->
+          let p = Scheduling.Schedule.proc sched v in
+          if p < 0 || p >= k then ok := false
+      | None -> ()
+    done;
+    !ok
+  in
+  Check.rule ctx ~id:"SCHED-SHAPE" shape_ok (fun () ->
+      Printf.sprintf "expected %d (proc, step>=1) pairs%s" n
+        (match k with
+        | Some k -> Printf.sprintf " with proc < %d" k
+        | None -> ""));
+  if shape_ok then begin
+    let slots = Hashtbl.create (2 * n) in
+    let collision = ref false in
+    let max_time = ref 0 in
+    for v = 0 to n - 1 do
+      let slot =
+        (Scheduling.Schedule.proc sched v, Scheduling.Schedule.time sched v)
+      in
+      if Hashtbl.mem slots slot then collision := true;
+      Hashtbl.replace slots slot ();
+      if snd slot > !max_time then max_time := snd slot
+    done;
+    Check.rule ctx ~id:"SCHED-SLOT" (not !collision) (fun () ->
+        "two nodes share a (processor, step) slot");
+    let prec_ok =
+      List.for_all
+        (fun (u, v) ->
+          Scheduling.Schedule.time sched u < Scheduling.Schedule.time sched v)
+        (Hyperdag.Dag.edges dag)
+    in
+    Check.rule ctx ~id:"SCHED-PREC" prec_ok (fun () ->
+        "an edge does not strictly increase the time step");
+    let makespan = if n = 0 then 0 else !max_time in
+    Check.rule ctx ~id:"SCHED-MAKESPAN"
+      (Scheduling.Schedule.makespan sched = makespan
+      && match claimed_makespan with None -> true | Some c -> c = makespan)
+      (fun () ->
+        Printf.sprintf "claimed makespan %d, recomputed %d"
+          (match claimed_makespan with
+          | Some c -> c
+          | None -> Scheduling.Schedule.makespan sched)
+          makespan);
+    (match k with
+    | Some k when n > 0 ->
+        Check.rule ctx ~id:"SCHED-WORK-LB"
+          (makespan >= Support.Util.ceil_div n k)
+          (fun () ->
+            Printf.sprintf "makespan %d < ceil(%d / %d)" makespan n k)
+    | _ -> ());
+    if n > 0 then
+      Check.rule ctx ~id:"SCHED-CP-LB"
+        (makespan >= Hyperdag.Dag.critical_path_length dag)
+        (fun () ->
+          Printf.sprintf "makespan %d < critical path %d" makespan
+            (Hyperdag.Dag.critical_path_length dag));
+    match assignment with
+    | Some a ->
+        Check.rule ctx ~id:"SCHED-RESPECTS"
+          (Array.length a = n
+          &&
+          let ok = ref true in
+          Array.iteri
+            (fun v p -> if Scheduling.Schedule.proc sched v <> p then ok := false)
+            a;
+          !ok)
+          (fun () -> "schedule deviates from the fixed processor assignment")
+    | None -> ()
+  end;
+  Check.report ctx

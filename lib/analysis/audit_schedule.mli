@@ -1,0 +1,19 @@
+(** Schedule audit (Definition 5.3 and the μ accounting of Section 5.2).
+
+    Recomputes slot-collision freedom, precedence feasibility and the two
+    lower bounds behind μ — work ⌈n/k⌉ and the critical path — directly
+    from the DAG, independently of [Schedule.is_valid] and the
+    schedulers. *)
+
+val rules : (string * string) list
+
+val audit :
+  ?k:int ->
+  ?assignment:int array ->
+  ?claimed_makespan:int ->
+  Hyperdag.Dag.t ->
+  Scheduling.Schedule.t ->
+  Check.report
+(** [k] enables processor-range and work-bound rules; [assignment] the
+    μ_p rule that the schedule respects a fixed node → processor map;
+    [claimed_makespan] the makespan cross-check. *)

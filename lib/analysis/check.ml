@@ -1,0 +1,6 @@
+(* Re-export of the framework from analysis_core, so the auditor
+   interfaces in this library can say [Check.report].  [include] of a
+   module path preserves type equalities: [Check.report] here and
+   [Analysis_core.Check.report] are the same type. *)
+
+include Analysis_core.Check

@@ -1,0 +1,87 @@
+(* CSR well-formedness (Section 3.1).  The representation invariants of
+   Hg.t: pins in range and strictly increasing within each edge, the
+   node->edge incidence the exact transpose of the edge->pin lists, pin
+   count rho consistent between both views, and positive weights. *)
+
+let rules =
+  [
+    ("HG-PIN-RANGE", "every pin lies in [0, n) (Sec 3.1, CSR form)");
+    ("HG-PIN-SORTED", "pin lists strictly increasing within each edge");
+    ( "HG-TRANSPOSE",
+      "node->edge incidence is the exact transpose of the pin lists" );
+    ("HG-RHO", "rho = sum of |e| = sum of deg(v) (pin-count agreement)");
+    ("HG-WEIGHT-POS", "node and edge weights are positive integers");
+    ( "HG-EDGE-EMPTY",
+      "no empty hyperedges (warning: legal via of_edges, never built)" );
+  ]
+
+let audit hg =
+  let n = Hypergraph.num_nodes hg and m = Hypergraph.num_edges hg in
+  let ctx = Check.create ~subject:(Printf.sprintf "hypergraph n=%d m=%d" n m) in
+  (* Pin range and sortedness, counting occurrences per node as we go. *)
+  let occurrences = Array.make n 0 in
+  let pin_total = ref 0 in
+  for e = 0 to m - 1 do
+    let prev = ref (-1) in
+    let sorted = ref true and in_range = ref true in
+    Hypergraph.iter_pins hg e (fun v ->
+        incr pin_total;
+        if v < 0 || v >= n then in_range := false
+        else begin
+          occurrences.(v) <- occurrences.(v) + 1;
+          if v <= !prev then sorted := false;
+          prev := v
+        end);
+    Check.rule ctx ~id:"HG-PIN-RANGE" !in_range (fun () ->
+        Printf.sprintf "edge %d has a pin outside [0, %d)" e n);
+    Check.rule ctx ~id:"HG-PIN-SORTED" !sorted (fun () ->
+        Printf.sprintf "pins of edge %d are not strictly increasing" e);
+    Check.rule ctx ~severity:Warning ~id:"HG-EDGE-EMPTY"
+      (Hypergraph.edge_size hg e > 0) (fun () ->
+        Printf.sprintf "edge %d is empty" e)
+  done;
+  (* Transpose consistency: each node's incident-edge list must contain
+     exactly the edges whose pin lists mention it, without duplicates. *)
+  let transpose_ok = ref true in
+  let bad_node = ref (-1) in
+  for v = 0 to n - 1 do
+    let count = ref 0 and prev_edge = ref (-1) and local_ok = ref true in
+    Hypergraph.iter_incident hg v (fun e ->
+        incr count;
+        if e <= !prev_edge || e >= m then local_ok := false
+        else begin
+          prev_edge := e;
+          (* Linear membership scan: independent of the binary search in
+             [edge_mem], which itself assumes sortedness. *)
+          let found = ref false in
+          Hypergraph.iter_pins hg e (fun u -> if u = v then found := true);
+          if not !found then local_ok := false
+        end);
+    if !count <> occurrences.(v) then local_ok := false;
+    if not !local_ok && !transpose_ok then begin
+      transpose_ok := false;
+      bad_node := v
+    end
+  done;
+  Check.rule ctx ~id:"HG-TRANSPOSE" !transpose_ok (fun () ->
+      Printf.sprintf "incidence list of node %d disagrees with the pin lists"
+        !bad_node);
+  let degree_total = ref 0 in
+  for v = 0 to n - 1 do
+    degree_total := !degree_total + Hypergraph.node_degree hg v
+  done;
+  Check.rule ctx ~id:"HG-RHO"
+    (Hypergraph.num_pins hg = !pin_total && !pin_total = !degree_total)
+    (fun () ->
+      Printf.sprintf "rho=%d but sum|e|=%d and sum deg=%d"
+        (Hypergraph.num_pins hg) !pin_total !degree_total);
+  let weights_ok = ref true in
+  for v = 0 to n - 1 do
+    if Hypergraph.node_weight hg v < 1 then weights_ok := false
+  done;
+  for e = 0 to m - 1 do
+    if Hypergraph.edge_weight hg e < 1 then weights_ok := false
+  done;
+  Check.rule ctx ~id:"HG-WEIGHT-POS" !weights_ok (fun () ->
+      "a node or edge weight is < 1");
+  Check.report ctx

@@ -1,0 +1,12 @@
+(** CSR well-formedness audit for {!Hypergraph.t} (Section 3.1).
+
+    Checks the invariants the immutable CSR representation promises:
+    in-range strictly-sorted pin lists, an incidence structure that is the
+    exact transpose of the pin lists, ρ agreement between both views, and
+    positive weights.  Everything is recomputed through element-level
+    accessors, never trusting derived queries. *)
+
+val rules : (string * string) list
+(** Rule id → the paper definition / representation invariant it enforces. *)
+
+val audit : Hypergraph.t -> Check.report

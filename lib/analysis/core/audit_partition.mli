@@ -1,0 +1,37 @@
+(** Partition audit: Definition 3.1 (ε-balance), the Section 3.1 cost
+    metrics, layer-wise balance (Definition 5.1) and multi-constraint
+    balance (Definition 6.1).
+
+    All quantities are recomputed from first principles — λ_e by sorting
+    the colors of each edge's pins, capacities from the Definition 3.1
+    formula — independently of the [Partition] query functions, so a bug
+    in the solver-facing metric code cannot hide from the audit. *)
+
+val rules : (string * string) list
+
+type claim = { metric : Partition.metric; cost : int }
+(** A solver's claimed objective value, cross-checked by PART-COST. *)
+
+val recompute_cost : Partition.metric -> Hypergraph.t -> Partition.t -> int
+(** First-principles cost used by PART-COST (exposed for the CLI). *)
+
+val audit :
+  ?eps:float ->
+  ?variant:Partition.balance ->
+  ?claimed:claim ->
+  ?bound:claim ->
+  ?preserved_weights:int array ->
+  ?layers:int array array ->
+  ?constraints:Partition.Multi_constraint.t ->
+  ?constraints_eps:float ->
+  Hypergraph.t ->
+  Partition.t ->
+  Check.report
+(** [eps] enables the balance rule; [claimed] the exact cost cross-check;
+    [bound] the cost upper-bound check (decision witnesses); given
+    [preserved_weights] (the entry part weights of a weight-preserving
+    refinement) the exit weights must match; [layers] enables the
+    Definition 5.1 rule; [constraints] the Definition 6.1 rules, under
+    [constraints_eps] when given (a Definition 6.1 instance bounds each
+    class without implying global balance), else [eps].  Shape and
+    metric-consistency rules always run. *)

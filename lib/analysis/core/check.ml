@@ -1,0 +1,81 @@
+(* Checker framework: named rules, severities, structured reports.  The
+   auditors in this library and in lib/analysis evaluate paper invariants
+   through this module so that tests and the CLI can assert on stable rule
+   ids instead of parsing messages. *)
+
+type severity = Error | Warning | Info
+
+type violation = { rule : string; severity : severity; message : string }
+
+type report = {
+  subject : string;
+  rules_run : int;
+  violations : violation list;
+}
+
+type ctx = {
+  ctx_subject : string;
+  mutable run : int;
+  mutable acc : violation list; (* reversed *)
+}
+
+let create ~subject = { ctx_subject = subject; run = 0; acc = [] }
+
+let violation ctx ?(severity = Error) ~id message =
+  ctx.run <- ctx.run + 1;
+  ctx.acc <- { rule = id; severity; message } :: ctx.acc
+
+let rule ctx ?(severity = Error) ~id holds message =
+  if holds then ctx.run <- ctx.run + 1
+  else violation ctx ~severity ~id (message ())
+
+let report ctx =
+  {
+    subject = ctx.ctx_subject;
+    rules_run = ctx.run;
+    violations = List.rev ctx.acc;
+  }
+
+let ok r = List.for_all (fun v -> v.severity <> Error) r.violations
+let clean r = r.violations = []
+let errors r = List.filter (fun v -> v.severity = Error) r.violations
+
+let violated_rules r =
+  List.fold_left
+    (fun seen v -> if List.mem v.rule seen then seen else seen @ [ v.rule ])
+    [] r.violations
+
+let has_violation r id = List.exists (fun v -> v.rule = id) r.violations
+
+let merge ~subject reports =
+  {
+    subject;
+    rules_run = List.fold_left (fun a r -> a + r.rules_run) 0 reports;
+    violations =
+      List.concat_map
+        (fun r ->
+          List.map
+            (fun v -> { v with message = r.subject ^ ": " ^ v.message })
+            r.violations)
+        reports;
+  }
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+  | Info -> Fmt.string ppf "info"
+
+let pp_violation ppf v =
+  Fmt.pf ppf "[%a] %s: %s" pp_severity v.severity v.rule v.message
+
+let pp ppf r =
+  let n_err = List.length (errors r) in
+  Fmt.pf ppf "@[<v>audit %s: %d rule evaluations, %d violations (%d errors)"
+    r.subject r.rules_run
+    (List.length r.violations)
+    n_err;
+  List.iter (fun v -> Fmt.pf ppf "@,  %a" pp_violation v) r.violations;
+  Fmt.pf ppf "@]"
+
+let to_string r = Fmt.str "%a" pp r
+let exit_code r = if ok r then 0 else 1

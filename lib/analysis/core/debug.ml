@@ -1,0 +1,24 @@
+(* ANALYSIS_DEBUG gate.  The environment is read lazily so that a test
+   harness can also flip the switch programmatically via [force]. *)
+
+exception Audit_failure of string
+
+let from_env =
+  lazy
+    (match Sys.getenv_opt "ANALYSIS_DEBUG" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let override = ref None
+
+let enabled () =
+  match !override with Some b -> b | None -> Lazy.force from_env
+
+let force b = override := Some b
+
+let audit f =
+  if enabled () then begin
+    let report = f () in
+    if not (Check.ok report) then
+      raise (Audit_failure (Check.to_string report))
+  end

@@ -1,0 +1,20 @@
+(** The [ANALYSIS_DEBUG] gate for solver self-audits.
+
+    Solver entry points call {!audit} on their results; the closure is
+    evaluated only when the environment variable [ANALYSIS_DEBUG] is set
+    to a non-empty value other than ["0"], so release-mode performance is
+    untouched.  A failed audit raises {!Audit_failure} with the rendered
+    report — randomized tests set the variable and let any solver bug
+    surface at its source. *)
+
+exception Audit_failure of string
+
+val enabled : unit -> bool
+(** Whether [ANALYSIS_DEBUG] is on (read once, at first use). *)
+
+val force : bool -> unit
+(** Override the environment (used by the test-suite). *)
+
+val audit : (unit -> Check.report) -> unit
+(** Run the audit when enabled; raise {!Audit_failure} unless
+    {!Check.ok}. *)

@@ -158,4 +158,4 @@ let local_search ?(metric = Partition.Connectivity) ?(max_passes = 8) t hg part
 let solve ?(metric = Partition.Connectivity) rng t hg ~k =
   let part = greedy rng t hg ~k in
   ignore (local_search ~metric t hg part);
-  part
+  Audit_gate.checked hg part

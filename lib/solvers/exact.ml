@@ -133,7 +133,12 @@ let solve ?(metric = Partition.Connectivity) ?(variant = Partition.Strict)
     in
     dfs 0 0;
     match !best with
-    | Some part -> Some { cost = !best_cost; part }
+    | Some part ->
+        ignore
+          (Audit_gate.checked ~eps ~variant
+             ~claimed:{ Analysis_core.Audit_partition.metric; cost = !best_cost }
+             hg part);
+        Some { cost = !best_cost; part }
     | None -> None
   end
 
@@ -166,4 +171,11 @@ let brute_force ?(metric = Partition.Connectivity) ?variant ?(eps = 0.0)
         | Some { cost; _ } when cost <= c -> ()
         | _ -> best := Some { cost = c; part }
       end);
+  (match !best with
+  | Some { cost; part } ->
+      ignore
+        (Audit_gate.checked ?variant ~eps
+           ~claimed:{ Analysis_core.Audit_partition.metric; cost }
+           hg part)
+  | None -> ());
   !best

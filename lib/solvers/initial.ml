@@ -40,7 +40,7 @@ let random_balanced ?variant ~eps rng hg ~k =
       colors.(v) <- c;
       weights.(c) <- weights.(c) + w)
     order;
-  Partition.create ~k colors
+  Audit_gate.checked hg (Partition.create ~k colors)
 
 (* BFS growth: grow part after part from random seeds, following hyperedge
    adjacency, stopping each part near the ideal weight W/k. *)
@@ -119,8 +119,9 @@ let bfs_growth ?variant ~eps rng hg ~k =
       weights.(!best) <- weights.(!best) + w
     end
   done;
-  Partition.create ~k colors
+  Audit_gate.checked hg (Partition.create ~k colors)
 
 (* Deterministic fallback: nodes in index order, round robin. *)
 let round_robin hg ~k =
-  Partition.of_predicate ~k ~n:(Hypergraph.num_nodes hg) (fun v -> v mod k)
+  Audit_gate.checked hg
+    (Partition.of_predicate ~k ~n:(Hypergraph.num_nodes hg) (fun v -> v mod k))

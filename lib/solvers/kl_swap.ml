@@ -125,10 +125,16 @@ let kl_pass cfg hg counts part =
 (* Refine in place by repeated KL passes; returns the final cost.  Part
    weights are preserved exactly. *)
 let refine ?(config = default_config) hg part =
+  let entry = Audit_gate.entry_weights hg part in
   let counts = Pin_counts.create hg part in
   let passes = ref 0 and improving = ref true in
   while !improving && !passes < config.max_passes do
     incr passes;
     if kl_pass config hg counts part <= 0 then improving := false
   done;
-  Pin_counts.cost ~metric:config.metric counts
+  let cost = Pin_counts.cost ~metric:config.metric counts in
+  ignore
+    (Audit_gate.checked
+       ~claimed:{ Analysis_core.Audit_partition.metric = config.metric; cost }
+       ?preserved_weights:entry hg part);
+  cost

@@ -84,12 +84,16 @@ let partition ?(config = default_config) rng hg ~k =
       part := Coarsen.project levels.(d) !part;
       ignore (Refine.refine ~config:(refine_config config) (hypergraph_at d) !part)
     done;
-    !part
+    Audit_gate.checked hg !part
   end
 
 let partition_with_cost ?(config = default_config) rng hg ~k =
   let part = partition ~config rng hg ~k in
-  (part, Partition.cost ~metric:config.metric hg part)
+  let cost =
+    Audit_gate.checked_cost ~metric:config.metric hg part
+      (Partition.cost ~metric:config.metric hg part)
+  in
+  (part, cost)
 
 (* V-cycle: re-coarsen with clusters confined to the current parts (so the
    projected partition is exact at every level), then refine on the way
@@ -142,7 +146,8 @@ let vcycle ?(config = default_config) ?(cycles = 1) rng hg part =
       0 (Partition.assignment part) 0
       (Hypergraph.num_nodes hg)
   done;
-  Partition.cost ~metric:config.metric hg part
+  Audit_gate.checked_cost ~metric:config.metric hg part
+    (Partition.cost ~metric:config.metric hg part)
 
 (* Random-restart portfolio: keep the best of several independent runs,
    preferring feasible partitions. *)
@@ -158,4 +163,6 @@ let partition_best ?(config = default_config) ?(restarts = 4) rng hg ~k =
     | Some (bs, _) when bs <= score -> ()
     | _ -> best := Some (score, part)
   done;
-  match !best with Some (_, p) -> p | None -> assert false
+  match !best with
+  | Some (_, p) -> Audit_gate.checked hg p
+  | None -> assert false

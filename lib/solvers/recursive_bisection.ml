@@ -135,4 +135,4 @@ let partition ?(eps = 0.03) ~bisector hg ~k =
     end
   in
   go hg (Array.init n Fun.id) ~first_color:0 ~parts:k;
-  Partition.create ~k colors
+  Audit_gate.checked hg (Partition.create ~k colors)

@@ -165,4 +165,5 @@ let refine ?(config = default_config) hg part =
     let gain = fm_pass config hg counts part weights cap in
     if gain <= 0 then improving := false
   done;
-  Pin_counts.cost ~metric:config.metric counts
+  Audit_gate.checked_cost ~metric:config.metric hg part
+    (Pin_counts.cost ~metric:config.metric counts)

@@ -201,6 +201,13 @@ let decision ?(metric = Partition.Connectivity) ?(variant = Partition.Strict)
         end);
     incr size
   done;
+  (match !witness with
+  | Some part ->
+      ignore
+        (Audit_gate.checked ~eps ~variant
+           ~bound:{ Analysis_core.Audit_partition.metric; cost = cost_limit }
+           hg part)
+  | None -> ());
   !witness
 
 (* Multi-constraint variant (second half of Lemma 6.2, Appendix D.2): the
@@ -385,6 +392,13 @@ let decision_multi ?(metric = Partition.Connectivity)
         end);
     incr size
   done;
+  (match !found with
+  | Some part ->
+      ignore
+        (Audit_gate.checked ~variant ~constraints ~constraints_eps:eps
+           ~bound:{ Analysis_core.Audit_partition.metric; cost = cost_limit }
+           hg part)
+  | None -> ());
   !found
 
 (* Optimize by increasing L; [limit] caps the search. *)

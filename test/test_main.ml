@@ -19,4 +19,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("coverage", Test_coverage.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -166,23 +166,15 @@ let test_part_io_roundtrip () =
   done
 
 let test_part_io_parse () =
-  let p = P.Io.of_string ~n:3 "% comment
-1
-0
-2
-" in
+  let p = P.Io.of_string ~n:3 "% comment\n1\n0\n2\n" in
   Alcotest.(check int) "k inferred" 3 (P.k p);
   Alcotest.(check (array int)) "vector" [| 1; 0; 2 |] (P.assignment p);
   (try
-     ignore (P.Io.of_string ~n:2 "0
-1
-0
-");
+     ignore (P.Io.of_string ~n:2 "0\n1\n0\n");
      Alcotest.fail "expected count mismatch"
    with Failure _ -> ());
   (try
-     ignore (P.Io.of_string ~n:1 "-3
-");
+     ignore (P.Io.of_string ~n:1 "-3\n");
      Alcotest.fail "expected bad entry"
    with Failure _ -> ())
 

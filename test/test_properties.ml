@@ -176,7 +176,7 @@ let prop_hierarchical_cost_bounds =
       c >= lo -. 1e-9 && c <= hi +. 1e-9)
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_metric_sandwich;
       prop_lambda_range;
