@@ -1,11 +1,23 @@
 (* Benchmark harness.
 
-   Default: run the full experiment suite (E1 .. E14) — one section per
+   Default: run the full experiment suite (E1 .. E16) — one section per
    table/figure/claim of the paper (see DESIGN.md and EXPERIMENTS.md) —
-   followed by the Bechamel micro-benchmarks of the core kernels.
+   followed by the Bechamel micro-benchmarks of the core kernels, and
+   write a machine-readable report (schema Obs.bench_schema_version) to
+   BENCH_<gitrev>.json.
 
-   Flags: --micro (micro-benchmarks only), --experiments (experiments
-   only), E<k> (run a single experiment). *)
+   usage: main.exe [--micro] [--experiments] [E<k> ...] [--out FILE]
+
+     --micro          micro-benchmarks only (plus any E<k> given)
+     --experiments    experiment suite only
+     E<k> ...         run just the named experiments
+     --out FILE       write the JSON report to FILE instead of
+                      BENCH_<gitrev>.json
+
+   Each experiment runs with observability collection on: its section of
+   the report carries wall time plus the counters, gauges, histograms and
+   the span rollup the instrumented solvers produced (cost.* histograms
+   give the cut quality of every cost evaluation without extra plumbing). *)
 
 open Bechamel
 
@@ -87,6 +99,7 @@ let hier_cost_bench () =
   Test.make ~name:"hierarchical cost (n=1000, d=3)"
     (Staged.stage (fun () -> ignore (Hierarchy.Hier_cost.cost topo hg part)))
 
+(* Returns (name, estimated ns/run) rows for the JSON report. *)
 let micro_benchmarks () =
   print_endline "\n== Bechamel micro-benchmarks (time per run) ==";
   let tests =
@@ -103,6 +116,7 @@ let micro_benchmarks () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -117,24 +131,160 @@ let micro_benchmarks () =
                 else if est >= 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
                 else Printf.sprintf "%8.0f ns" est
               in
+              rows := (name, est) :: !rows;
               Printf.printf "  %-48s %s/run\n%!" name pretty
           | _ -> Printf.printf "  %-48s (no estimate)\n%!" name)
         analyzed)
-    tests
+    tests;
+  List.rev !rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON report (schema Obs.bench_schema_version) *)
+
+let git_rev () =
+  try
+    let ic =
+      Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let json_of_snapshot (snap : Obs.snapshot) =
+  let open Obs.Json in
+  [
+    ( "counters",
+      Obj (List.map (fun (name, v) -> (name, Int v)) snap.Obs.counters) );
+    ( "gauges",
+      Obj (List.map (fun (name, v) -> (name, Float v)) snap.Obs.gauges) );
+    ( "histograms",
+      Obj
+        (List.map
+           (fun (name, h) ->
+             ( name,
+               Obj
+                 [
+                   ("count", Int h.Obs.h_count);
+                   ("sum", Float h.Obs.h_sum);
+                   ("min", Float h.Obs.h_min);
+                   ("max", Float h.Obs.h_max);
+                   ("last", Float h.Obs.h_last);
+                 ] ))
+           snap.Obs.histograms) );
+    ( "spans",
+      Arr
+        (List.map
+           (fun s ->
+             Obj
+               [
+                 ("path", Str s.Obs.s_path);
+                 ("count", Int s.Obs.s_count);
+                 ("total_s", Float (Support.Util.seconds_of_ns s.Obs.s_total_ns));
+                 ("min_s", Float (Support.Util.seconds_of_ns s.Obs.s_min_ns));
+                 ("max_s", Float (Support.Util.seconds_of_ns s.Obs.s_max_ns));
+               ])
+           snap.Obs.spans) );
+  ]
+
+(* Run one experiment with metric collection on; its report section is
+   the wall time plus everything the instrumentation recorded. *)
+let run_experiment_json (id, what, run) =
+  Printf.printf "\n%s\n### %s — %s\n%s\n"
+    (String.make 72 '#') id what (String.make 72 '#');
+  Obs.reset_stats ();
+  let t0 = Support.Util.monotonic_ns () in
+  run ();
+  let wall =
+    Support.Util.seconds_of_ns
+      (Int64.sub (Support.Util.monotonic_ns ()) t0)
+  in
+  let snap = Obs.snapshot () in
+  let open Obs.Json in
+  Obj
+    ([ ("id", Str id); ("what", Str what); ("wall_s", Float wall) ]
+    @ json_of_snapshot snap)
+
+let write_report ~out ~rev ~experiments ~micro =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("schema", Str Obs.bench_schema_version);
+        ("git_rev", Str rev);
+        ("ocaml_version", Str Sys.ocaml_version);
+        ("unix_time", Float (Unix.time ()));
+        ("experiments", Arr experiments);
+        ( "micro",
+          Arr
+            (List.map
+               (fun (name, ns) ->
+                 Obj [ ("name", Str name); ("ns_per_run", Float ns) ])
+               micro) );
+      ]
+  in
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc (to_string doc);
+      output_char oc '\n');
+  Printf.printf "\nwrote %s\n" out
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--micro] [--experiments] [E<k> ...] [--out FILE]"
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  match args with
-  | [ "--micro" ] -> micro_benchmarks ()
-  | [ "--experiments" ] -> Experiments.run_all ()
-  | [ id ] when String.length id >= 2 && id.[0] = 'E' ->
-      if not (Experiments.run_one id) then begin
-        Printf.eprintf "unknown experiment %s\n" id;
+  let micro_only = ref false in
+  let experiments_only = ref false in
+  let picked = ref [] in
+  let out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--micro" :: rest ->
+        micro_only := true;
+        parse rest
+    | "--experiments" :: rest ->
+        experiments_only := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := Some file;
+        parse rest
+    | [ "--out" ] ->
+        usage ();
         exit 1
-      end
-  | [] ->
-      Experiments.run_all ();
-      micro_benchmarks ()
-  | _ ->
-      prerr_endline "usage: main.exe [--micro | --experiments | E<k>]";
-      exit 1
+    | id :: rest when String.length id >= 2 && id.[0] = 'E' ->
+        if List.mem id Experiments.ids then begin
+          picked := !picked @ [ id ];
+          parse rest
+        end
+        else begin
+          Printf.eprintf "unknown experiment %s; valid experiments: %s\n" id
+            (String.concat " " Experiments.ids);
+          exit 1
+        end
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        usage ();
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let run_experiments =
+    if !picked <> [] then
+      List.filter (fun (id, _, _) -> List.mem id !picked) Experiments.all
+    else if !micro_only && not !experiments_only then []
+    else Experiments.all
+  in
+  let run_micro =
+    !micro_only || ((not !experiments_only) && !picked = [])
+  in
+  Obs.set_enabled true;
+  let experiment_rows = List.map run_experiment_json run_experiments in
+  Obs.set_enabled false;
+  let micro_rows = if run_micro then micro_benchmarks () else [] in
+  let rev = git_rev () in
+  let out =
+    match !out with
+    | Some file -> file
+    | None -> Printf.sprintf "BENCH_%s.json" rev
+  in
+  write_report ~out ~rev ~experiments:experiment_rows ~micro:micro_rows

@@ -31,6 +31,28 @@ let seed_arg =
   let doc = "Random seed (the solvers are deterministic given the seed)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* Observability: --trace/--stats mirror the HYPARTITION_TRACE and
+   HYPARTITION_OBS environment variables (lib/obs reads those lazily; the
+   flags just enable the sinks explicitly and take precedence). *)
+
+let trace_arg =
+  let doc =
+    Printf.sprintf
+      "Append a JSONL span trace (schema %s) of the run to $(docv)."
+      Obs.trace_schema_version
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"TRACE" ~doc)
+
+let stats_flag =
+  let doc =
+    "Print the aggregated span tree and metric summary to stderr on exit."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let setup_obs trace stats =
+  (match trace with Some path -> Obs.enable_trace path | None -> ());
+  if stats then Obs.enable_summary ()
+
 let algorithm_arg =
   let algs =
     [
@@ -75,7 +97,8 @@ let report hg part metric =
        (Array.to_list (Array.map string_of_int (Partition.part_weights hg part))));
   ignore metric
 
-let run_partition path k eps seed algorithm metric output dot =
+let run_partition trace stats path k eps seed algorithm metric output dot =
+  setup_obs trace stats;
   match load_hypergraph path with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -173,7 +196,8 @@ let costs_arg =
   let doc = "Per-level transfer costs g1,g2,... (non-increasing, g_d = 1)." in
   Arg.(value & opt (list float) [ 4.0; 1.0 ] & info [ "costs" ] ~docv:"G1,G2" ~doc)
 
-let run_hierarchical path eps seed branching costs =
+let run_hierarchical trace stats path eps seed branching costs =
+  setup_obs trace stats;
   match load_hypergraph path with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -250,7 +274,8 @@ let dag_arg =
   let doc = "Input DAG ('n m' header, then 'u v' edge lines)." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"DAG" ~doc)
 
-let run_schedule path k =
+let run_schedule trace stats path k =
+  setup_obs trace stats;
   match (try Ok (Hyperdag.Dag_io.load path) with Failure m -> Error m) with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -295,7 +320,7 @@ let schedule_cmd =
     Cmd.info "schedule"
       ~doc:"Makespan bounds and a list schedule for a computational DAG."
   in
-  Cmd.v info Term.(const run_schedule $ dag_arg $ k_arg)
+  Cmd.v info Term.(const run_schedule $ trace_arg $ stats_flag $ dag_arg $ k_arg)
 
 let convert_cmd =
   let info =
@@ -383,8 +408,8 @@ let partition_cmd =
   let info = Cmd.info "partition" ~doc:"Partition an hMETIS hypergraph." in
   Cmd.v info
     Term.(
-      const run_partition $ hypergraph_arg $ k_arg $ eps_arg $ seed_arg
-      $ algorithm_arg $ metric_arg $ output_arg $ dot_arg)
+      const run_partition $ trace_arg $ stats_flag $ hypergraph_arg $ k_arg
+      $ eps_arg $ seed_arg $ algorithm_arg $ metric_arg $ output_arg $ dot_arg)
 
 let stats_cmd =
   let info = Cmd.info "stats" ~doc:"Print hypergraph statistics." in
@@ -404,8 +429,8 @@ let hierarchical_cmd =
   in
   Cmd.v info
     Term.(
-      const run_hierarchical $ hypergraph_arg $ eps_arg $ seed_arg
-      $ branching_arg $ costs_arg)
+      const run_hierarchical $ trace_arg $ stats_flag $ hypergraph_arg
+      $ eps_arg $ seed_arg $ branching_arg $ costs_arg)
 
 (* check: run the invariant auditors of lib/analysis over an instance file
    and (optionally) a partition vector.  All costs and capacities are
@@ -434,7 +459,8 @@ let rules_flag =
              and exit." in
   Arg.(value & flag & info [ "rules" ] ~doc)
 
-let run_check path parts_path eps variant branching costs rules =
+let run_check trace stats path parts_path eps variant branching costs rules =
+  setup_obs trace stats;
   if rules then begin
     List.iter
       (fun (id, what) -> Printf.printf "%-24s %s\n" id what)
@@ -457,7 +483,11 @@ let run_check path parts_path eps variant branching costs rules =
             in
             let with_partition reports =
               List.iter (fun r -> print_endline (Analysis.Check.to_string r)) reports;
-              Analysis.Check.exit_code (Analysis.Check.merge ~subject:path reports)
+              let merged = Analysis.Check.merge ~subject:path reports in
+              if stats then
+                Printf.printf "%s\n"
+                  (Fmt.str "%a" Analysis.Check.pp_timings merged);
+              Analysis.Check.exit_code merged
             in
             match parts_path with
             | None -> with_partition structural
@@ -505,8 +535,187 @@ let check_cmd =
   in
   Cmd.v info
     Term.(
-      const run_check $ check_file_arg $ check_parts_arg $ eps_arg
-      $ variant_arg $ branching_arg $ costs_arg $ rules_flag)
+      const run_check $ trace_arg $ stats_flag $ check_file_arg
+      $ check_parts_arg $ eps_arg $ variant_arg $ branching_arg $ costs_arg
+      $ rules_flag)
+
+(* trace: validate an emitted observability artifact — either a JSONL span
+   trace (HYPARTITION_TRACE / --trace) or a BENCH_<gitrev>.json bench
+   report — against its schema.  CI runs this over the artifacts it
+   uploads. *)
+
+let run_trace_validate path =
+  let ( let* ) r f = match r with Error msg -> Error msg | Ok v -> f v in
+  let read () =
+    try Ok (In_channel.with_open_text path In_channel.input_all)
+    with Sys_error msg -> Error msg
+  in
+  let str_field name json =
+    match Option.bind (Obs.Json.member name json) Obs.Json.get_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing string field %S" name)
+  in
+  let num_field name json =
+    match Option.bind (Obs.Json.member name json) Obs.Json.get_float with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "missing numeric field %S" name)
+  in
+  let validate_bench doc =
+    let* rev = str_field "git_rev" doc in
+    let* experiments =
+      match Obs.Json.member "experiments" doc with
+      | Some (Obs.Json.Arr l) -> Ok l
+      | _ -> Error "missing array field \"experiments\""
+    in
+    let* () =
+      List.fold_left
+        (fun acc e ->
+          let* () = acc in
+          let* id = str_field "id" e in
+          let* wall = num_field "wall_s" e in
+          if wall < 0.0 then
+            Error (Printf.sprintf "experiment %s: negative wall_s" id)
+          else Ok ())
+        (Ok ()) experiments
+    in
+    Printf.printf "valid bench report (schema %s, git %s): %d experiments\n"
+      Obs.bench_schema_version rev (List.length experiments);
+    Ok ()
+  in
+  let validate_trace lines =
+    (* First line is the meta record; span records follow, each child
+       emitted before its parent (spans are written as they end). *)
+    let* () =
+      match lines with
+      | meta :: _ -> (
+          let* doc =
+            Result.map_error (fun e -> "meta line: " ^ e) (Obs.Json.parse meta)
+          in
+          let* ty = str_field "type" doc in
+          let* schema = str_field "schema" doc in
+          if ty <> "meta" then Error "first line is not a meta record"
+          else if schema <> Obs.trace_schema_version then
+            Error
+              (Printf.sprintf "unsupported trace schema %S (expected %S)"
+                 schema Obs.trace_schema_version)
+          else Ok ())
+      | [] -> Error "empty trace"
+    in
+    let spans = Hashtbl.create 64 in
+    (* span id -> (parent id option, depth, path) *)
+    let counts = Hashtbl.create 8 in
+    let count ty =
+      Hashtbl.replace counts ty (1 + Option.value ~default:0 (Hashtbl.find_opt counts ty))
+    in
+    let* () =
+      List.fold_left
+        (fun acc (lineno, line) ->
+          let* () = acc in
+          let* doc =
+            Result.map_error
+              (fun e -> Printf.sprintf "line %d: %s" lineno e)
+              (Obs.Json.parse line)
+          in
+          let* ty = str_field "type" doc in
+          count ty;
+          match ty with
+          | "span" ->
+              let* id =
+                match Option.bind (Obs.Json.member "id" doc) Obs.Json.get_int with
+                | Some i -> Ok i
+                | None -> Error (Printf.sprintf "line %d: span without id" lineno)
+              in
+              let parent =
+                Option.bind (Obs.Json.member "parent" doc) Obs.Json.get_int
+              in
+              let* depth = num_field "depth" doc in
+              let* path = str_field "path" doc in
+              let* dur = num_field "dur_ns" doc in
+              if dur < 0.0 then
+                Error (Printf.sprintf "line %d: negative dur_ns" lineno)
+              else begin
+                Hashtbl.replace spans id (parent, int_of_float depth, path);
+                Ok ()
+              end
+          | "meta" | "counter" | "gauge" | "histogram" -> Ok ()
+          | other -> Error (Printf.sprintf "line %d: unknown record type %S" lineno other))
+        (Ok ())
+        (List.mapi (fun i l -> (i + 2, l)) (List.tl lines))
+    in
+    (* Structural check: every parent exists, and a child sits one level
+       below its parent with the parent's path as a proper prefix. *)
+    let* () =
+      Hashtbl.fold
+        (fun id (parent, depth, path) acc ->
+          let* () = acc in
+          match parent with
+          | None -> Ok ()
+          | Some p -> (
+              match Hashtbl.find_opt spans p with
+              | None ->
+                  Error (Printf.sprintf "span %d references missing parent %d" id p)
+              | Some (_, pdepth, ppath) ->
+                  if depth <> pdepth + 1 then
+                    Error (Printf.sprintf "span %d: depth %d under parent depth %d" id depth pdepth)
+                  else if not (String.starts_with ~prefix:(ppath ^ "/") path) then
+                    Error (Printf.sprintf "span %d: path %S not under parent %S" id path ppath)
+                  else Ok ()))
+        spans (Ok ())
+    in
+    let n ty = Option.value ~default:0 (Hashtbl.find_opt counts ty) in
+    let roots =
+      Hashtbl.fold
+        (fun _ (parent, _, _) a -> if parent = None then a + 1 else a)
+        spans 0
+    in
+    Printf.printf
+      "valid trace (schema %s): %d spans (%d roots), %d counters, %d gauges, %d histograms\n"
+      Obs.trace_schema_version (n "span") roots (n "counter") (n "gauge")
+      (n "histogram");
+    Ok ()
+  in
+  let result =
+    let* content = read () in
+    let lines =
+      List.filter
+        (fun l -> String.trim l <> "")
+        (String.split_on_char '\n' content)
+    in
+    (* Dispatch on the first line's schema tag: a bench report is a single
+       JSON object, a trace is JSONL. *)
+    match lines with
+    | [] -> Error "empty file"
+    | first :: _ -> (
+        match
+          Option.bind
+            (Result.to_option (Obs.Json.parse first))
+            (fun d -> Option.bind (Obs.Json.member "schema" d) Obs.Json.get_str)
+        with
+        | Some s when s = Obs.bench_schema_version ->
+            let* doc = Obs.Json.parse (String.trim content) in
+            validate_bench doc
+        | Some s when s = Obs.trace_schema_version -> validate_trace lines
+        | Some other -> Error (Printf.sprintf "unknown schema %S" other)
+        | None -> Error "first line has no schema tag")
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      1
+
+let trace_cmd =
+  let file_arg =
+    let doc = "Trace (JSONL) or bench (JSON) file to validate." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let info =
+    Cmd.info "trace"
+      ~doc:
+        "Validate an observability artifact (JSONL span trace or bench \
+         JSON) against its schema; non-zero exit if malformed."
+  in
+  Cmd.v info Term.(const run_trace_validate $ file_arg)
 
 let main =
   let info =
@@ -517,6 +726,7 @@ let main =
     [
       partition_cmd; stats_cmd; recognize_cmd; hierarchical_cmd;
       schedule_cmd; convert_cmd; evaluate_cmd; generate_cmd; check_cmd;
+      trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

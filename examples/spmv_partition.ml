@@ -6,7 +6,13 @@
    column-net), partition each model for a 4-processor machine, and report
    the communication volume the partition implies.
 
-   Run with:  dune exec examples/spmv_partition.exe *)
+   Run with:  dune exec examples/spmv_partition.exe
+
+   To watch the solver pipeline work (span tree of coarsening, initial
+   portfolio, FM passes, plus counters/histograms), run with
+   HYPARTITION_OBS=summary, or set HYPARTITION_TRACE=/tmp/spmv.jsonl for
+   a machine-readable trace (validate it with
+   `hypartition trace /tmp/spmv.jsonl`; see README "Observability"). *)
 
 let () =
   let rng = Support.Rng.create 7 in

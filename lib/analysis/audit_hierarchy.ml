@@ -90,6 +90,7 @@ let recompute_cost topo hg part =
   !total
 
 let audit ?claimed_cost topo hg part =
+  Obs.Span.with_ "audit.hierarchy" @@ fun () ->
   let topo_report = audit_topology topo in
   let ctx =
     Check.create

@@ -69,6 +69,7 @@ let audit_certificate ctx hg cert =
       "certificate subset has an induced node of degree < 2")
 
 let audit ?generator hg =
+  Obs.Span.with_ "audit.hyperdag" @@ fun () ->
   let ctx =
     Check.create
       ~subject:

@@ -25,6 +25,7 @@ let rules =
   ]
 
 let audit ?k ?assignment ?claimed_makespan dag sched =
+  Obs.Span.with_ "audit.schedule" @@ fun () ->
   let n = Hyperdag.Dag.num_nodes dag in
   let ctx =
     Check.create ~subject:(Printf.sprintf "schedule of dag n=%d" n)

@@ -16,6 +16,7 @@ let rules =
   ]
 
 let audit hg =
+  Obs.Span.with_ "audit.hypergraph" @@ fun () ->
   let n = Hypergraph.num_nodes hg and m = Hypergraph.num_edges hg in
   let ctx = Check.create ~subject:(Printf.sprintf "hypergraph n=%d m=%d" n m) in
   (* Pin range and sortedness, counting occurrences per node as we go. *)

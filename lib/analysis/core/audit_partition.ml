@@ -58,6 +58,7 @@ let metric_name : Partition.metric -> string = function
 
 let audit ?eps ?(variant = Partition.Strict) ?claimed ?bound ?preserved_weights
     ?layers ?constraints ?constraints_eps hg part =
+  Obs.Span.with_ "audit.partition" @@ fun () ->
   (* The multi-constraint checks run under their own eps when given: a
      Definition 6.1 instance bounds each class separately without implying
      the global Definition 3.1 balance. *)

@@ -11,29 +11,66 @@ type report = {
   subject : string;
   rules_run : int;
   violations : violation list;
+  timings : (string * float) list;
 }
 
 type ctx = {
   ctx_subject : string;
   mutable run : int;
   mutable acc : violation list; (* reversed *)
+  mutable last_ns : int64;
+  mutable laps : (string * float) list; (* reversed *)
 }
 
-let create ~subject = { ctx_subject = subject; run = 0; acc = [] }
+let create ~subject =
+  {
+    ctx_subject = subject;
+    run = 0;
+    acc = [];
+    last_ns = Support.Util.monotonic_ns ();
+    laps = [];
+  }
+
+(* Rules receive an already-evaluated boolean, so the work of rule [id]
+   happened between the previous [rule]/[violation] call and this one:
+   attribute that clock delta to [id].  Zero changes at call sites. *)
+let lap ctx id =
+  let now = Support.Util.monotonic_ns () in
+  ctx.laps <- (id, Support.Util.seconds_of_ns (Int64.sub now ctx.last_ns)) :: ctx.laps;
+  ctx.last_ns <- now
 
 let violation ctx ?(severity = Error) ~id message =
+  lap ctx id;
   ctx.run <- ctx.run + 1;
   ctx.acc <- { rule = id; severity; message } :: ctx.acc
 
 let rule ctx ?(severity = Error) ~id holds message =
-  if holds then ctx.run <- ctx.run + 1
+  if holds then begin
+    lap ctx id;
+    ctx.run <- ctx.run + 1
+  end
   else violation ctx ~severity ~id (message ())
+
+(* Sum seconds per rule id, keeping first-evaluation order. *)
+let sum_by_id entries =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (id, dt) ->
+      match Hashtbl.find_opt tbl id with
+      | Some t -> Hashtbl.replace tbl id (t +. dt)
+      | None ->
+          Hashtbl.add tbl id dt;
+          order := id :: !order)
+    entries;
+  List.rev_map (fun id -> (id, Hashtbl.find tbl id)) !order
 
 let report ctx =
   {
     subject = ctx.ctx_subject;
     rules_run = ctx.run;
     violations = List.rev ctx.acc;
+    timings = sum_by_id (List.rev ctx.laps);
   }
 
 let ok r = List.for_all (fun v -> v.severity <> Error) r.violations
@@ -58,6 +95,7 @@ let merge ~subject reports =
             (fun v -> { v with message = r.subject ^ ": " ^ v.message })
             r.violations)
         reports;
+    timings = sum_by_id (List.concat_map (fun r -> r.timings) reports);
   }
 
 let pp_severity ppf = function
@@ -75,6 +113,15 @@ let pp ppf r =
     (List.length r.violations)
     n_err;
   List.iter (fun v -> Fmt.pf ppf "@,  %a" pp_violation v) r.violations;
+  Fmt.pf ppf "@]"
+
+let pp_timings ppf r =
+  let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 r.timings in
+  Fmt.pf ppf "@[<v>audit %s: rule timings (total %.3f ms)" r.subject
+    (total *. 1e3);
+  List.iter
+    (fun (id, s) -> Fmt.pf ppf "@,  %-32s %10.1f us" id (s *. 1e6))
+    r.timings;
   Fmt.pf ppf "@]"
 
 let to_string r = Fmt.str "%a" pp r

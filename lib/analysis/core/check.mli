@@ -18,6 +18,11 @@ type report = {
   subject : string;  (** what was audited, e.g. ["hypergraph n=5 m=3"] *)
   rules_run : int;  (** rule evaluations performed (passed or failed) *)
   violations : violation list;  (** in evaluation order *)
+  timings : (string * float) list;
+      (** seconds attributed to each rule id, in first-evaluation order.
+          A rule's predicate is computed by the caller between consecutive
+          {!rule} calls, so each entry is the wall-clock delta since the
+          previous call, summed over re-evaluations of the same id. *)
 }
 
 (** {1 Accumulation} *)
@@ -62,6 +67,10 @@ val merge : subject:string -> report list -> report
 val pp_severity : Format.formatter -> severity -> unit
 val pp_violation : Format.formatter -> violation -> unit
 val pp : Format.formatter -> report -> unit
+
+(** [pp_timings] renders the per-rule timing table (the [check --stats]
+    output). *)
+val pp_timings : Format.formatter -> report -> unit
 val to_string : report -> string
 
 val exit_code : report -> int

@@ -13,8 +13,9 @@ let run () =
     List.map
       (fun limit ->
         let witness, seconds =
-          Support.Util.time_it (fun () ->
-              Solvers.Xp.decision ~eps:0.0 hg ~k:2 ~cost_limit:limit)
+          Obs.Span.timed "exp.e10.xp_decision"
+            ~attrs:[ ("cost_limit", Obs.Int limit) ]
+            (fun () -> Solvers.Xp.decision ~eps:0.0 hg ~k:2 ~cost_limit:limit)
         in
         [
           Table.Int limit;

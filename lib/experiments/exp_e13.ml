@@ -60,7 +60,11 @@ let run () =
       let rows =
         List.map
           (fun (alg, f) ->
-            let part, seconds = Support.Util.time_it (fun () -> f hg ~k) in
+            let part, seconds =
+              Obs.Span.timed "exp.e13.solver"
+                ~attrs:[ ("algorithm", Obs.Str alg) ]
+                (fun () -> f hg ~k)
+            in
             [
               Table.Str alg;
               Table.Int (Partition.connectivity_cost hg part);

@@ -26,7 +26,7 @@ let run () =
           | Scheduling.Mu.Bounds (lo, _) -> lo
         in
         let (perfect, seconds) =
-          Support.Util.time_it (fun () ->
+          Obs.Span.timed "exp.e5.perfect_schedule" (fun () ->
               Reductions.Sched_from_three_partition.perfect_schedule_exists red)
         in
         [

@@ -36,7 +36,9 @@ let run () =
       (fun m ->
         let d = 64 in
         let inst = Npc.Ovp.random rng ~m ~d in
-        let _, seconds = Support.Util.time_it (fun () -> Npc.Ovp.has_pair inst) in
+        let _, seconds =
+          Obs.Span.timed "exp.e6.ov_scan" (fun () -> Npc.Ovp.has_pair inst)
+        in
         [
           Table.Int m;
           Table.Int d;

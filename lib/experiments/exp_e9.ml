@@ -16,7 +16,7 @@ let run () =
         let topo = Hierarchy.Topology.two_level ~b1:(k / 2) ~b2:2 ~g1:4.0 in
         let dp = Hierarchy.Assignment.exact_two_level topo hg part in
         let mt, mt_secs =
-          Support.Util.time_it (fun () ->
+          Obs.Span.timed "exp.e9.matching_b2_2" (fun () ->
               Hierarchy.Assignment.matching_b2_2 topo hg part)
         in
         let ls = Hierarchy.Assignment.local_search topo hg part in

@@ -40,6 +40,8 @@ let all =
     ("E16", "multi-constraint algorithms (Lemma 6.2, App D.2)", E16.run);
   ]
 
+let ids = List.map (fun (id, _, _) -> id) all
+
 let run_all () =
   List.iter
     (fun (id, what, run) ->

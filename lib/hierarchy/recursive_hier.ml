@@ -44,6 +44,13 @@ let restrict hg keep_ids =
     ~edge_weights:(Array.map snd arr) (Array.map fst arr)
 
 let partition ?(eps = 0.0) ~splitter topo hg =
+  Obs.Span.with_ "hier.recursive"
+    ~attrs:
+      [
+        ("n", Obs.Int (Hypergraph.num_nodes hg));
+        ("k", Obs.Int (Topology.num_leaves topo));
+      ]
+  @@ fun () ->
   let d = Topology.depth topo in
   let b = Topology.branching topo in
   let n = Hypergraph.num_nodes hg in
@@ -54,7 +61,16 @@ let partition ?(eps = 0.0) ~splitter topo hg =
       Array.iter (fun v -> leaf.(v) <- leaf_base) old_ids
     else begin
       let parts = b.(level - 1) in
-      let split = splitter sub ~k:parts ~eps in
+      let split =
+        Obs.Span.with_ "hier.recursive.split"
+          ~attrs:
+            [
+              ("level", Obs.Int level);
+              ("nodes", Obs.Int (Hypergraph.num_nodes sub));
+              ("parts", Obs.Int parts);
+            ]
+          (fun () -> splitter sub ~k:parts ~eps)
+      in
       let leaves_below =
         (* Leaves of one child subtree at this level. *)
         Array.fold_left ( * ) 1 (Array.sub b level (d - level))

@@ -1,0 +1,747 @@
+(* Structured observability: monotonic spans, metrics, pluggable sinks.
+
+   Design constraints, in order:
+   1. disabled instrumentation must cost ~nothing on the FM hot path — a
+      couple of loads and a branch, and zero allocation;
+   2. no external dependencies (the clock comes from Support.Util);
+   3. machine-readable output (JSONL trace, metric snapshots) so the bench
+      harness and CI can consume what humans see in the summary tree.
+
+   Single-threaded, like the solvers. *)
+
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+let trace_schema_version = "hypartition-trace/1"
+let bench_schema_version = "hypartition-bench/1"
+
+let now_ns = Support.Util.monotonic_ns
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let float_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.17g" f
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then Buffer.add_string buf (float_to_string f)
+        else Buffer.add_string buf "null"
+    | Str s -> escape_to buf s
+    | Arr l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf v)
+          l;
+        Buffer.add_char buf ']'
+    | Obj l ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_to buf k;
+            Buffer.add_char buf ':';
+            write buf v)
+          l;
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    write buf v;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  (* Recursive-descent parser over the input string. *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let add_utf8 buf code =
+      (* Encode one Unicode scalar value as UTF-8. *)
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+              advance ();
+              (if !pos >= n then fail "unterminated escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char buf '"'; advance ()
+                 | '\\' -> Buffer.add_char buf '\\'; advance ()
+                 | '/' -> Buffer.add_char buf '/'; advance ()
+                 | 'b' -> Buffer.add_char buf '\b'; advance ()
+                 | 'f' -> Buffer.add_char buf '\012'; advance ()
+                 | 'n' -> Buffer.add_char buf '\n'; advance ()
+                 | 'r' -> Buffer.add_char buf '\r'; advance ()
+                 | 't' -> Buffer.add_char buf '\t'; advance ()
+                 | 'u' ->
+                     advance ();
+                     if !pos + 4 > n then fail "truncated \\u escape";
+                     let hex = String.sub s !pos 4 in
+                     (match int_of_string_opt ("0x" ^ hex) with
+                     | Some code -> add_utf8 buf code
+                     | None -> fail "bad \\u escape");
+                     pos := !pos + 4
+                 | _ -> fail "unknown escape");
+              go ()
+          | c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let lexeme = String.sub s start (!pos - start) in
+      let floaty = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lexeme in
+      if floaty then
+        match float_of_string_opt lexeme with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt lexeme with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt lexeme with
+            | Some f -> Float f
+            | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let fields = ref [] in
+            let rec fields_loop () =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              fields := (key, v) :: !fields;
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); fields_loop ()
+              | Some '}' -> advance ()
+              | _ -> fail "expected ',' or '}'"
+            in
+            fields_loop ();
+            Obj (List.rev !fields)
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let items = ref [] in
+            let rec items_loop () =
+              let v = parse_value () in
+              items := v :: !items;
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); items_loop ()
+              | Some ']' -> advance ()
+              | _ -> fail "expected ',' or ']'"
+            in
+            items_loop ();
+            Arr (List.rev !items)
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let get_int = function
+    | Int i -> Some i
+    | Float f when Float.is_integer f && Float.abs f < 1e15 ->
+        Some (int_of_float f)
+    | _ -> None
+
+  let get_float = function
+    | Int i -> Some (float_of_int i)
+    | Float f -> Some f
+    | _ -> None
+
+  let get_str = function Str s -> Some s | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registries *)
+
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : float; mutable g_set : bool }
+
+type histogram = {
+  mutable hg_count : int;
+  mutable hg_sum : float;
+  mutable hg_min : float;
+  mutable hg_max : float;
+  mutable hg_last : float;
+}
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+(* ------------------------------------------------------------------ *)
+(* Span stack and rollup *)
+
+type finished_span = {
+  fs_id : int;
+  fs_parent : int; (* -1 for roots *)
+  fs_name : string;
+  fs_path : string; (* "/"-joined names from the root *)
+  fs_depth : int;
+  fs_start_ns : int64;
+  fs_dur_ns : int64;
+  fs_attrs : (string * attr) list; (* in insertion order *)
+}
+
+type frame = {
+  f_id : int;
+  f_name : string;
+  f_path : string;
+  f_depth : int;
+  f_start_ns : int64;
+  mutable f_attrs : (string * attr) list; (* reversed *)
+}
+
+type agg = {
+  mutable a_count : int;
+  mutable a_total_ns : int64;
+  mutable a_min_ns : int64;
+  mutable a_max_ns : int64;
+}
+
+type sink = { on_span : finished_span -> unit; on_close : unit -> unit }
+
+let enabled_flag = ref false
+let initialized = ref false
+let sinks : sink list ref = ref []
+let summary_at_close = ref false
+let stack : frame list ref = ref []
+let next_span_id = ref 1
+let rollup : (string, agg) Hashtbl.t = Hashtbl.create 64
+let exit_hook = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type histogram_stat = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_last : float;
+}
+
+type span_stat = {
+  s_path : string;
+  s_count : int;
+  s_total_ns : int64;
+  s_min_ns : int64;
+  s_max_ns : int64;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_stat) list;
+  spans : span_stat list;
+}
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot () =
+  let counters =
+    Hashtbl.fold
+      (fun name c acc -> if c.c_value <> 0 then (name, c.c_value) :: acc else acc)
+      counters_tbl []
+    |> List.sort by_name
+  in
+  let gauges =
+    Hashtbl.fold
+      (fun name g acc -> if g.g_set then (name, g.g_value) :: acc else acc)
+      gauges_tbl []
+    |> List.sort by_name
+  in
+  let histograms =
+    Hashtbl.fold
+      (fun name h acc ->
+        if h.hg_count > 0 then
+          ( name,
+            {
+              h_count = h.hg_count;
+              h_sum = h.hg_sum;
+              h_min = h.hg_min;
+              h_max = h.hg_max;
+              h_last = h.hg_last;
+            } )
+          :: acc
+        else acc)
+      histograms_tbl []
+    |> List.sort by_name
+  in
+  let spans =
+    Hashtbl.fold
+      (fun path a acc ->
+        {
+          s_path = path;
+          s_count = a.a_count;
+          s_total_ns = a.a_total_ns;
+          s_min_ns = a.a_min_ns;
+          s_max_ns = a.a_max_ns;
+        }
+        :: acc)
+      rollup []
+    |> List.sort (fun a b -> compare a.s_path b.s_path)
+  in
+  { counters; gauges; histograms; spans }
+
+let reset_stats () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters_tbl;
+  Hashtbl.iter (fun _ g -> g.g_set <- false) gauges_tbl;
+  Hashtbl.iter (fun _ h -> h.hg_count <- 0) histograms_tbl;
+  Hashtbl.reset rollup
+
+(* ------------------------------------------------------------------ *)
+(* Summary rendering *)
+
+let pp_ns ppf ns =
+  let f = Int64.to_float ns in
+  if f >= 1e9 then Fmt.pf ppf "%8.2f s " (f /. 1e9)
+  else if f >= 1e6 then Fmt.pf ppf "%8.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Fmt.pf ppf "%8.2f us" (f /. 1e3)
+  else Fmt.pf ppf "%8.0f ns" f
+
+let print_summary ppf =
+  let snap = snapshot () in
+  if snap.spans <> [] then begin
+    Fmt.pf ppf "== span tree (aggregated by path) ==@.";
+    Fmt.pf ppf "%-44s %8s %10s %10s@." "span" "count" "total" "mean";
+    List.iter
+      (fun s ->
+        let depth =
+          String.fold_left (fun d c -> if c = '/' then d + 1 else d) 0 s.s_path
+        in
+        let name =
+          match String.rindex_opt s.s_path '/' with
+          | Some i -> String.sub s.s_path (i + 1) (String.length s.s_path - i - 1)
+          | None -> s.s_path
+        in
+        let mean_ns =
+          if s.s_count = 0 then 0L
+          else Int64.div s.s_total_ns (Int64.of_int s.s_count)
+        in
+        Fmt.pf ppf "%-44s %8d %a %a@."
+          (String.make (2 * depth) ' ' ^ name)
+          s.s_count pp_ns s.s_total_ns pp_ns mean_ns)
+      snap.spans
+  end;
+  if snap.counters <> [] then begin
+    Fmt.pf ppf "== counters ==@.";
+    List.iter (fun (name, v) -> Fmt.pf ppf "%-44s %12d@." name v) snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    Fmt.pf ppf "== gauges ==@.";
+    List.iter (fun (name, v) -> Fmt.pf ppf "%-44s %12g@." name v) snap.gauges
+  end;
+  if snap.histograms <> [] then begin
+    Fmt.pf ppf "== histograms ==@.";
+    List.iter
+      (fun (name, h) ->
+        Fmt.pf ppf "%-44s n=%-8d mean=%-12g min=%-12g max=%-12g last=%g@." name
+          h.h_count
+          (h.h_sum /. float_of_int h.h_count)
+          h.h_min h.h_max h.h_last)
+      snap.histograms
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let close () =
+  List.iter (fun s -> s.on_close ()) !sinks;
+  sinks := [];
+  if !summary_at_close then begin
+    summary_at_close := false;
+    print_summary Fmt.stderr
+  end
+
+let register_exit_hook () =
+  if not !exit_hook then begin
+    exit_hook := true;
+    at_exit close
+  end
+
+let json_of_attr = function
+  | Str s -> Json.Str s
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+
+let jsonl_sink oc =
+  let line json =
+    output_string oc (Json.to_string json);
+    output_char oc '\n'
+  in
+  line
+    (Json.Obj
+       [
+         ("type", Json.Str "meta");
+         ("schema", Json.Str trace_schema_version);
+         ("clock", Json.Str "monotonic_ns");
+       ]);
+  let on_span fs =
+    line
+      (Json.Obj
+         [
+           ("type", Json.Str "span");
+           ("id", Json.Int fs.fs_id);
+           ( "parent",
+             if fs.fs_parent < 0 then Json.Null else Json.Int fs.fs_parent );
+           ("name", Json.Str fs.fs_name);
+           ("path", Json.Str fs.fs_path);
+           ("depth", Json.Int fs.fs_depth);
+           ("start_ns", Json.Int (Int64.to_int fs.fs_start_ns));
+           ("dur_ns", Json.Int (Int64.to_int fs.fs_dur_ns));
+           ( "attrs",
+             Json.Obj (List.map (fun (k, v) -> (k, json_of_attr v)) fs.fs_attrs)
+           );
+         ])
+  in
+  let on_close () =
+    let snap = snapshot () in
+    List.iter
+      (fun (name, v) ->
+        line
+          (Json.Obj
+             [
+               ("type", Json.Str "counter");
+               ("name", Json.Str name);
+               ("value", Json.Int v);
+             ]))
+      snap.counters;
+    List.iter
+      (fun (name, v) ->
+        line
+          (Json.Obj
+             [
+               ("type", Json.Str "gauge");
+               ("name", Json.Str name);
+               ("value", Json.Float v);
+             ]))
+      snap.gauges;
+    List.iter
+      (fun (name, h) ->
+        line
+          (Json.Obj
+             [
+               ("type", Json.Str "histogram");
+               ("name", Json.Str name);
+               ("count", Json.Int h.h_count);
+               ("sum", Json.Float h.h_sum);
+               ("min", Json.Float h.h_min);
+               ("max", Json.Float h.h_max);
+               ("last", Json.Float h.h_last);
+             ]))
+      snap.histograms;
+    flush oc;
+    close_out_noerr oc
+  in
+  { on_span; on_close }
+
+let enable_trace path =
+  let oc = open_out path in
+  sinks := jsonl_sink oc :: !sinks;
+  enabled_flag := true;
+  register_exit_hook ()
+
+let enable_summary () =
+  summary_at_close := true;
+  enabled_flag := true;
+  register_exit_hook ()
+
+let init_from_env () =
+  (match Sys.getenv_opt "HYPARTITION_TRACE" with
+  | Some path when path <> "" -> enable_trace path
+  | _ -> ());
+  match Sys.getenv_opt "HYPARTITION_OBS" with
+  | Some ("summary" | "1" | "on") -> enable_summary ()
+  | _ -> ()
+
+let enabled () =
+  if not !initialized then begin
+    initialized := true;
+    init_from_env ()
+  end;
+  !enabled_flag
+
+let set_enabled b =
+  ignore (enabled ());
+  enabled_flag := b
+
+let reset_for_tests () =
+  initialized := true;
+  enabled_flag := false;
+  sinks := [];
+  summary_at_close := false;
+  stack := [];
+  next_span_id := 1;
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset gauges_tbl;
+  Hashtbl.reset histograms_tbl;
+  Hashtbl.reset rollup
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+module Span = struct
+  let begin_span attrs name =
+    let parent_path, depth =
+      match !stack with
+      | [] -> ("", 0)
+      | top :: _ -> (top.f_path ^ "/", top.f_depth + 1)
+    in
+    let frame =
+      {
+        f_id = !next_span_id;
+        f_name = name;
+        f_path = parent_path ^ name;
+        f_depth = depth;
+        f_start_ns = now_ns ();
+        f_attrs = List.rev attrs;
+      }
+    in
+    incr next_span_id;
+    stack := frame :: !stack
+
+  let end_span () =
+    match !stack with
+    | [] -> () (* stack was reset mid-span; nothing to finish *)
+    | frame :: rest ->
+        stack := rest;
+        let dur = Int64.sub (now_ns ()) frame.f_start_ns in
+        let dur = if Int64.compare dur 0L < 0 then 0L else dur in
+        (match Hashtbl.find_opt rollup frame.f_path with
+        | Some a ->
+            a.a_count <- a.a_count + 1;
+            a.a_total_ns <- Int64.add a.a_total_ns dur;
+            if Int64.compare dur a.a_min_ns < 0 then a.a_min_ns <- dur;
+            if Int64.compare dur a.a_max_ns > 0 then a.a_max_ns <- dur
+        | None ->
+            Hashtbl.add rollup frame.f_path
+              { a_count = 1; a_total_ns = dur; a_min_ns = dur; a_max_ns = dur });
+        if !sinks <> [] then begin
+          let parent =
+            match rest with [] -> -1 | top :: _ -> top.f_id
+          in
+          let fs =
+            {
+              fs_id = frame.f_id;
+              fs_parent = parent;
+              fs_name = frame.f_name;
+              fs_path = frame.f_path;
+              fs_depth = frame.f_depth;
+              fs_start_ns = frame.f_start_ns;
+              fs_dur_ns = dur;
+              fs_attrs = List.rev frame.f_attrs;
+            }
+          in
+          List.iter (fun s -> s.on_span fs) !sinks
+        end
+
+  let with_ ?(attrs = []) name f =
+    if not (enabled ()) then f ()
+    else begin
+      begin_span attrs name;
+      Fun.protect ~finally:end_span f
+    end
+
+  let attr key value =
+    if enabled () then
+      match !stack with
+      | [] -> ()
+      | frame :: _ -> frame.f_attrs <- (key, value) :: frame.f_attrs
+
+  let timed ?attrs name f =
+    let t0 = now_ns () in
+    let result = with_ ?attrs name f in
+    (result, Support.Util.seconds_of_ns (Int64.sub (now_ns ()) t0))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+module Counter = struct
+  type t = counter
+
+  let make name =
+    match Hashtbl.find_opt counters_tbl name with
+    | Some c -> c
+    | None ->
+        let c = { c_value = 0 } in
+        Hashtbl.add counters_tbl name c;
+        c
+
+  let incr c = if enabled () then c.c_value <- c.c_value + 1
+  let add c n = if enabled () then c.c_value <- c.c_value + n
+  let value c = c.c_value
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make name =
+    match Hashtbl.find_opt gauges_tbl name with
+    | Some g -> g
+    | None ->
+        let g = { g_value = 0.0; g_set = false } in
+        Hashtbl.add gauges_tbl name g;
+        g
+
+  let set g v =
+    if enabled () then begin
+      g.g_value <- v;
+      g.g_set <- true
+    end
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let make name =
+    match Hashtbl.find_opt histograms_tbl name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            hg_count = 0;
+            hg_sum = 0.0;
+            hg_min = 0.0;
+            hg_max = 0.0;
+            hg_last = 0.0;
+          }
+        in
+        Hashtbl.add histograms_tbl name h;
+        h
+
+  let observe h v =
+    if enabled () then begin
+      if h.hg_count = 0 then begin
+        h.hg_min <- v;
+        h.hg_max <- v
+      end
+      else begin
+        if v < h.hg_min then h.hg_min <- v;
+        if v > h.hg_max then h.hg_max <- v
+      end;
+      h.hg_count <- h.hg_count + 1;
+      h.hg_sum <- h.hg_sum +. v;
+      h.hg_last <- v
+    end
+
+  let observe_int h v = observe h (float_of_int v)
+end

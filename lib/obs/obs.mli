@@ -1,0 +1,174 @@
+(** Structured observability for the solver pipeline: monotonic-clock
+    spans, counters / gauges / histograms, and pluggable sinks.
+
+    Everything is a no-op until observability is switched on — either
+    programmatically ({!set_enabled}, {!enable_trace}, {!enable_summary})
+    or through the environment, read lazily on first use:
+
+    - [HYPARTITION_TRACE=<path>] appends a JSONL span trace (schema
+      {!trace_schema_version}) to [<path>];
+    - [HYPARTITION_OBS=summary] (also ["1"]/["on"]) prints an aggregated
+      span tree and metric table to stderr at exit; [off] (the default)
+      disables everything.
+
+    When disabled, the instrumentation calls compiled into the hot paths
+    (counter increments, span entry) reduce to a couple of loads and a
+    branch and perform {e no allocation} — the FM inner loop can afford
+    them (test: ["obs: disabled instrumentation does not allocate"]).
+
+    The library is single-threaded by design, matching the solvers. *)
+
+(** {1 Attributes} *)
+
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+(** {1 Lifecycle} *)
+
+val enabled : unit -> bool
+(** Whether any collection is active.  First call reads the environment. *)
+
+val set_enabled : bool -> unit
+(** Turn metric / span collection on or off without attaching a sink
+    (used by the bench harness, which reads {!snapshot} directly). *)
+
+val enable_trace : string -> unit
+(** Attach a JSONL trace sink writing to the given path (truncates) and
+    enable collection.  The file is flushed and finalized by {!close},
+    which is also registered with [at_exit]. *)
+
+val enable_summary : unit -> unit
+(** Print the aggregated span tree and metric table to stderr on
+    {!close} (hence at exit), and enable collection. *)
+
+val close : unit -> unit
+(** Flush and detach all sinks, printing the summary if requested.
+    Idempotent; registered with [at_exit] as soon as a sink exists. *)
+
+val reset_for_tests : unit -> unit
+(** Drop all state: sinks, metrics, rollups, the span stack, and the
+    enabled flag.  The environment is {e not} re-read. *)
+
+(** {1 Spans} *)
+
+module Span : sig
+  val with_ : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+  (** [with_ name f] runs [f] inside a span.  Spans nest: the dynamic
+      extent defines the tree.  When disabled this is just [f ()]. *)
+
+  val attr : string -> attr -> unit
+  (** Attach an attribute to the innermost open span (no-op when
+      disabled or outside any span). *)
+
+  val timed : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a * float
+  (** Like {!with_}, and additionally returns the elapsed wall-clock
+      seconds (measured even when disabled) — the obs-aware replacement
+      for the deprecated [Support.Util.time_it]. *)
+end
+
+(** {1 Metrics}
+
+    Handles are interned by name: [make] twice with the same name yields
+    the same underlying metric.  Create handles once (at module
+    initialization) and update them from hot code. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> float -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  val observe : t -> float -> unit
+  val observe_int : t -> int -> unit
+end
+
+(** {1 Snapshots}
+
+    The bench harness and the summary sink read collected data through a
+    snapshot: metric values plus the span rollup (aggregated by path,
+    i.e. the ["/"]-joined span names from the root). *)
+
+type histogram_stat = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_last : float;
+}
+
+type span_stat = {
+  s_path : string;
+  s_count : int;
+  s_total_ns : int64;
+  s_min_ns : int64;
+  s_max_ns : int64;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** non-zero counters, sorted by name *)
+  gauges : (string * float) list;  (** gauges that were set, sorted *)
+  histograms : (string * histogram_stat) list;  (** non-empty, sorted *)
+  spans : span_stat list;  (** rollup rows sorted by path *)
+}
+
+val snapshot : unit -> snapshot
+
+val reset_stats : unit -> unit
+(** Zero all metrics and clear the span rollup, keeping sinks and the
+    enabled flag — the bench harness calls this between experiments. *)
+
+val print_summary : Format.formatter -> unit
+(** Render the current {!snapshot} as the human-readable summary tree. *)
+
+val trace_schema_version : string
+(** The schema tag written in the first line of every JSONL trace,
+    ["hypartition-trace/1"]. *)
+
+val bench_schema_version : string
+(** The schema tag of the machine-readable bench output
+    ([BENCH_<gitrev>.json]), ["hypartition-bench/1"]. *)
+
+(** {1 JSON}
+
+    A deliberately small JSON value type, printer and parser — enough to
+    emit the trace / bench files and to parse them back for validation,
+    without an external dependency. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact one-line rendering (strings escaped, floats round-trip). *)
+
+  val parse : string -> (t, string) result
+  (** Parse one JSON document; trailing garbage is an error. *)
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] otherwise. *)
+
+  val get_int : t -> int option
+  (** [Int] directly, or an integral [Float]. *)
+
+  val get_float : t -> float option
+  val get_str : t -> string option
+end

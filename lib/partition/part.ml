@@ -101,6 +101,12 @@ let all_lambdas hg t =
   Array.init (Hypergraph.num_edges hg) (fun e ->
       lambda_with hg t ~mark ~stamp:e e)
 
+(* Every full cost evaluation feeds an obs histogram, so any workload that
+   scores partitions (experiments, CLI, audits) reports cut quality in the
+   machine-readable bench output without further plumbing. *)
+let h_connectivity = Obs.Histogram.make "cost.connectivity"
+let h_cutnet = Obs.Histogram.make "cost.cutnet"
+
 let cost ?(metric = Connectivity) hg t =
   let mark = Array.make t.k (-1) in
   let total = ref 0 in
@@ -111,6 +117,9 @@ let cost ?(metric = Connectivity) hg t =
     | Cut_net -> if l > 1 then total := !total + w
     | Connectivity -> total := !total + (w * (l - 1))
   done;
+  (match metric with
+  | Connectivity -> Obs.Histogram.observe_int h_connectivity !total
+  | Cut_net -> Obs.Histogram.observe_int h_cutnet !total);
   !total
 
 let cutnet_cost hg t = cost ~metric:Cut_net hg t

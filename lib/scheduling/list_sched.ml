@@ -7,6 +7,10 @@ let level_priority dag = Hyperdag.Dag.longest_path_from dag
 
 let schedule ?priority dag ~k =
   if k < 1 then invalid_arg "List_sched.schedule: k >= 1";
+  Obs.Span.with_ "sched.list"
+    ~attrs:
+      [ ("n", Obs.Int (Hyperdag.Dag.num_nodes dag)); ("k", Obs.Int k) ]
+  @@ fun () ->
   let n = Hyperdag.Dag.num_nodes dag in
   let priority = match priority with Some p -> p | None -> level_priority dag in
   let indeg = Array.init n (fun v -> Hyperdag.Dag.in_degree dag v) in
@@ -45,6 +49,7 @@ let schedule ?priority dag ~k =
             if indeg.(w) = 0 then ready := w :: !ready))
       chosen
   done;
+  Obs.Span.attr "makespan" (Obs.Int !step);
   Schedule.create ~proc ~time
 
 let makespan ?priority dag ~k = Schedule.makespan (schedule ?priority dag ~k)

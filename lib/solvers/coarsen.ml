@@ -74,33 +74,55 @@ let cluster ?within rng hg ~max_cluster_weight =
   done;
   (label, !next)
 
+let c_levels = Obs.Counter.make "coarsen.levels"
+let h_shrink = Obs.Histogram.make "coarsen.shrink"
+
 let one_level ?within rng hg ~max_cluster_weight =
-  let label, count = cluster ?within rng hg ~max_cluster_weight in
-  if count = Hypergraph.num_nodes hg then None
-  else
-    let coarse = Hypergraph.contract hg label count in
-    Some { coarse; label }
+  Obs.Span.with_ "coarsen.level"
+    ~attrs:[ ("nodes_in", Obs.Int (Hypergraph.num_nodes hg)) ]
+    (fun () ->
+      let label, count = cluster ?within rng hg ~max_cluster_weight in
+      if count = Hypergraph.num_nodes hg then None
+      else begin
+        let coarse = Hypergraph.contract hg label count in
+        Obs.Counter.incr c_levels;
+        Obs.Span.attr "nodes_out" (Obs.Int count);
+        Obs.Histogram.observe h_shrink
+          (float_of_int count /. float_of_int (Hypergraph.num_nodes hg));
+        Some { coarse; label }
+      end)
 
 (* Full coarsening hierarchy down to [stop_nodes] nodes (or until clustering
    stalls).  The max cluster weight keeps every coarse node small enough for
    an eps-balanced k-way split to remain possible. *)
 let hierarchy rng hg ~k ~stop_nodes =
-  let total = Hypergraph.total_node_weight hg in
-  let max_cluster_weight = max 1 (Support.Util.ceil_div total (4 * k)) in
-  let rec go acc current =
-    if Hypergraph.num_nodes current <= stop_nodes then (current, List.rev acc)
-    else
-      match one_level rng current ~max_cluster_weight with
-      | None -> (current, List.rev acc)
-      | Some level ->
-          let shrink =
-            float_of_int (Hypergraph.num_nodes level.coarse)
-            /. float_of_int (Hypergraph.num_nodes current)
-          in
-          if shrink > 0.95 then (current, List.rev acc)
-          else go (level :: acc) level.coarse
-  in
-  go [] hg
+  Obs.Span.with_ "coarsen"
+    ~attrs:
+      [
+        ("n", Obs.Int (Hypergraph.num_nodes hg));
+        ("m", Obs.Int (Hypergraph.num_edges hg));
+        ("k", Obs.Int k);
+      ]
+    (fun () ->
+      let total = Hypergraph.total_node_weight hg in
+      let max_cluster_weight = max 1 (Support.Util.ceil_div total (4 * k)) in
+      let rec go acc current =
+        if Hypergraph.num_nodes current <= stop_nodes then (current, List.rev acc)
+        else
+          match one_level rng current ~max_cluster_weight with
+          | None -> (current, List.rev acc)
+          | Some level ->
+              let shrink =
+                float_of_int (Hypergraph.num_nodes level.coarse)
+                /. float_of_int (Hypergraph.num_nodes current)
+              in
+              if shrink > 0.95 then (current, List.rev acc)
+              else go (level :: acc) level.coarse
+      in
+      let coarsest, levels = go [] hg in
+      Obs.Span.attr "levels" (Obs.Int (List.length levels));
+      Obs.Span.attr "coarsest_nodes" (Obs.Int (Hypergraph.num_nodes coarsest));
+      (coarsest, levels))
 
 (* Project a coarse partition back through one level. *)
 let project level coarse_part =

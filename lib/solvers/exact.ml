@@ -16,6 +16,9 @@ type result = { cost : int; part : Partition.t }
 let solve ?(metric = Partition.Connectivity) ?(variant = Partition.Strict)
     ?(eps = 0.0) ?upper_bound ?(symmetry = true) ?feasible ?constrained hg ~k
     =
+ Obs.Span.with_ "exact.solve"
+   ~attrs:[ ("n", Obs.Int (Hypergraph.num_nodes hg)); ("k", Obs.Int k) ]
+ @@ fun () ->
   (* [constrained]: per-class color capacities (layer-wise / Definition 6.1
      instances), enforced during the search rather than only at leaves. *)
   let class_of, class_caps =

@@ -11,6 +11,7 @@ let capacity ?variant ~eps hg ~k =
    has room; falls back to the lightest part if none has room (the result
    is then infeasible but as close as greedy gets). *)
 let random_balanced ?variant ~eps rng hg ~k =
+ Obs.Span.with_ "initial.random_balanced" @@ fun () ->
   let n = Hypergraph.num_nodes hg in
   let cap = capacity ?variant ~eps hg ~k in
   let order = Support.Rng.permutation rng n in
@@ -45,6 +46,7 @@ let random_balanced ?variant ~eps rng hg ~k =
 (* BFS growth: grow part after part from random seeds, following hyperedge
    adjacency, stopping each part near the ideal weight W/k. *)
 let bfs_growth ?variant ~eps rng hg ~k =
+ Obs.Span.with_ "initial.bfs_growth" @@ fun () ->
   let n = Hypergraph.num_nodes hg in
   let total = Hypergraph.total_node_weight hg in
   let cap = capacity ?variant ~eps hg ~k in

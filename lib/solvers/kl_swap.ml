@@ -22,6 +22,9 @@ type config = {
 let default_config =
   { metric = Partition.Connectivity; max_passes = 4; max_swaps_per_pass = 0 }
 
+let c_swaps = Obs.Counter.make "kl.swaps"
+let c_swap_evals = Obs.Counter.make "kl.swap_evals"
+
 let boundary_nodes hg part =
   let n = Hypergraph.num_nodes hg in
   let mark = Array.make n false in
@@ -88,6 +91,7 @@ let kl_pass cfg hg counts part =
             && assignment.(v) <> assignment.(u)
             && Hypergraph.node_weight hg v = Hypergraph.node_weight hg u
           then begin
+            Obs.Counter.incr c_swap_evals;
             let d = swap_delta cfg hg counts assignment v u in
             let key = (d, shared_edges hg v u) in
             match !best with
@@ -99,6 +103,7 @@ let kl_pass cfg hg counts part =
     match !best with
     | None -> continue := false
     | Some (v, u, (d, _)) ->
+        Obs.Counter.incr c_swaps;
         apply_swap counts assignment v u;
         locked.(v) <- true;
         locked.(u) <- true;
@@ -125,14 +130,31 @@ let kl_pass cfg hg counts part =
 (* Refine in place by repeated KL passes; returns the final cost.  Part
    weights are preserved exactly. *)
 let refine ?(config = default_config) hg part =
+ Obs.Span.with_ "kl"
+   ~attrs:
+     [
+       ("n", Obs.Int (Hypergraph.num_nodes hg));
+       ("k", Obs.Int (Partition.k part));
+     ]
+ @@ fun () ->
   let entry = Audit_gate.entry_weights hg part in
   let counts = Pin_counts.create hg part in
   let passes = ref 0 and improving = ref true in
   while !improving && !passes < config.max_passes do
     incr passes;
-    if kl_pass config hg counts part <= 0 then improving := false
+    let gain =
+      Obs.Span.with_ "kl.pass"
+        ~attrs:[ ("pass", Obs.Int !passes) ]
+        (fun () ->
+          let gain = kl_pass config hg counts part in
+          Obs.Span.attr "gain" (Obs.Int gain);
+          gain)
+    in
+    if gain <= 0 then improving := false
   done;
   let cost = Pin_counts.cost ~metric:config.metric counts in
+  Obs.Span.attr "passes" (Obs.Int !passes);
+  Obs.Span.attr "cost" (Obs.Int cost);
   ignore
     (Audit_gate.checked
        ~claimed:{ Analysis_core.Audit_partition.metric = config.metric; cost }

@@ -36,56 +36,89 @@ let refine_config (c : config) : Refine.config =
 (* Portfolio at the coarsest level: several random-balanced and BFS-growth
    starts, each FM-refined; keep the best, preferring feasible ones. *)
 let initial_partition cfg rng hg ~k =
-  let candidates =
-    List.concat
+  Obs.Span.with_ "multilevel.initial"
+    ~attrs:
       [
-        Support.Util.list_init cfg.initial_tries (fun _ ->
-            Initial.random_balanced ~variant:cfg.variant ~eps:cfg.eps rng hg ~k);
-        Support.Util.list_init (max 1 (cfg.initial_tries / 2)) (fun _ ->
-            Initial.bfs_growth ~variant:cfg.variant ~eps:cfg.eps rng hg ~k);
-        [ Initial.round_robin hg ~k ];
+        ("nodes", Obs.Int (Hypergraph.num_nodes hg));
+        ("tries", Obs.Int cfg.initial_tries);
       ]
-  in
-  let score part =
-    let cost = Refine.refine ~config:(refine_config cfg) hg part in
-    let feasible =
-      Partition.is_balanced ~variant:cfg.variant ~eps:cfg.eps hg part
-    in
-    ((if feasible then 0 else 1), cost)
-  in
-  let best =
-    List.fold_left
-      (fun acc p ->
-        let s = score p in
-        match acc with
-        | Some (bs, _) when bs <= s -> acc
-        | _ -> Some (s, p))
-      None candidates
-  in
-  match best with Some (_, p) -> p | None -> assert false
+    (fun () ->
+      let candidates =
+        List.concat
+          [
+            Support.Util.list_init cfg.initial_tries (fun _ ->
+                Initial.random_balanced ~variant:cfg.variant ~eps:cfg.eps rng hg
+                  ~k);
+            Support.Util.list_init (max 1 (cfg.initial_tries / 2)) (fun _ ->
+                Initial.bfs_growth ~variant:cfg.variant ~eps:cfg.eps rng hg ~k);
+            [ Initial.round_robin hg ~k ];
+          ]
+      in
+      let score part =
+        let cost = Refine.refine ~config:(refine_config cfg) hg part in
+        let feasible =
+          Partition.is_balanced ~variant:cfg.variant ~eps:cfg.eps hg part
+        in
+        ((if feasible then 0 else 1), cost)
+      in
+      let best =
+        List.fold_left
+          (fun acc p ->
+            let s = score p in
+            match acc with
+            | Some (bs, _) when bs <= s -> acc
+            | _ -> Some (s, p))
+          None candidates
+      in
+      match best with
+      | Some ((infeasible, cost), p) ->
+          Obs.Span.attr "best_cost" (Obs.Int cost);
+          Obs.Span.attr "feasible" (Obs.Bool (infeasible = 0));
+          p
+      | None -> assert false)
+
+let h_instance_nodes = Obs.Histogram.make "multilevel.instance_nodes"
 
 let partition ?(config = default_config) rng hg ~k =
   if k < 1 then invalid_arg "Multilevel.partition: k must be >= 1";
   if Hypergraph.num_nodes hg = 0 then Partition.create ~k [||]
-  else begin
-    let coarsest, levels =
-      Coarsen.hierarchy rng hg ~k ~stop_nodes:(max config.stop_nodes (4 * k))
-    in
-    let levels = Array.of_list levels in
-    Log.debug (fun m ->
-        m "coarsened %d -> %d nodes over %d levels"
-          (Hypergraph.num_nodes hg)
-          (Hypergraph.num_nodes coarsest)
-          (Array.length levels));
-    (* Depth d hypergraph: [hg] for d = 0, else [levels.(d-1).coarse]. *)
-    let hypergraph_at d = if d = 0 then hg else levels.(d - 1).Coarsen.coarse in
-    let part = ref (initial_partition config rng coarsest ~k) in
-    for d = Array.length levels - 1 downto 0 do
-      part := Coarsen.project levels.(d) !part;
-      ignore (Refine.refine ~config:(refine_config config) (hypergraph_at d) !part)
-    done;
-    Audit_gate.checked hg !part
-  end
+  else
+    Obs.Span.with_ "multilevel"
+      ~attrs:
+        [
+          ("n", Obs.Int (Hypergraph.num_nodes hg));
+          ("m", Obs.Int (Hypergraph.num_edges hg));
+          ("k", Obs.Int k);
+        ]
+      (fun () ->
+        Obs.Histogram.observe_int h_instance_nodes (Hypergraph.num_nodes hg);
+        let coarsest, levels =
+          Coarsen.hierarchy rng hg ~k
+            ~stop_nodes:(max config.stop_nodes (4 * k))
+        in
+        let levels = Array.of_list levels in
+        Log.debug (fun m ->
+            m "coarsened %d -> %d nodes over %d levels"
+              (Hypergraph.num_nodes hg)
+              (Hypergraph.num_nodes coarsest)
+              (Array.length levels));
+        (* Depth d hypergraph: [hg] for d = 0, else [levels.(d-1).coarse]. *)
+        let hypergraph_at d =
+          if d = 0 then hg else levels.(d - 1).Coarsen.coarse
+        in
+        let part = ref (initial_partition config rng coarsest ~k) in
+        Obs.Span.with_ "multilevel.uncoarsen"
+          ~attrs:[ ("levels", Obs.Int (Array.length levels)) ]
+          (fun () ->
+            for d = Array.length levels - 1 downto 0 do
+              part := Coarsen.project levels.(d) !part;
+              ignore
+                (Refine.refine ~config:(refine_config config) (hypergraph_at d)
+                   !part)
+            done);
+        Audit_gate.checked hg !part)
+
+let h_cost = Obs.Histogram.make "multilevel.cost"
 
 let partition_with_cost ?(config = default_config) rng hg ~k =
   let part = partition ~config rng hg ~k in
@@ -93,12 +126,20 @@ let partition_with_cost ?(config = default_config) rng hg ~k =
     Audit_gate.checked_cost ~metric:config.metric hg part
       (Partition.cost ~metric:config.metric hg part)
   in
+  Obs.Histogram.observe_int h_cost cost;
   (part, cost)
 
 (* V-cycle: re-coarsen with clusters confined to the current parts (so the
    projected partition is exact at every level), then refine on the way
    back up.  Improves an existing partition without losing it. *)
 let vcycle ?(config = default_config) ?(cycles = 1) rng hg part =
+ Obs.Span.with_ "multilevel.vcycle"
+   ~attrs:
+     [
+       ("n", Obs.Int (Hypergraph.num_nodes hg));
+       ("cycles", Obs.Int (max 1 cycles));
+     ]
+ @@ fun () ->
   let k = Partition.k part in
   let total = Hypergraph.total_node_weight hg in
   let max_cluster_weight = max 1 (Support.Util.ceil_div total (4 * k)) in

@@ -83,6 +83,10 @@ let multilevel_bisector ?(config = Multilevel.default_config) rng : bisector =
 
 let partition ?(eps = 0.03) ~bisector hg ~k =
   if k < 1 then invalid_arg "Recursive_bisection.partition: k >= 1";
+  Obs.Span.with_ "recursive_bisection"
+    ~attrs:
+      [ ("n", Obs.Int (Hypergraph.num_nodes hg)); ("k", Obs.Int k) ]
+  @@ fun () ->
   let n = Hypergraph.num_nodes hg in
   let colors = Array.make n 0 in
   (* Recurse on (sub-hypergraph, node ids in original graph, color range). *)
@@ -92,7 +96,16 @@ let partition ?(eps = 0.03) ~bisector hg ~k =
     else begin
       let parts_left = (parts + 1) / 2 in
       let parts_right = parts - parts_left in
-      let split = bisector sub ~eps ~parts_left ~parts_right in
+      let split =
+        Obs.Span.with_ "rb.bisect"
+          ~attrs:
+            [
+              ("nodes", Obs.Int (Hypergraph.num_nodes sub));
+              ("parts_left", Obs.Int parts_left);
+              ("parts_right", Obs.Int parts_right);
+            ]
+          (fun () -> bisector sub ~eps ~parts_left ~parts_right)
+      in
       let side s =
         let ids = ref [] in
         for v = Hypergraph.num_nodes sub - 1 downto 0 do

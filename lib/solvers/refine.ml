@@ -19,6 +19,18 @@ let default_config =
   { eps = 0.0; variant = Partition.Strict; metric = Partition.Connectivity;
     max_passes = 8 }
 
+(* Hot-path instrumentation: pre-interned counters only — each update is a
+   branch and an int store, and a no-op allocation-free branch when obs is
+   disabled (the FM micro-benchmark budget is < 2% overhead). *)
+let c_pops = Obs.Counter.make "fm.pops"
+let c_stale = Obs.Counter.make "fm.stale_reinserts"
+let c_applied = Obs.Counter.make "fm.moves_applied"
+let c_accepted = Obs.Counter.make "fm.moves_accepted"
+let c_rolled_back = Obs.Counter.make "fm.moves_rolled_back"
+let c_rebalance = Obs.Counter.make "fm.rebalance_moves"
+let h_pass_gain = Obs.Histogram.make "fm.pass_gain"
+let h_final_cost = Obs.Histogram.make "fm.final_cost"
+
 (* Best move of node v: (dst, delta) minimizing cost delta among parts with
    capacity room, or None. *)
 let best_move cfg hg counts part weights cap v =
@@ -86,15 +98,19 @@ let fm_pass cfg hg counts part weights cap =
     match Support.Bucket_queue.pop_max queue with
     | None -> continue := false
     | Some (v, prio) ->
+        Obs.Counter.incr c_pops;
         if not locked.(v) then begin
           match best_move cfg hg counts part weights cap_pass v with
           | None -> () (* no feasible move anymore: drop *)
           | Some (dst, delta) ->
-              if -delta <> prio then
+              if -delta <> prio then begin
                 (* Stale priority: correct and retry later. *)
+                Obs.Counter.incr c_stale;
                 Support.Bucket_queue.insert queue v (-delta)
+              end
               else begin
                 let src = Partition.color part v in
+                Obs.Counter.incr c_applied;
                 apply_move hg counts part weights v ~src ~dst;
                 locked.(v) <- true;
                 moves := (v, src, dst) :: !moves;
@@ -118,6 +134,8 @@ let fm_pass cfg hg counts part weights cap =
       | [] -> assert false
   in
   undo !moves !len;
+  Obs.Counter.add c_accepted !best_len;
+  Obs.Counter.add c_rolled_back (!len - !best_len);
   !best_cum
 
 (* Push overweight parts under capacity with cheapest-delta moves; used when
@@ -144,6 +162,7 @@ let rebalance cfg hg counts part weights cap =
     done;
     match !best with
     | Some (v, src, dst, _) ->
+        Obs.Counter.incr c_rebalance;
         apply_move hg counts part weights v ~src ~dst;
         progress := true
     | None -> ()
@@ -151,19 +170,42 @@ let rebalance cfg hg counts part weights cap =
 
 (* Refine [part] in place; returns the final cost. *)
 let refine ?(config = default_config) hg part =
-  let counts = Pin_counts.create hg part in
-  let weights = Partition.part_weights hg part in
-  let cap =
-    Partition.capacity ~variant:config.variant ~eps:config.eps
-      ~total_weight:(Hypergraph.total_node_weight hg)
-      ~k:(Partition.k part) ()
-  in
-  rebalance config hg counts part weights cap;
-  let passes = ref 0 and improving = ref true in
-  while !improving && !passes < config.max_passes do
-    incr passes;
-    let gain = fm_pass config hg counts part weights cap in
-    if gain <= 0 then improving := false
-  done;
-  Audit_gate.checked_cost ~metric:config.metric hg part
-    (Pin_counts.cost ~metric:config.metric counts)
+  Obs.Span.with_ "refine"
+    ~attrs:
+      [
+        ("n", Obs.Int (Hypergraph.num_nodes hg));
+        ("k", Obs.Int (Partition.k part));
+      ]
+    (fun () ->
+      let counts = Pin_counts.create hg part in
+      let weights = Partition.part_weights hg part in
+      let cap =
+        Partition.capacity ~variant:config.variant ~eps:config.eps
+          ~total_weight:(Hypergraph.total_node_weight hg)
+          ~k:(Partition.k part) ()
+      in
+      rebalance config hg counts part weights cap;
+      let passes = ref 0 and improving = ref true in
+      while !improving && !passes < config.max_passes do
+        incr passes;
+        let gain =
+          Obs.Span.with_ "refine.pass"
+            ~attrs:[ ("pass", Obs.Int !passes) ]
+            (fun () ->
+              let gain = fm_pass config hg counts part weights cap in
+              (* Per-pass cost trajectory, only evaluated when observing. *)
+              if Obs.enabled () then begin
+                Obs.Span.attr "gain" (Obs.Int gain);
+                Obs.Span.attr "cost"
+                  (Obs.Int (Pin_counts.cost ~metric:config.metric counts))
+              end;
+              gain)
+        in
+        Obs.Histogram.observe_int h_pass_gain gain;
+        if gain <= 0 then improving := false
+      done;
+      let cost = Pin_counts.cost ~metric:config.metric counts in
+      Obs.Span.attr "passes" (Obs.Int !passes);
+      Obs.Span.attr "cost" (Obs.Int cost);
+      Obs.Histogram.observe_int h_final_cost cost;
+      Audit_gate.checked_cost ~metric:config.metric hg part cost)

@@ -29,10 +29,21 @@ let rec choose n k =
   else if k > n - k then choose n (n - k)
   else choose (n - 1) (k - 1) * n / k
 
+(* Monotonic wall clock in nanoseconds.  CLOCK_MONOTONIC via the bechamel
+   stub ([@@noalloc], so hot-path instrumentation never allocates); the
+   Sys.time fallback (CPU seconds, not wall time) only exists for exotic
+   platforms where the stub returns 0. *)
+let monotonic_ns () =
+  let t = Monotonic_clock.now () in
+  if Int64.compare t 0L > 0 then t
+  else Int64.of_float (Sys.time () *. 1e9)
+
+let seconds_of_ns ns = Int64.to_float ns /. 1e9
+
 let time_it f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = monotonic_ns () in
   let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+  (result, seconds_of_ns (Int64.sub (monotonic_ns ()) t0))
 
 (* Iterate over all k-subsets of [0, n) as sorted arrays. *)
 let iter_subsets ~n ~k f =

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "hypartition"
     [
       ("support", Test_support.suite);
+      ("obs", Test_obs.suite);
       ("hypergraph", Test_hypergraph.suite);
       ("partition", Test_partition.suite);
       ("hyperdag", Test_hyperdag.suite);

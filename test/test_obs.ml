@@ -1,0 +1,260 @@
+(* Tests for lib/obs: the JSON codec, the JSONL trace sink (span tree
+   round-trip through a file), metric aggregation, the zero-allocation
+   guarantee of disabled instrumentation, and the per-rule audit timings
+   that Check derives from the monotonic clock. *)
+
+let json = Alcotest.testable (fun ppf j -> Fmt.string ppf (Obs.Json.to_string j)) ( = )
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("null", Null);
+        ("bool", Bool true);
+        ("int", Int (-42));
+        ("float", Float 0.125);
+        ("str", Str "a \"quoted\"\nline\twith\\backslash");
+        ("arr", Arr [ Int 1; Str "two"; Obj [ ("three", Int 3) ] ]);
+        ("empty_obj", Obj []);
+        ("empty_arr", Arr []);
+      ]
+  in
+  match parse (to_string doc) with
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+  | Ok parsed -> Alcotest.check json "round-trips" doc parsed
+
+let test_json_unicode_escape () =
+  match Obs.Json.parse {|{"s":"café A"}|} with
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+  | Ok doc ->
+      Alcotest.(check (option string))
+        "utf-8 decoded"
+        (Some "caf\xc3\xa9 A")
+        (Option.bind (Obs.Json.member "s" doc) Obs.Json.get_str)
+
+let test_json_rejects_garbage () =
+  let bad = [ "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    bad
+
+(* Run nested instrumented work with a JSONL sink attached, then parse
+   the trace back and reconstruct the span tree. *)
+let test_trace_roundtrip () =
+  let path = Filename.temp_file "obs_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.reset_for_tests ();
+  Obs.enable_trace path;
+  let c = Obs.Counter.make "test.events" in
+  Obs.Span.with_ "outer" ~attrs:[ ("n", Obs.Int 7) ] (fun () ->
+      Obs.Span.with_ "inner"
+        ~attrs:[ ("label", Obs.Str "x"); ("ok", Obs.Bool true) ]
+        (fun () -> Obs.Counter.add c 3);
+      Obs.Span.with_ "inner" (fun () ->
+          Obs.Span.attr "ratio" (Obs.Float 0.5)));
+  Obs.close ();
+  Obs.reset_for_tests ();
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let parsed =
+    List.map
+      (fun l ->
+        match Obs.Json.parse l with
+        | Ok doc -> doc
+        | Error msg -> Alcotest.failf "bad trace line %S: %s" l msg)
+      lines
+  in
+  let field name doc = Option.get (Obs.Json.member name doc) in
+  let ty doc = Option.get (Obs.Json.get_str (field "type" doc)) in
+  (* Meta line comes first and carries the schema version. *)
+  let meta = List.hd parsed in
+  Alcotest.(check string) "meta first" "meta" (ty meta);
+  Alcotest.(check (option string))
+    "schema" (Some Obs.trace_schema_version)
+    (Obs.Json.get_str (field "schema" meta));
+  let spans = List.filter (fun d -> ty d = "span") parsed in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  (* Children are emitted before their parent (spans are written as they
+     end), so "outer" is the last span line. *)
+  let outer = List.nth spans 2 in
+  let inner1 = List.nth spans 0 and inner2 = List.nth spans 1 in
+  let get_i name doc = Option.get (Obs.Json.get_int (field name doc)) in
+  let get_s name doc = Option.get (Obs.Json.get_str (field name doc)) in
+  Alcotest.(check string) "outer name" "outer" (get_s "name" outer);
+  Alcotest.check json "outer parent is null" Obs.Json.Null
+    (field "parent" outer);
+  Alcotest.(check int) "outer depth" 0 (get_i "depth" outer);
+  List.iter
+    (fun inner ->
+      Alcotest.(check string) "inner name" "inner" (get_s "name" inner);
+      Alcotest.(check int)
+        "inner parent is outer" (get_i "id" outer) (get_i "parent" inner);
+      Alcotest.(check int) "inner depth" 1 (get_i "depth" inner);
+      Alcotest.(check string) "inner path" "outer/inner" (get_s "path" inner);
+      Alcotest.(check bool)
+        "duration sandwich" true
+        (get_i "dur_ns" inner <= get_i "dur_ns" outer))
+    [ inner1; inner2 ];
+  (* Attributes survive the round-trip with their types. *)
+  let attrs doc = field "attrs" doc in
+  Alcotest.(check (option int))
+    "outer attr n" (Some 7)
+    (Option.bind (Obs.Json.member "n" (attrs outer)) Obs.Json.get_int);
+  Alcotest.(check (option string))
+    "inner attr label" (Some "x")
+    (Option.bind (Obs.Json.member "label" (attrs inner1)) Obs.Json.get_str);
+  Alcotest.check json "inner attr ok" (Obs.Json.Bool true)
+    (Option.get (Obs.Json.member "ok" (attrs inner1)));
+  Alcotest.(check (option (float 1e-12)))
+    "mid-span attr ratio" (Some 0.5)
+    (Option.bind (Obs.Json.member "ratio" (attrs inner2)) Obs.Json.get_float);
+  (* The counter is flushed at close, after all span lines. *)
+  let counters = List.filter (fun d -> ty d = "counter") parsed in
+  Alcotest.(check int) "one counter line" 1 (List.length counters);
+  let cline = List.hd counters in
+  Alcotest.(check string) "counter name" "test.events" (get_s "name" cline);
+  Alcotest.(check int) "counter value" 3 (get_i "value" cline)
+
+let test_metric_aggregation () =
+  Obs.reset_for_tests ();
+  Obs.set_enabled true;
+  let c = Obs.Counter.make "agg.counter" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 9;
+  Alcotest.(check int) "counter value" 10 (Obs.Counter.value c);
+  let c' = Obs.Counter.make "agg.counter" in
+  Obs.Counter.incr c';
+  Alcotest.(check int) "handles interned by name" 11 (Obs.Counter.value c);
+  let g = Obs.Gauge.make "agg.gauge" in
+  Obs.Gauge.set g 2.5;
+  let h = Obs.Histogram.make "agg.hist" in
+  List.iter (Obs.Histogram.observe h) [ 4.0; 1.0; 3.0 ];
+  Obs.Histogram.observe_int h 2;
+  Obs.Span.with_ "agg.span" (fun () -> ());
+  Obs.Span.with_ "agg.span" (fun () -> ());
+  let snap = Obs.snapshot () in
+  Alcotest.(check (list (pair string int)))
+    "counters" [ ("agg.counter", 11) ] snap.Obs.counters;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauges" [ ("agg.gauge", 2.5) ] snap.Obs.gauges;
+  (match snap.Obs.histograms with
+  | [ ("agg.hist", h) ] ->
+      Alcotest.(check int) "hist count" 4 h.Obs.h_count;
+      Alcotest.(check (float 1e-9)) "hist sum" 10.0 h.Obs.h_sum;
+      Alcotest.(check (float 1e-9)) "hist min" 1.0 h.Obs.h_min;
+      Alcotest.(check (float 1e-9)) "hist max" 4.0 h.Obs.h_max;
+      Alcotest.(check (float 1e-9)) "hist last" 2.0 h.Obs.h_last
+  | other -> Alcotest.failf "unexpected histograms (%d)" (List.length other));
+  (match snap.Obs.spans with
+  | [ s ] ->
+      Alcotest.(check string) "span path" "agg.span" s.Obs.s_path;
+      Alcotest.(check int) "span count" 2 s.Obs.s_count
+  | other -> Alcotest.failf "unexpected span rollup (%d)" (List.length other));
+  (* reset_stats zeroes values but keeps handles usable. *)
+  Obs.reset_stats ();
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "counters cleared" 0 (List.length snap.Obs.counters);
+  Alcotest.(check int) "gauges cleared" 0 (List.length snap.Obs.gauges);
+  Alcotest.(check int) "histograms cleared" 0 (List.length snap.Obs.histograms);
+  Alcotest.(check int) "rollup cleared" 0 (List.length snap.Obs.spans);
+  Obs.Counter.incr c;
+  Alcotest.(check int) "handle survives reset_stats" 1 (Obs.Counter.value c);
+  Obs.reset_for_tests ()
+
+(* The FM inner loop runs counter increments and span entries with obs
+   off; those must not allocate, or the hot path pays a GC tax for
+   instrumentation nobody asked for. *)
+let test_disabled_no_alloc () =
+  Obs.reset_for_tests ();
+  let c = Obs.Counter.make "noalloc.counter" in
+  let body = fun () -> Obs.Counter.incr c in
+  (* Warm up so any one-time lazy initialization is done. *)
+  Obs.Span.with_ "noalloc.span" body;
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    Obs.Counter.incr c;
+    Obs.Counter.add c 2;
+    Obs.Span.with_ "noalloc.span" body
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "minor words (%.0f) within noise" delta)
+    true (delta < 1024.0);
+  Alcotest.(check int) "counter untouched while disabled" 0 (Obs.Counter.value c);
+  Obs.reset_for_tests ()
+
+let test_span_timed_when_disabled () =
+  Obs.reset_for_tests ();
+  let result, dt = Obs.Span.timed "timed.span" (fun () -> 41 + 1) in
+  Alcotest.(check int) "result" 42 result;
+  Alcotest.(check bool) "elapsed measured" true (dt >= 0.0);
+  Alcotest.(check int)
+    "no rollup while disabled" 0
+    (List.length (Obs.snapshot ()).Obs.spans);
+  Obs.reset_for_tests ()
+
+(* Check attributes inter-rule clock deltas to rule ids. *)
+let test_check_timings () =
+  let ctx = Analysis_core.Check.create ~subject:"timings" in
+  Analysis_core.Check.rule ctx ~id:"T-ONE" true (fun () -> "");
+  Analysis_core.Check.rule ctx ~id:"T-TWO" false (fun () -> "boom");
+  Analysis_core.Check.rule ctx ~id:"T-ONE" true (fun () -> "");
+  let r = Analysis_core.Check.report ctx in
+  Alcotest.(check (list string))
+    "one entry per rule id, first-evaluation order" [ "T-ONE"; "T-TWO" ]
+    (List.map fst r.Analysis_core.Check.timings);
+  List.iter
+    (fun (id, s) ->
+      Alcotest.(check bool) (id ^ " non-negative") true (s >= 0.0))
+    r.Analysis_core.Check.timings;
+  let merged = Analysis_core.Check.merge ~subject:"m" [ r; r ] in
+  Alcotest.(check (list string))
+    "merge sums by id" [ "T-ONE"; "T-TWO" ]
+    (List.map fst merged.Analysis_core.Check.timings);
+  let t id rep = List.assoc id rep.Analysis_core.Check.timings in
+  Alcotest.(check (float 1e-12))
+    "merged T-ONE is the sum" (2.0 *. t "T-ONE" r) (t "T-ONE" merged);
+  (* The --stats rendering mentions every rule id. *)
+  let rendered = Fmt.str "%a" Analysis_core.Check.pp_timings merged in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " rendered") true
+        (contains_substring rendered id))
+    [ "T-ONE"; "T-TWO" ]
+
+let test_monotonic_clock () =
+  let a = Support.Util.monotonic_ns () in
+  let b = Support.Util.monotonic_ns () in
+  Alcotest.(check bool) "positive" true (Int64.compare a 0L > 0);
+  Alcotest.(check bool) "monotone" true (Int64.compare a b <= 0);
+  Alcotest.(check (float 1e-9)) "seconds_of_ns" 1.5
+    (Support.Util.seconds_of_ns 1_500_000_000L)
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json unicode escapes" `Quick test_json_unicode_escape;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "trace round-trip through JSONL sink" `Quick
+      test_trace_roundtrip;
+    Alcotest.test_case "metric aggregation and reset" `Quick
+      test_metric_aggregation;
+    Alcotest.test_case "disabled instrumentation does not allocate" `Quick
+      test_disabled_no_alloc;
+    Alcotest.test_case "Span.timed measures when disabled" `Quick
+      test_span_timed_when_disabled;
+    Alcotest.test_case "per-rule audit timings" `Quick test_check_timings;
+    Alcotest.test_case "monotonic clock" `Quick test_monotonic_clock;
+  ]
