@@ -73,7 +73,7 @@ let matching_bench () =
   let m = Array.init k (fun _ -> Array.init k (fun _ -> Support.Rng.int rng 100)) in
   let w a b = m.(a).(b) in
   Test.make ~name:"matching DP (k=16)"
-    (Staged.stage (fun () -> ignore (Matching.exact_max_weight ~k w)))
+    (Staged.stage (fun () -> ignore (Pairing.exact_max_weight ~k w)))
 
 let kl_bench () =
   let rng = Support.Rng.create 9 in

@@ -704,6 +704,65 @@ let run_trace_validate path =
       Printf.eprintf "error: %s: %s\n" path msg;
       1
 
+(* lint: run hyplint, the AST-level source linter of lib/lint, over the
+   repository tree.  Zero unsuppressed findings is a hard gate (CI runs
+   this); suppressions carry written reasons, either inline comment
+   markers of the form `hyplint: allow SRC03 — reason` or lint.config
+   entries. *)
+
+let run_lint root config_path rules format =
+  if rules then begin
+    List.iter
+      (fun (id, what) -> Printf.printf "%-8s %s\n" id what)
+      Lint.catalogue;
+    0
+  end
+  else
+    match Lint.Engine.run ?config_path ~root () with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        2
+    | Ok result -> (
+        let report = Lint.Engine.report result in
+        (match format with
+        | `Text ->
+            print_endline (Analysis.Check.to_string report);
+            Printf.printf "suppressed findings : %d (all with written reasons)\n"
+              (List.length result.Lint.Engine.suppressed)
+        | `Json ->
+            print_endline (Obs.Json.to_string (Lint.Engine.to_json result)));
+        Analysis.Check.exit_code report)
+
+let lint_cmd =
+  let root_arg =
+    let doc = "Repository root to lint (walks lib/, bin/, bench/, test/)." in
+    Arg.(value & pos 0 dir "." & info [] ~docv:"ROOT" ~doc)
+  in
+  let config_arg =
+    let doc = "Allowlist file (default: ROOT/lint.config when present)." in
+    Arg.(value & opt (some file) None & info [ "config" ] ~docv:"CONF" ~doc)
+  in
+  let rules_flag =
+    let doc = "Print the rule catalogue (SRC00..SRC07) and exit." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: text (Check-report rendering) or json \
+               (schema hypartition-lint/1)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let info =
+    Cmd.info "lint"
+      ~doc:
+        "Run the AST-level source linter (rules SRC01..SRC07) over the \
+         repository; non-zero exit on any unsuppressed finding."
+  in
+  Cmd.v info
+    Term.(const run_lint $ root_arg $ config_arg $ rules_flag $ format_arg)
+
 let trace_cmd =
   let file_arg =
     let doc = "Trace (JSONL) or bench (JSON) file to validate." in
@@ -726,7 +785,7 @@ let main =
     [
       partition_cmd; stats_cmd; recognize_cmd; hierarchical_cmd;
       schedule_cmd; convert_cmd; evaluate_cmd; generate_cmd; check_cmd;
-      trace_cmd;
+      lint_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

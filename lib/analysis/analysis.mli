@@ -1,0 +1,19 @@
+(** Library root: the paper-grade invariant auditors.
+
+    The framework ({!Check}), the CSR and partition audits and the
+    ANALYSIS_DEBUG gate live in the [analysis_core] sub-library so that
+    [lib/solvers] can self-audit without a dependency cycle; this root
+    re-exports them next to the higher-layer auditors. *)
+
+module Check = Analysis_core.Check
+module Debug = Analysis_core.Debug
+module Audit_hg = Analysis_core.Audit_hg
+module Audit_partition = Analysis_core.Audit_partition
+module Audit_hyperdag = Audit_hyperdag
+module Audit_schedule = Audit_schedule
+module Audit_reduction = Audit_reduction
+module Audit_hierarchy = Audit_hierarchy
+
+val catalogue : (string * string) list
+(** The full audit-rule catalogue: rule id -> the paper definition /
+    lemma the rule enforces (documented in README.md). *)

@@ -65,7 +65,7 @@ let recompute_cost topo hg part =
   let total = ref 0.0 in
   for e = 0 to Hypergraph.num_edges hg - 1 do
     let leaves =
-      List.sort_uniq compare
+      List.sort_uniq Int.compare
         (Hypergraph.fold_pins hg e
            (fun acc v -> Partition.color part v :: acc)
            [])
@@ -75,7 +75,7 @@ let recompute_cost topo hg part =
       for level = 1 to d do
         let distinct =
           List.length
-            (List.sort_uniq compare
+            (List.sort_uniq Int.compare
                (List.map (fun leaf -> leaf / suffix.(level)) leaves))
         in
         total :=

@@ -44,7 +44,7 @@ let rules =
 
 let sorted_copy a =
   let c = Array.copy a in
-  Array.sort compare c;
+  Array.sort Int.compare c;
   c
 
 (* SpES objective of a selection, from the source graph directly. *)

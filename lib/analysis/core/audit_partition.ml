@@ -37,7 +37,7 @@ let def31_capacity ~variant ~eps ~total_weight ~k =
 (* lambda_e by sorting the pin colors: no scratch marks, no stamps. *)
 let edge_lambda hg part e =
   let colors = Hypergraph.fold_pins hg e (fun acc v -> Partition.color part v :: acc) [] in
-  List.length (List.sort_uniq compare colors)
+  List.length (List.sort_uniq Int.compare colors)
 
 let recompute_cost metric hg part =
   let total = ref 0 in

@@ -78,9 +78,10 @@ let clean r = r.violations = []
 let errors r = List.filter (fun v -> v.severity = Error) r.violations
 
 let violated_rules r =
-  List.fold_left
-    (fun seen v -> if List.mem v.rule seen then seen else seen @ [ v.rule ])
-    [] r.violations
+  List.rev
+    (List.fold_left
+       (fun seen v -> if List.mem v.rule seen then seen else v.rule :: seen)
+       [] r.violations)
 
 let has_violation r id = List.exists (fun v -> v.rule = id) r.violations
 

@@ -1,0 +1,4 @@
+(** E1 — communication-cost accuracy of the hyperDAG model (Figure 1, Section 3.2, Appendix B). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

@@ -1,0 +1,4 @@
+(** E10 — the XP algorithm of Lemma 4.3: agreement with branch-and-bound and growth in the cost parameter L. *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

@@ -1,0 +1,4 @@
+(** E11 — the 3-coloring reductions: multi-constraint (Lemma 6.3) and layer-wise hyperDAG (Theorem 5.2). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

@@ -1,0 +1,4 @@
+(** E12 — the flexible-layering hardness construction (Theorem E.1). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

@@ -1,0 +1,4 @@
+(** E13 — heuristic quality: random vs greedy vs FM-refined connectivity cost (Sections 1-2 motivation). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

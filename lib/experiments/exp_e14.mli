@@ -1,0 +1,4 @@
+(** E14 — fundamental facts about the balance parameter (Appendix A). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

@@ -1,0 +1,4 @@
+(** E15 — hyperDAG NP-hardness (Lemma B.3) and the Appendix I.1 counterexample variants. *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

@@ -1,0 +1,4 @@
+(** E16 — multi-constraint algorithms: the Lemma D.1 reduction and the multi-constraint XP decision (Lemma 6.2, Appendix D.2). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

@@ -1,0 +1,4 @@
+(** E2 — the main reduction roundtrip on small SpES instances (Theorem 4.1 / Lemma C.1, Figure 3). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

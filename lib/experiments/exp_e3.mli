@@ -1,0 +1,4 @@
+(** E3 — gadget integrity: block split costs (Lemma A.5) and grid minority costs (Lemma C.3). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

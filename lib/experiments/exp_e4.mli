@@ -1,0 +1,4 @@
+(** E4 — limits of single and layer-wise balance constraints for hyperDAGs (Figures 4 and 6, Section 5.1). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

@@ -1,0 +1,4 @@
+(** E5 — mu vs mu_p: polynomial cases against 3-Partition hardness instances (Theorem 5.5, Appendix F). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

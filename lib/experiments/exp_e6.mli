@@ -1,0 +1,4 @@
+(** E6 — the Orthogonal Vectors reduction: 0-cost multi-constraint decision coincides with OVP (Theorem 6.4). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

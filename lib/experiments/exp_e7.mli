@@ -1,0 +1,4 @@
+(** E7 — recursive bisection vs direct k-way partitioning on the Lemma 7.2 construction (Figure 8). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

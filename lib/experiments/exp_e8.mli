@@ -1,0 +1,4 @@
+(** E8 — the two-step method on the star construction (Lemma 7.3, Theorem 7.4, Figure 9). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

@@ -1,0 +1,4 @@
+(** E9 — the hierarchy assignment problem: exact b2 = 2 matching vs hardness beyond (Theorem 7.5, Appendix H). *)
+
+val run : unit -> unit
+(** Regenerate this experiment's tables on stdout (via {!Table}). *)

@@ -170,7 +170,7 @@ let matching_b2_2 topo hg part =
     let key = if u < v then (u, v) else (v, u) in
     match Hashtbl.find_opt pair_weight key with Some x -> x | None -> 0
   in
-  let pairs = Matching.max_weight ~k w in
+  let pairs = Pairing.max_weight ~k w in
   let leaf_of_part = Array.make k 0 in
   Array.iteri
     (fun g (a, b) ->
@@ -243,11 +243,12 @@ let recursive_matching topo hg part =
       done;
       !total
     in
-    let pairs = Matching.max_weight ~k:count pair_weight in
+    let pairs = Pairing.max_weight ~k:count pair_weight in
     groups :=
       Array.to_list
         (Array.map
            (fun (a, b) ->
+             (* hyplint: allow SRC02 — group lists hold <= k part ids and merge once per level: O(k) per level, not quadratic *)
              (fst arr.(a) @ fst arr.(b), snd arr.(a) lor snd arr.(b)))
            pairs)
   done;

@@ -18,7 +18,7 @@ let edge_cost topo leaves =
       let prev = ref 1 in
       for level = 1 to d do
         let distinct =
-          List.sort_uniq compare
+          List.sort_uniq Int.compare
             (List.map (fun l -> Topology.ancestor topo l ~level) leaves)
           |> List.length
         in
@@ -35,7 +35,7 @@ let cost topo hg part =
   let total = ref 0.0 in
   for e = 0 to Hypergraph.num_edges hg - 1 do
     let leaves =
-      List.sort_uniq compare
+      List.sort_uniq Int.compare
         (Hypergraph.fold_pins hg e
            (fun acc v -> Partition.color part v :: acc)
            [])

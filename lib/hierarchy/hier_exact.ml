@@ -42,7 +42,7 @@ let branch_and_bound ?(variant = Partition.Strict) ?(eps = 0.0) ?upper_bound
   else begin
     let order = Array.init n Fun.id in
     let degree v = Hypergraph.node_degree hg v in
-    Array.sort (fun a b -> compare (degree b) (degree a)) order;
+    Array.sort (fun a b -> Int.compare (degree b) (degree a)) order;
     let colors = Array.make n (-1) in
     let weights = Array.make k 0 in
     let best_cost =
@@ -54,7 +54,7 @@ let branch_and_bound ?(variant = Partition.Strict) ?(eps = 0.0) ?upper_bound
       let total = ref 0.0 in
       for e = 0 to Hypergraph.num_edges hg - 1 do
         let leaves =
-          List.sort_uniq compare
+          List.sort_uniq Int.compare
             (Hypergraph.fold_pins hg e
                (fun acc v -> if colors.(v) >= 0 then colors.(v) :: acc else acc)
                [])

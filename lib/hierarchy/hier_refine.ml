@@ -15,7 +15,7 @@ let incident_cost topo hg part v =
   Hypergraph.fold_incident hg v
     (fun acc e ->
       let leaves =
-        List.sort_uniq compare
+        List.sort_uniq Int.compare
           (Hypergraph.fold_pins hg e
              (fun acc u -> Partition.color part u :: acc)
              [])

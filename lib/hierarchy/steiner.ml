@@ -14,13 +14,13 @@ let validate (m : matrix) =
   let k = Array.length m in
   Array.iter
     (fun row ->
-      if Array.length row <> k then invalid_arg "Steiner: non-square matrix")
+      if Array.length row <> k then invalid_arg "Steiner.validate: non-square matrix")
     m;
   for i = 0 to k - 1 do
-    if m.(i).(i) <> 0.0 then invalid_arg "Steiner: non-zero diagonal";
+    if m.(i).(i) <> 0.0 then invalid_arg "Steiner.validate: non-zero diagonal";
     for j = 0 to k - 1 do
       if abs_float (m.(i).(j) -. m.(j).(i)) > 1e-9 then
-        invalid_arg "Steiner: asymmetric matrix"
+        invalid_arg "Steiner.validate: asymmetric matrix"
     done
   done;
   k
@@ -123,7 +123,7 @@ let cost ?(exact_trees = true) m hg part =
   for e = 0 to Hypergraph.num_edges hg - 1 do
     let terminals =
       Array.of_list
-        (List.sort_uniq compare
+        (List.sort_uniq Int.compare
            (Hypergraph.fold_pins hg e
               (fun acc v -> Partition.color part v :: acc)
               []))

@@ -37,7 +37,7 @@ let depth t = Array.length t.branching
 let num_leaves t = t.k
 let branching t = Array.copy t.branching
 let cost_of_level t i =
-  if i < 1 || i > depth t then invalid_arg "Topology.cost_of_level";
+  if i < 1 || i > depth t then invalid_arg "Topology.cost_of_level: level out of range";
   t.costs.(i - 1)
 
 (* Flat k-way partitioning as the special case d = 1. *)

@@ -11,7 +11,7 @@ let of_string s =
     |> List.filter (fun l -> not (is_comment l))
   in
   match lines with
-  | [] -> failwith "Dag_io: empty input"
+  | [] -> failwith "Dag_io.of_string: empty input"
   | header :: rest ->
       let parse_two line =
         match
@@ -20,11 +20,11 @@ let of_string s =
           |> List.map int_of_string_opt
         with
         | [ Some a; Some b ] -> (a, b)
-        | _ -> failwith (Printf.sprintf "Dag_io: malformed line %S" line)
+        | _ -> failwith (Printf.sprintf "Dag_io.of_string: malformed line %S" line)
       in
       let n, m = parse_two header in
       let rest = Array.of_list rest in
-      if Array.length rest < m then failwith "Dag_io: truncated file";
+      if Array.length rest < m then failwith "Dag_io.of_string: truncated file";
       let edges = List.init m (fun i -> parse_two rest.(i)) in
       Dag.of_edges ~n edges
 

@@ -105,7 +105,7 @@ let of_edges ?node_weights ?edge_weights ~n edge_list =
   let pins = Array.make rho 0 in
   for e = 0 to m - 1 do
     let sorted = Array.copy edge_list.(e) in
-    Array.sort compare sorted;
+    Array.sort Int.compare sorted;
     let base = edge_offsets.(e) in
     Array.iteri
       (fun i v ->
@@ -249,7 +249,7 @@ let contract ?(drop_singletons = true) ?(merge_identical = true) t label count =
         end);
     let pins = Support.Int_vec.to_array scratch in
     if (not drop_singletons) || Array.length pins > 1 then begin
-      Array.sort compare pins;
+      Array.sort Int.compare pins;
       mapped := (pins, t.edge_weight.(e)) :: !mapped
     end
   done;
@@ -266,7 +266,9 @@ let contract ?(drop_singletons = true) ?(merge_identical = true) t label count =
       Hashtbl.fold (fun pins w acc -> (pins, w) :: acc) table []
     end
   in
-  let combined = List.sort compare combined in
+  let combined =
+    List.sort Support.Order.(pair int_array Int.compare) combined
+  in
   let arr = Array.of_list combined in
   of_edges ~n:count ~node_weights
     ~edge_weights:(Array.map snd arr)
@@ -293,7 +295,7 @@ let disjoint_union a b =
 
 let degree_sequence t =
   let d = Array.init t.n (fun v -> node_degree t v) in
-  Array.sort compare d;
+  Array.sort Int.compare d;
   d
 
 let pp ppf t =

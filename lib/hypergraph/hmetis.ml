@@ -16,25 +16,25 @@ let ints_of_line line =
   |> List.map (fun s ->
          match int_of_string_opt s with
          | Some v -> v
-         | None -> failwith (Printf.sprintf "Hmetis: bad integer %S" s))
+         | None -> failwith (Printf.sprintf "Hmetis.ints_of_line: bad integer %S" s))
 
 let of_lines lines =
   match lines with
-  | [] -> failwith "Hmetis: empty input"
+  | [] -> failwith "Hmetis.of_lines: empty input"
   | header :: rest ->
       let m, n, fmt =
         match ints_of_line header with
         | [ m; n ] -> (m, n, 0)
         | [ m; n; fmt ] -> (m, n, fmt)
-        | _ -> failwith "Hmetis: malformed header"
+        | _ -> failwith "Hmetis.of_lines: malformed header"
       in
       if fmt <> 0 && fmt <> 1 && fmt <> 10 && fmt <> 11 then
-        failwith "Hmetis: unsupported fmt";
+        failwith "Hmetis.of_lines: unsupported fmt";
       let has_edge_weights = fmt = 1 || fmt = 11 in
       let has_node_weights = fmt = 10 || fmt = 11 in
       let rest = Array.of_list rest in
       let expected = m + if has_node_weights then n else 0 in
-      if Array.length rest < expected then failwith "Hmetis: truncated file";
+      if Array.length rest < expected then failwith "Hmetis.of_lines: truncated file";
       let edge_weights = Array.make m 1 in
       let edges =
         Array.init m (fun e ->
@@ -49,7 +49,7 @@ let of_lines lines =
           Array.init n (fun v ->
               match ints_of_line rest.(m + v) with
               | [ w ] -> w
-              | _ -> failwith "Hmetis: malformed node weight line")
+              | _ -> failwith "Hmetis.of_lines: malformed node weight line")
         else Array.make n 1
       in
       Hg.of_edges ~n ~node_weights ~edge_weights edges

@@ -1,0 +1,41 @@
+(** The hyplint driver: walk the tree, parse with compiler-libs, run the
+    rules, apply suppressions, and report through the same {!Check}
+    vocabulary as the invariant auditors. *)
+
+val schema_version : string
+(** Schema tag of the [--format json] output, ["hypartition-lint/1"]. *)
+
+val default_subdirs : string list
+(** Directories walked under the root: [lib], [bin], [bench], [test]. *)
+
+type result = {
+  root : string;
+  files : int;  (** compilation units scanned *)
+  findings : Rules.finding list;  (** live (unsuppressed), sorted *)
+  suppressed : (Rules.finding * string) list;  (** finding, written reason *)
+}
+
+val lint_sources :
+  ?config:Suppress.config ->
+  ?config_errors:(int * string) list ->
+  root:string ->
+  (string * string) list ->
+  result
+(** The filesystem-free pipeline over (root-relative path, content)
+    pairs — what the fixture tests drive.  Runs the per-file rules and
+    the cross-file SRC07 interface check, then applies inline markers
+    and the allowlist; malformed markers, stale suppressions and
+    [config_errors] surface as SRC00. *)
+
+val run :
+  ?config_path:string -> root:string -> unit -> (result, string) Stdlib.result
+(** Walk [root]'s {!default_subdirs}, read [lint.config] from
+    [config_path] (default: [root/lint.config] when present), and lint
+    everything. *)
+
+val report : result -> Analysis_core.Check.report
+(** One evaluation per catalogue rule plus one violation per live
+    finding; [Check.exit_code] of this report is the lint gate. *)
+
+val to_json : result -> Obs.Json.t
+(** The versioned machine-readable report ({!schema_version}). *)

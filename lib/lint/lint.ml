@@ -1,0 +1,11 @@
+(* Library root: hyplint, the AST-level source linter.
+
+   Rules (stable ids SRC00..SRC07) live in Rules, suppression parsing in
+   Suppress, and the tree walk / reporting in Engine.  The CLI surface
+   is `hypartition lint`. *)
+
+module Rules = Rules
+module Suppress = Suppress
+module Engine = Engine
+
+let catalogue = Rules.catalogue

@@ -1,0 +1,14 @@
+(** hyplint — the AST-level source linter behind [hypartition lint].
+
+    A compiler-libs pass ([Parse] + [Ast_iterator]) over every [.ml] /
+    [.mli] under [lib/], [bin/], [bench/] and [test/], with repo-specific
+    rules (stable ids [SRC01]..[SRC07], catalogued in DESIGN.md), inline
+    [(* hyplint: allow ... — reason *)] suppressions and a [lint.config]
+    allowlist.  The repo gates on zero unsuppressed findings. *)
+
+module Rules = Rules
+module Suppress = Suppress
+module Engine = Engine
+
+val catalogue : (string * string) list
+(** [rule id, rationale] — the [lint --rules] catalogue. *)

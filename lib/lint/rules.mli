@@ -1,0 +1,38 @@
+(** The hyplint rule set: syntactic checks over the OCaml Parsetree.
+
+    Each rule id is stable ([SRC01]..[SRC07], with [SRC00] reserved for
+    lint hygiene itself) and documented in the {!catalogue}; findings
+    carry the exact [file:line] so suppression markers and fixture tests
+    can target them. *)
+
+type finding = {
+  rule : string;  (** stable rule id, e.g. ["SRC01"] *)
+  severity : Analysis_core.Check.severity;
+  file : string;  (** root-relative path *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+}
+
+val catalogue : (string * string) list
+(** [rule id, one-line rationale] for every rule, [SRC00]..[SRC07]. *)
+
+val rule_ids : string list
+
+val scan : path:string -> Parsetree.structure -> finding list
+(** Run the expression-level rules (SRC01..SRC06) over one parsed
+    implementation.  [path] is root-relative and decides whether SRC03
+    applies (it only covers [lib/]).  Findings come back in source
+    order. *)
+
+val reexport_only : Parsetree.structure -> bool
+(** Whether a compilation unit consists solely of [module X = Path] /
+    [include Path] items — the pure re-export library roots that SRC07
+    exempts from the [.mli] requirement. *)
+
+val well_prefixed_message : string -> bool
+(** The SRC05 message contract: ["Module.func: ..."] (arbitrarily deep
+    capitalized module path, lowercase function name, colon). *)
+
+val compare_findings : finding -> finding -> int
+(** Order findings by file, line, column, then rule id. *)

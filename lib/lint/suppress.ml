@@ -1,0 +1,189 @@
+(* Suppression sources for hyplint findings: inline markers in the linted
+   source and the repo-level [lint.config] allowlist.
+
+   An inline marker is a comment that opens directly with the keyword —
+   the comment opener immediately followed by
+
+     hyplint: allow SRC03 — reason
+
+   — and silences the listed rules on its own line and on the following
+   line.  A config entry is a line of the form
+
+     allow SRC03 lib/experiments — reason
+
+   and silences the listed rules for every file matching the pattern.
+   Both forms require a written reason after an em dash (or "--"); a
+   marker without one does not suppress anything and is reported as a
+   SRC00 violation by the engine. *)
+
+type inline = {
+  i_line : int;  (* line the marker sits on *)
+  i_rules : string list;
+  i_reason : string;
+  mutable i_used : bool;
+}
+
+type inline_scan = {
+  markers : inline list;
+  malformed : (int * string) list;  (* line, what is wrong *)
+}
+
+type entry = {
+  e_rules : string list;
+  e_pattern : string;
+  e_reason : string;
+  mutable e_used : bool;
+}
+
+type config = entry list
+
+(* ---- small string helpers (no Str/Re dependency) ---------------------- *)
+
+let is_rule_id token =
+  String.length token >= 2
+  && (let c = token.[0] in c >= 'A' && c <= 'Z')
+  && String.for_all
+       (fun c -> (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+       token
+
+(* Index of the first occurrence of [needle] in [hay], if any. *)
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  if nn = 0 then None else go 0
+
+(* Split [s] at the reason separator: an em dash, "--", or a lone "-"
+   surrounded by the rest of the line.  Returns (before, reason). *)
+let split_reason s =
+  let cut i width =
+    let before = String.sub s 0 i in
+    let after = String.sub s (i + width) (String.length s - i - width) in
+    Some (before, String.trim after)
+  in
+  match find_sub s "\xe2\x80\x94" (* — *) with
+  | Some i -> cut i 3
+  | None -> (
+      match find_sub s "--" with
+      | Some i -> cut i 2
+      | None -> (
+          match find_sub s " - " with Some i -> cut i 3 | None -> None))
+
+let split_tokens s =
+  String.split_on_char ' ' (String.map (function ',' | '\t' -> ' ' | c -> c) s)
+  |> List.filter (fun t -> t <> "")
+
+(* ---- inline markers ---------------------------------------------------- *)
+
+(* The scan trigger requires the comment opener so that prose and string
+   literals mentioning the keyword (this file has several) are not read
+   as markers; the literal is split so it does not contain itself. *)
+let marker_keyword = "(* " ^ "hyplint:"
+
+(* Parse the text after the keyword on one line.  The marker lives in a
+   comment, so the remainder usually ends with the comment closer;
+   anything after it is ignored. *)
+let parse_marker rest =
+  let rest =
+    match find_sub rest "*)" with
+    | Some i -> String.sub rest 0 i
+    | None -> rest
+  in
+  let rest = String.trim rest in
+  match split_tokens rest with
+  | "allow" :: _ -> (
+      let after_allow =
+        String.trim (String.sub rest 5 (String.length rest - 5))
+      in
+      match split_reason after_allow with
+      | None -> Error "missing reason (expected 'allow <RULES> \xe2\x80\x94 <reason>')"
+      | Some (rules_part, reason) ->
+          let rules = split_tokens rules_part in
+          if rules = [] then Error "no rule ids listed"
+          else if not (List.for_all is_rule_id rules) then
+            Error "rule ids must look like SRC01"
+          else if reason = "" then Error "empty suppression reason"
+          else Ok (rules, reason))
+  | _ -> Error "expected 'allow' after 'hyplint:'"
+
+let scan_inline source =
+  let markers = ref [] and malformed = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match find_sub line marker_keyword with
+      | None -> ()
+      | Some at -> (
+          let rest =
+            String.sub line
+              (at + String.length marker_keyword)
+              (String.length line - at - String.length marker_keyword)
+          in
+          match parse_marker rest with
+          | Ok (rules, reason) ->
+              markers :=
+                { i_line = lineno; i_rules = rules; i_reason = reason;
+                  i_used = false }
+                :: !markers
+          | Error what -> malformed := (lineno, what) :: !malformed))
+    (String.split_on_char '\n' source);
+  { markers = List.rev !markers; malformed = List.rev !malformed }
+
+(* A marker suppresses findings on its own line and on the next line. *)
+let inline_match scan ~rule ~line =
+  List.find_opt
+    (fun m -> (m.i_line = line || m.i_line = line - 1) && List.mem rule m.i_rules)
+    scan.markers
+
+(* ---- lint.config ------------------------------------------------------- *)
+
+let path_matches ~pattern path =
+  let n = String.length pattern in
+  if n = 0 then false
+  else if pattern = path then true
+  else if pattern.[n - 1] = '*' then
+    String.starts_with ~prefix:(String.sub pattern 0 (n - 1)) path
+  else if pattern.[0] = '*' then
+    String.ends_with ~suffix:(String.sub pattern 1 (n - 1)) path
+  else String.starts_with ~prefix:(pattern ^ "/") path
+
+let parse_config source =
+  let entries = ref [] and errors = ref [] in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim raw in
+      if line <> "" && not (String.starts_with ~prefix:"#" line) then
+        match split_tokens line with
+        | "allow" :: _ -> (
+            let rest = String.trim (String.sub line 5 (String.length line - 5)) in
+            match split_reason rest with
+            | None -> errors := (lineno, "missing reason") :: !errors
+            | Some (head, reason) -> (
+                match split_tokens head with
+                | [ rules_part; pattern ] ->
+                    let rules = split_tokens rules_part in
+                    if rules = [] || not (List.for_all is_rule_id rules) then
+                      errors := (lineno, "rule ids must look like SRC01") :: !errors
+                    else if reason = "" then
+                      errors := (lineno, "empty reason") :: !errors
+                    else
+                      entries :=
+                        { e_rules = rules; e_pattern = pattern;
+                          e_reason = reason; e_used = false }
+                        :: !entries
+                | _ ->
+                    errors :=
+                      (lineno, "expected 'allow <RULES> <PATTERN> \xe2\x80\x94 <reason>'")
+                      :: !errors))
+        | _ -> errors := (lineno, "unknown directive (expected 'allow')") :: !errors)
+    (String.split_on_char '\n' source);
+  (List.rev !entries, List.rev !errors)
+
+let config_match config ~rule ~path =
+  List.find_opt
+    (fun e -> List.mem rule e.e_rules && path_matches ~pattern:e.e_pattern path)
+    config

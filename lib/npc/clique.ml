@@ -19,7 +19,7 @@ let max_clique g =
           extend clique rest
   in
   extend [] (List.init (Graph.num_nodes g) Fun.id);
-  Array.of_list (List.sort compare !best)
+  Array.of_list (List.sort Int.compare !best)
 
 let clique_number g = Array.length (max_clique g)
 

@@ -6,7 +6,7 @@
 let solve ?(k = 3) g =
   let n = Graph.num_nodes g in
   let order = Array.init n Fun.id in
-  Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+  Array.sort (fun a b -> Int.compare (Graph.degree g b) (Graph.degree g a)) order;
   let color = Array.make n (-1) in
   let rec go i used =
     if i = n then true

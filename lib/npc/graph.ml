@@ -21,14 +21,14 @@ let of_edges ~n edge_list =
       Hashtbl.add seen e ())
     edge_list;
   let edges = Array.of_list (List.map normalize edge_list) in
-  Array.sort compare edges;
+  Array.sort Support.Order.int_pair edges;
   let lists = Array.make n [] in
   Array.iter
     (fun (u, v) ->
       lists.(u) <- v :: lists.(u);
       lists.(v) <- u :: lists.(v))
     edges;
-  let adj = Array.map (fun l -> Array.of_list (List.sort compare l)) lists in
+  let adj = Array.map (fun l -> Array.of_list (List.sort Int.compare l)) lists in
   { n; edges; adj }
 
 let num_nodes t = t.n

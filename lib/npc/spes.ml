@@ -52,7 +52,7 @@ let exact_bb g ~p =
   else if Graph.num_edges g < p then None
   else begin
     let order = Array.init n Fun.id in
-    Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+    Array.sort (fun a b -> Int.compare (Graph.degree g b) (Graph.degree g a)) order;
     let chosen = Array.make n false in
     let solution = ref None in
     let rec dfs idx picked slots induced =

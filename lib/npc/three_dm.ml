@@ -12,7 +12,7 @@ let create ~q triples =
       if x < 0 || x >= q || y < 0 || y >= q || z < 0 || z >= q then
         invalid_arg "Three_dm.create: element out of range")
     triples;
-  { q; triples = Array.of_list (List.sort_uniq compare triples) }
+  { q; triples = Array.of_list (List.sort_uniq Support.Order.int_triple triples) }
 
 let size t = t.q
 let triples t = t.triples

@@ -352,7 +352,7 @@ type snapshot = {
   spans : span_stat list;
 }
 
-let by_name (a, _) (b, _) = compare (a : string) b
+let by_name (a, _) (b, _) = String.compare a b
 
 let snapshot () =
   let counters =
@@ -396,7 +396,7 @@ let snapshot () =
         }
         :: acc)
       rollup []
-    |> List.sort (fun a b -> compare a.s_path b.s_path)
+    |> List.sort (fun a b -> String.compare a.s_path b.s_path)
   in
   { counters; gauges; histograms; spans }
 

@@ -62,7 +62,7 @@ module Span : sig
   val timed : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a * float
   (** Like {!with_}, and additionally returns the elapsed wall-clock
       seconds (measured even when disabled) — the obs-aware replacement
-      for the deprecated [Support.Util.time_it]. *)
+      for the removed [Support.Util.time_it]. *)
 end
 
 (** {1 Metrics}

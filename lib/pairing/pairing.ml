@@ -13,7 +13,7 @@ type pairing = (int * int) array
 
 let validate_weights ~k w =
   if k < 0 || k mod 2 <> 0 then
-    invalid_arg "Matching: node count must be even and non-negative";
+    invalid_arg "Pairing.max_weight: node count must be even and non-negative";
   ignore w
 
 let pairing_weight w pairs =
@@ -27,7 +27,7 @@ let exact_max_weight ~k w =
   validate_weights ~k w;
   if k = 0 then [||]
   else begin
-    if k > 24 then invalid_arg "Matching.exact_max_weight: k > 24";
+    if k > 24 then invalid_arg "Pairing.exact_max_weight: k > 24";
     let full = (1 lsl k) - 1 in
     let dp = Array.make (full + 1) min_int in
     let choice = Array.make (full + 1) (-1, -1) in

@@ -8,14 +8,14 @@ let of_string ~n s =
   in
   if List.length lines <> n then
     failwith
-      (Printf.sprintf "Part_io: %d entries for %d nodes" (List.length lines) n);
+      (Printf.sprintf "Part_io.of_string: %d entries for %d nodes" (List.length lines) n);
   let vector =
     Array.of_list
       (List.map
          (fun l ->
            match int_of_string_opt l with
            | Some v when v >= 0 -> v
-           | _ -> failwith (Printf.sprintf "Part_io: bad entry %S" l))
+           | _ -> failwith (Printf.sprintf "Part_io.of_string: bad entry %S" l))
          lines)
   in
   let k = 1 + Support.Util.max_array vector in

@@ -51,7 +51,7 @@ let build instance =
   Array.iter
     (fun (x, y, z) ->
       Hashtbl.replace original_as_nodes
-        (List.sort compare [ node_of_x x; node_of_y ~q y; node_of_z ~q z ])
+        (List.sort Int.compare [ node_of_x x; node_of_y ~q y; node_of_z ~q z ])
         ())
     (Npc.Three_dm.triples instance);
   Support.Util.iter_subsets ~n:k ~k:3 (fun subset ->
@@ -81,7 +81,7 @@ let gain t leaf_of_part =
   let total = ref 0 in
   for e = 0 to Hypergraph.num_edges t.hypergraph - 1 do
     let groups =
-      List.sort_uniq compare
+      List.sort_uniq Int.compare
         (Hypergraph.fold_pins t.hypergraph e
            (fun acc v -> group leaf_of_part.(v) :: acc)
            [])

@@ -298,7 +298,7 @@ let hk_hypergraph dag =
     in
     if Array.length pins > 1 then begin
       let sorted = Array.copy pins in
-      Array.sort compare sorted;
+      Array.sort Int.compare sorted;
       edges := sorted :: !edges
     end
   done;

@@ -35,13 +35,13 @@ let filler_counts spec =
   in
   match spec.bound with
   | At_most_red h ->
-      if h < 0 || h > s then invalid_arg "Mc_builder: bad bound";
+      if h < 0 || h > s then invalid_arg "Mc_builder.filler_counts: bad bound";
       let m, cap = demand h in
       let red = cap - h in
       let blue = m - s - red in
       (red, blue)
   | At_least_red h ->
-      if h < 0 || h > s then invalid_arg "Mc_builder: bad bound";
+      if h < 0 || h > s then invalid_arg "Mc_builder.filler_counts: bad bound";
       (* At most (s - h) blue. *)
       let m, cap = demand (s - h) in
       let blue = cap - (s - h) in

@@ -37,7 +37,7 @@ let build graph =
   let slot v e i =
     let incident = Npc.Graph.incident_edges graph v in
     let rec index j = function
-      | [] -> invalid_arg "Mc_from_coloring: edge not incident"
+      | [] -> invalid_arg "Mc_from_coloring.slot: edge not incident"
       | e' :: rest -> if e' = e then j else index (j + 1) rest
     in
     gadget_nodes.(v).(i).(2 + index 0 incident)

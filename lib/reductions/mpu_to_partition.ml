@@ -98,7 +98,7 @@ let extract t part =
       t.blocks.(e)
   in
   let order = Array.init (Array.length t.blocks) Fun.id in
-  Array.sort (fun x y -> compare (score y) (score x)) order;
+  Array.sort (fun x y -> Int.compare (score y) (score x)) order;
   Array.sub order 0 t.p
 
 let union_size t chosen_edges = Npc.Mpu.union_size t.instance chosen_edges

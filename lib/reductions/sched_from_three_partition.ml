@@ -90,8 +90,8 @@ let perfect_schedule_exists t =
   let module Key = struct
     type t = int array
 
-    let equal = ( = )
-    let hash = Hashtbl.hash
+    let equal = Support.Order.int_array_equal
+    let hash = Support.Order.int_array_hash
   end in
   let module Tbl = Hashtbl.Make (Key) in
   let visited = Tbl.create 1024 in

@@ -167,7 +167,7 @@ let extract t part =
     Support.Util.array_count (fun v -> Partition.color part v = red) nodes
   in
   let order = Array.init (Array.length t.edge_grids) Fun.id in
-  Array.sort (fun x y -> compare (score y) (score x)) order;
+  Array.sort (fun x y -> Int.compare (score y) (score x)) order;
   Array.sub order 0 t.p
 
 let hypergraph t = t.hypergraph

@@ -133,7 +133,7 @@ let extract t part =
       t.blocks.(e)
   in
   let order = Array.init (Array.length t.blocks) Fun.id in
-  Array.sort (fun x y -> compare (score y) (score x)) order;
+  Array.sort (fun x y -> Int.compare (score y) (score x)) order;
   Array.sub order 0 t.p
 
 let covered_vertices t chosen_edges =

@@ -122,7 +122,7 @@ let extract t part =
       t.blocks.(e)
   in
   let order = Array.init (Array.length t.blocks) Fun.id in
-  Array.sort (fun x y -> compare (score y) (score x)) order;
+  Array.sort (fun x y -> Int.compare (score y) (score x)) order;
   Array.sub order 0 t.p
 
 (* The SpES objective of an edge selection: vertices covered. *)

@@ -19,7 +19,7 @@ let labels dag =
     let ls =
       Array.to_list (Array.map (fun w -> label.(w)) (Hyperdag.Dag.succs dag v))
     in
-    List.sort (fun a b -> compare b a) ls
+    List.sort (fun a b -> Int.compare b a) ls
   in
   for next = 1 to n do
     let best = ref None in
@@ -27,7 +27,7 @@ let labels dag =
       if label.(v) = 0 && unlabeled_succs.(v) = 0 then begin
         let ls = succ_labels v in
         match !best with
-        | Some (_, bls) when compare bls ls <= 0 -> ()
+        | Some (_, bls) when Support.Order.int_list bls ls <= 0 -> ()
         | _ -> best := Some (v, ls)
       end
     done;

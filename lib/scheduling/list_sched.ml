@@ -25,7 +25,7 @@ let schedule ?priority dag ~k =
   while !scheduled < n do
     incr step;
     let sorted =
-      List.sort (fun a b -> compare priority.(b) priority.(a)) !ready
+      List.sort (fun a b -> Int.compare priority.(b) priority.(a)) !ready
     in
     let rec take acc cnt = function
       | [] -> (List.rev acc, [])

@@ -126,7 +126,7 @@ let greedy_fixed dag assignment ~k =
     let executed = ref [] in
     for p = 0 to k - 1 do
       match
-        List.sort (fun a b -> compare priority.(b) priority.(a)) ready.(p)
+        List.sort (fun a b -> Int.compare priority.(b) priority.(a)) ready.(p)
       with
       | [] -> ()
       | v :: rest ->

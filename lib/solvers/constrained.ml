@@ -70,7 +70,7 @@ let greedy rng t hg ~k =
     Support.Rng.shuffle_in_place rng by_class;
     Array.sort
       (fun a b ->
-        compare
+        Int.compare
           (if t.classes.(a) < 0 then max_int else t.classes.(a))
           (if t.classes.(b) < 0 then max_int else t.classes.(b)))
       by_class;

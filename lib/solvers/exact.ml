@@ -43,7 +43,7 @@ let solve ?(metric = Partition.Connectivity) ?(variant = Partition.Strict)
         (fun acc e -> acc + Hypergraph.edge_weight hg e)
         0
     in
-    Array.sort (fun a b -> compare (weighted_degree b) (weighted_degree a)) order;
+    Array.sort (fun a b -> Int.compare (weighted_degree b) (weighted_degree a)) order;
     let colors = Array.make n (-1) in
     let weights = Array.make k 0 in
     let counts = Array.make (m * k) 0 in
@@ -124,7 +124,7 @@ let solve ?(metric = Partition.Connectivity) ?(variant = Partition.Strict)
               cands := (!delta, c) :: !cands
             end
           done;
-          let cands = List.sort compare !cands in
+          let cands = List.sort Support.Order.int_pair !cands in
           List.iter
             (fun (_, c) ->
               assign v c;

@@ -39,7 +39,7 @@ let packable ~k ~cap sizes allowed =
   let module S = Set.Make (struct
     type t = int array
 
-    let compare = compare
+    let compare = Support.Order.int_array
   end) in
   let start = S.singleton (Array.make k 0) in
   let rec go i states =
@@ -220,7 +220,7 @@ let packable_multi ~k ~caps intersections allowed =
   let module S = Set.Make (struct
     type t = int array
 
-    let compare = compare
+    let compare = Support.Order.int_array
   end) in
   let start = S.singleton (Array.make (c * k) 0) in
   let rec go i states =

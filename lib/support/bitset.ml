@@ -14,7 +14,7 @@ let create capacity =
 let capacity t = t.capacity
 
 let check t i =
-  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of bounds"
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset.check: index out of bounds"
 
 let mem t i =
   check t i;

@@ -43,7 +43,7 @@ let priority t item =
 let bucket_of t p =
   let b = p + t.offset in
   if b < 0 || b >= Array.length t.heads then
-    invalid_arg "Bucket_queue: priority out of range";
+    invalid_arg "Bucket_queue.bucket_of: priority out of range";
   b
 
 let insert t item p =

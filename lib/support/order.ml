@@ -1,0 +1,59 @@
+(* Dedicated comparators for the element types the repo sorts: monomorphic
+   replacements for polymorphic [compare], which walks runtime tags and is
+   several times slower on scalars (and is what hyplint rule SRC01 bans). *)
+
+let pair cmp_a cmp_b (a1, b1) (a2, b2) =
+  let c = cmp_a a1 a2 in
+  if c <> 0 then c else cmp_b b1 b2
+
+let triple cmp_a cmp_b cmp_c (a1, b1, c1) (a2, b2, c2) =
+  let c = cmp_a a1 a2 in
+  if c <> 0 then c
+  else
+    let c = cmp_b b1 b2 in
+    if c <> 0 then c else cmp_c c1 c2
+
+let desc cmp a b = cmp b a
+
+let by key cmp a b = cmp (key a) (key b)
+
+let int_pair p q = pair Int.compare Int.compare p q
+
+let int_triple p q = triple Int.compare Int.compare Int.compare p q
+
+(* Lexicographic, shorter-prefix-first: matches what polymorphic compare
+   does on int lists, so call sites keep their ordering semantics. *)
+let rec int_list a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: a', y :: b' ->
+      let c = Int.compare x y in
+      if c <> 0 then c else int_list a' b'
+
+(* Lexicographic with length as the tie-break prefix order, like
+   polymorphic compare on arrays of equal length; arrays of different
+   length compare by the first differing element, then by length. *)
+let int_array a b =
+  let na = Array.length a and nb = Array.length b in
+  let n = if na < nb then na else nb in
+  let rec go i =
+    if i = n then Int.compare na nb
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let int_array_equal a b = int_array a b = 0
+
+(* FNV-1a over the elements: a structural hash for int-array keys that
+   avoids Hashtbl.hash's tag walk and its default 10-element cutoff. *)
+let int_array_hash a =
+  let h = ref 0x811c9dc5 in
+  Array.iter
+    (fun x ->
+      h := (!h lxor x) * 0x01000193 land 0x3FFFFFFF)
+    a;
+  !h

@@ -1,0 +1,40 @@
+(** Dedicated comparators: monomorphic replacements for polymorphic
+    [compare] (banned by hyplint rule SRC01), covering the element types
+    the repo actually sorts — ints, int pairs/triples, int lists and
+    int arrays — plus combinators to build the rest. *)
+
+val pair :
+  ('a -> 'a -> int) -> ('b -> 'b -> int) -> 'a * 'b -> 'a * 'b -> int
+(** Lexicographic product order: first components, then second. *)
+
+val triple :
+  ('a -> 'a -> int) ->
+  ('b -> 'b -> int) ->
+  ('c -> 'c -> int) ->
+  'a * 'b * 'c ->
+  'a * 'b * 'c ->
+  int
+
+val desc : ('a -> 'a -> int) -> 'a -> 'a -> int
+(** Reverse an order (descending sorts). *)
+
+val by : ('a -> 'b) -> ('b -> 'b -> int) -> 'a -> 'a -> int
+(** [by key cmp] compares through a projection: [cmp (key a) (key b)]. *)
+
+val int_pair : int * int -> int * int -> int
+
+val int_triple : int * int * int -> int * int * int -> int
+
+val int_list : int list -> int list -> int
+(** Lexicographic, shorter-prefix-first — the same order polymorphic
+    [compare] gives on int lists. *)
+
+val int_array : int array -> int array -> int
+(** Lexicographic by elements, then by length — the same order
+    polymorphic [compare] gives on equal-length int arrays. *)
+
+val int_array_equal : int array -> int array -> bool
+
+val int_array_hash : int array -> int
+(** Structural FNV-1a hash of the elements: unlike [Hashtbl.hash] it has
+    no 10-element cutoff, so it is safe for long int-array keys. *)

@@ -62,5 +62,5 @@ let sample_distinct t ~n ~k =
       out.(!i) <- v;
       incr i)
     seen;
-  Array.sort compare out;
+  Array.sort Int.compare out;
   out

@@ -40,11 +40,6 @@ let monotonic_ns () =
 
 let seconds_of_ns ns = Int64.to_float ns /. 1e9
 
-let time_it f =
-  let t0 = monotonic_ns () in
-  let result = f () in
-  (result, seconds_of_ns (Int64.sub (monotonic_ns ()) t0))
-
 (* Iterate over all k-subsets of [0, n) as sorted arrays. *)
 let iter_subsets ~n ~k f =
   if k < 0 || k > n then ()

@@ -23,12 +23,6 @@ val seconds_of_ns : int64 -> float
 (** Nanoseconds (e.g. a difference of {!monotonic_ns} readings) as
     seconds. *)
 
-val time_it : (unit -> 'a) -> 'a * float
-[@@ocaml.deprecated "use Obs.Span.timed (records a span) or monotonic_ns"]
-(** [time_it f] runs [f ()] and returns its result with elapsed seconds.
-    @deprecated new call sites should use [Obs.Span.timed], which also
-    records an observability span, or {!monotonic_ns} directly. *)
-
 val iter_subsets : n:int -> k:int -> (int array -> unit) -> unit
 (** Calls the function on every sorted [k]-subset of [\[0, n)]. The array is
     fresh for each call. *)

@@ -22,7 +22,7 @@ let create ~rows ~cols nonzeros =
         invalid_arg "Spmv.create: duplicate nonzero";
       Hashtbl.add seen (r, c) ())
     nonzeros;
-  { rows; cols; nonzeros = Array.of_list (List.sort compare nonzeros) }
+  { rows; cols; nonzeros = Array.of_list (List.sort Support.Order.int_pair nonzeros) }
 
 let nnz m = Array.length m.nonzeros
 
@@ -51,7 +51,7 @@ let random rng ~rows ~cols ~density =
   for c = 0 to cols - 1 do
     if not have_col.(c) then acc := (Support.Rng.int rng rows, c) :: !acc
   done;
-  create ~rows ~cols (List.sort_uniq compare !acc)
+  create ~rows ~cols (List.sort_uniq Support.Order.int_pair !acc)
 
 (* Banded matrix (classic PDE stencil shape). *)
 let banded ~size ~bandwidth =

@@ -320,7 +320,7 @@ let test_catalogue () =
        [ "HG-"; "PART-"; "HD-"; "SCHED-"; "RED-"; "HIER-" ]);
   Alcotest.(check bool)
     "rule ids are unique" true
-    (List.length ids = List.length (List.sort_uniq compare ids))
+    (List.length ids = List.length (List.sort_uniq String.compare ids))
 
 let suite =
   [

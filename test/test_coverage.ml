@@ -117,13 +117,13 @@ let test_two_step_run_driver () =
      && r.Hierarchy.Two_step.hier_cost <= hi +. 1e-9);
   (* The leaf assignment is a bijection. *)
   let sorted = Array.copy r.Hierarchy.Two_step.leaf_of_part in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "bijection" (Array.init 4 Fun.id) sorted
 
 let test_matching_guard () =
   Alcotest.check_raises "k > 24 rejected"
-    (Invalid_argument "Matching.exact_max_weight: k > 24") (fun () ->
-      ignore (Matching.exact_max_weight ~k:26 (fun _ _ -> 0)))
+    (Invalid_argument "Pairing.exact_max_weight: k > 24") (fun () ->
+      ignore (Pairing.exact_max_weight ~k:26 (fun _ _ -> 0)))
 
 let test_xp_multi_infeasible () =
   (* Constraint that can never be satisfied at eps = 0 with k = 2: a class

@@ -83,10 +83,10 @@ let test_topology_ancestors () =
 
 let test_steiner_validation () =
   Alcotest.check_raises "non-square"
-    (Invalid_argument "Steiner: non-square matrix") (fun () ->
+    (Invalid_argument "Steiner.validate: non-square matrix") (fun () ->
       ignore (Hierarchy.Steiner.exact [| [| 0.0; 1.0 |] |] [| 0 |]));
   Alcotest.check_raises "asymmetric"
-    (Invalid_argument "Steiner: asymmetric matrix") (fun () ->
+    (Invalid_argument "Steiner.validate: asymmetric matrix") (fun () ->
       ignore
         (Hierarchy.Steiner.exact
            [| [| 0.0; 1.0 |]; [| 2.0; 0.0 |] |]

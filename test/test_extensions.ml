@@ -321,8 +321,8 @@ let test_dag_io_roundtrip () =
     Alcotest.(check int) "n" (Hyperdag.Dag.num_nodes dag)
       (Hyperdag.Dag.num_nodes dag');
     Alcotest.(check bool) "same edge set" true
-      (List.sort compare (Hyperdag.Dag.edges dag)
-      = List.sort compare (Hyperdag.Dag.edges dag'))
+      (List.sort Support.Order.int_pair (Hyperdag.Dag.edges dag)
+      = List.sort Support.Order.int_pair (Hyperdag.Dag.edges dag'))
   done
 
 let test_dag_io_parse () =

@@ -161,7 +161,7 @@ let test_recursive_matching () =
     let ex = Hierarchy.Assignment.exact t h part in
     let leaf = rm.Hierarchy.Assignment.leaf_of_part in
     let sorted = Array.copy leaf in
-    Array.sort compare sorted;
+    Array.sort Int.compare sorted;
     Alcotest.(check (array int)) "bijective onto leaves"
       (Array.init 8 Fun.id) sorted;
     Alcotest.(check bool) "matching >= exact" true

@@ -146,7 +146,7 @@ let test_roundtrip_dag_hyperdag () =
     | Some dag' ->
         let hg', _ = HD.of_dag dag' in
         let norm h =
-          List.sort compare
+          List.sort Support.Order.int_array
             (List.init (H.num_edges h) (fun e -> H.edge_pins h e))
         in
         Alcotest.(check bool) "same hyperedge multiset" true
@@ -179,7 +179,7 @@ let qcheck_hyperdag_degree_sequence =
            let* tgt = int_range (src + 1) (n - 1) in
            return (src, tgt))
       in
-      return (D.of_edges ~n (List.sort_uniq compare edges)))
+      return (D.of_edges ~n (List.sort_uniq Support.Order.int_pair edges)))
   in
   QCheck.Test.make ~name:"hyperDAG degree sequence is dominated by 1..n"
     ~count:100

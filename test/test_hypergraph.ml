@@ -190,7 +190,7 @@ let test_hmetis_parse_reference () =
     (H.edge_pins h 1)
 
 let test_hmetis_errors () =
-  Alcotest.check_raises "empty" (Failure "Hmetis: empty input") (fun () ->
+  Alcotest.check_raises "empty" (Failure "Hmetis.of_lines: empty input") (fun () ->
       ignore (H.Hmetis.of_string ""));
   (try
      ignore (H.Hmetis.of_string "2 3\n1 2\n");

@@ -21,4 +21,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("coverage", Test_coverage.suite);
       ("analysis", Test_analysis.suite);
+      ("lint", Test_lint.suite);
     ]

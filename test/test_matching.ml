@@ -1,7 +1,7 @@
 (* Tests for maximum-weight perfect matching (the b2 = 2 hierarchy
    assignment engine). *)
 
-module M = Matching
+module M = Pairing
 
 let weight_fn_of_matrix m = fun a b -> m.(a).(b)
 
@@ -90,7 +90,7 @@ let test_two_opt_improves () =
 let test_edge_cases () =
   Alcotest.(check int) "k=0" 0 (Array.length (M.exact_max_weight ~k:0 (fun _ _ -> 0)));
   Alcotest.check_raises "odd k"
-    (Invalid_argument "Matching: node count must be even and non-negative")
+    (Invalid_argument "Pairing.max_weight: node count must be even and non-negative")
     (fun () -> ignore (M.exact_max_weight ~k:3 (fun _ _ -> 0)));
   (* Negative weights are fine. *)
   let pairs = M.exact_max_weight ~k:2 (fun _ _ -> -5) in

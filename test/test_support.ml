@@ -24,7 +24,7 @@ let test_rng_permutation () =
   let rng = Rng.create 3 in
   let p = Rng.permutation rng 50 in
   let sorted = Array.copy p in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
 
 let test_rng_sample_distinct () =
