@@ -2,22 +2,29 @@
 
    Default: run the full experiment suite (E1 .. E16) — one section per
    table/figure/claim of the paper (see DESIGN.md and EXPERIMENTS.md) —
-   followed by the Bechamel micro-benchmarks of the core kernels, and
-   write a machine-readable report (schema Obs.bench_schema_version) to
-   BENCH_<gitrev>.json.
+   through the lib/engine batch engine, followed by the Bechamel
+   micro-benchmarks of the core kernels, and write a machine-readable
+   report (schema Obs.bench_schema_version) to BENCH_<gitrev>.json.
 
    usage: main.exe [--micro] [--experiments] [E<k> ...] [--out FILE]
+                   [--jobs N] [--timeout SECS] [--cache-dir DIR] [--no-cache]
 
      --micro          micro-benchmarks only (plus any E<k> given)
      --experiments    experiment suite only
      E<k> ...         run just the named experiments
      --out FILE       write the JSON report to FILE instead of
                       BENCH_<gitrev>.json
+     --jobs N         engine worker processes for the experiment suite
+     --timeout SECS   per-experiment wall-clock budget (SIGKILL on expiry)
+     --cache-dir DIR  engine result cache (default .hypartition-cache)
+     --no-cache       recompute everything, touch no cache
 
-   Each experiment runs with observability collection on: its section of
-   the report carries wall time plus the counters, gauges, histograms and
-   the span rollup the instrumented solvers produced (cost.* histograms
-   give the cut quality of every cost evaluation without extra plumbing). *)
+   Experiments run as engine jobs: each in a forked worker with
+   observability collection on, so its section of the report carries the
+   engine timing (wall time, attempts, worker slot, cached flag) plus the
+   counters, gauges, histograms and span rollup the instrumented solvers
+   produced (cost.* histograms give the cut quality of every cost
+   evaluation without extra plumbing). *)
 
 open Bechamel
 
@@ -152,62 +159,59 @@ let git_rev () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let json_of_snapshot (snap : Obs.snapshot) =
+(* One report section per experiment outcome: id, engine timing and the
+   worker's observability snapshot (counters, gauges, histograms, span
+   rollup), lifted to the top level of the section as in bench/1. *)
+let experiment_row (o : Engine.Batch.outcome) =
+  let record = o.Engine.Batch.record in
   let open Obs.Json in
-  [
-    ( "counters",
-      Obj (List.map (fun (name, v) -> (name, Int v)) snap.Obs.counters) );
-    ( "gauges",
-      Obj (List.map (fun (name, v) -> (name, Float v)) snap.Obs.gauges) );
-    ( "histograms",
-      Obj
-        (List.map
-           (fun (name, h) ->
-             ( name,
-               Obj
-                 [
-                   ("count", Int h.Obs.h_count);
-                   ("sum", Float h.Obs.h_sum);
-                   ("min", Float h.Obs.h_min);
-                   ("max", Float h.Obs.h_max);
-                   ("last", Float h.Obs.h_last);
-                 ] ))
-           snap.Obs.histograms) );
-    ( "spans",
-      Arr
-        (List.map
-           (fun s ->
-             Obj
-               [
-                 ("path", Str s.Obs.s_path);
-                 ("count", Int s.Obs.s_count);
-                 ("total_s", Float (Support.Util.seconds_of_ns s.Obs.s_total_ns));
-                 ("min_s", Float (Support.Util.seconds_of_ns s.Obs.s_min_ns));
-                 ("max_s", Float (Support.Util.seconds_of_ns s.Obs.s_max_ns));
-               ])
-           snap.Obs.spans) );
-  ]
-
-(* Run one experiment with metric collection on; its report section is
-   the wall time plus everything the instrumentation recorded. *)
-let run_experiment_json (id, what, run) =
-  Printf.printf "\n%s\n### %s — %s\n%s\n"
-    (String.make 72 '#') id what (String.make 72 '#');
-  Obs.reset_stats ();
-  let t0 = Support.Util.monotonic_ns () in
-  run ();
-  let wall =
-    Support.Util.seconds_of_ns
-      (Int64.sub (Support.Util.monotonic_ns ()) t0)
+  let metric name =
+    List.assoc_opt name record.Engine.Record.metrics
   in
-  let snap = Obs.snapshot () in
-  let open Obs.Json in
+  let observed_fields =
+    match record.Engine.Record.observed with
+    | Some (Obj fields) -> fields
+    | _ -> []
+  in
   Obj
-    ([ ("id", Str id); ("what", Str what); ("wall_s", Float wall) ]
-    @ json_of_snapshot snap)
+    ([
+       ( "id",
+         match metric "id" with
+         | Some v -> v
+         | None -> Str (Engine.Spec.describe record.Engine.Record.job) );
+     ]
+    @ (match metric "what" with Some v -> [ ("what", v) ] | None -> [])
+    @ [
+        ( "status",
+          Str (Engine.Record.status_name record.Engine.Record.status) );
+        ( "wall_s",
+          Float record.Engine.Record.timing.Engine.Record.wall_s );
+        ("attempts", Int record.Engine.Record.timing.Engine.Record.attempts);
+        ("worker", Int record.Engine.Record.timing.Engine.Record.worker);
+        ("cached", Bool o.Engine.Batch.cached);
+      ]
+    @ observed_fields)
 
-let write_report ~out ~rev ~experiments ~micro =
+let write_report ~out ~rev ~jobs ~report ~micro =
   let open Obs.Json in
+  let engine_section =
+    match (report : Engine.Batch.report option) with
+    | None ->
+        (* Micro-only run: no experiments went through the engine. *)
+        Obj [ ("jobs", Int jobs) ]
+    | Some r ->
+        Obj
+          [
+            ("jobs", Int jobs);
+            ("wall_s", Float r.Engine.Batch.wall_s);
+            ("stats", Engine.Batch.stats_to_json r.Engine.Batch.stats);
+          ]
+  in
+  let experiments =
+    match report with
+    | None -> []
+    | Some r -> List.map experiment_row r.Engine.Batch.outcomes
+  in
   let doc =
     Obj
       [
@@ -215,6 +219,7 @@ let write_report ~out ~rev ~experiments ~micro =
         ("git_rev", Str rev);
         ("ocaml_version", Str Sys.ocaml_version);
         ("unix_time", Float (Unix.time ()));
+        ("engine", engine_section);
         ("experiments", Arr experiments);
         ( "micro",
           Arr
@@ -231,13 +236,36 @@ let write_report ~out ~rev ~experiments ~micro =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--micro] [--experiments] [E<k> ...] [--out FILE]"
+    "usage: main.exe [--micro] [--experiments] [E<k> ...] [--out FILE]\n\
+    \                [--jobs N] [--timeout SECS] [--cache-dir DIR] [--no-cache]"
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline msg;
+      usage ();
+      exit 2)
+    fmt
 
 let () =
   let micro_only = ref false in
   let experiments_only = ref false in
   let picked = ref [] in
   let out = ref None in
+  let jobs = ref 1 in
+  let timeout = ref None in
+  let cache_dir = ref Engine.Batch.default_cache_dir in
+  let no_cache = ref false in
+  let int_value flag v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> n
+    | _ -> die "%s needs a positive integer, got %S" flag v
+  in
+  let float_value flag v =
+    match float_of_string_opt v with
+    | Some f when f > 0.0 -> f
+    | _ -> die "%s needs a positive number, got %S" flag v
+  in
   let rec parse = function
     | [] -> ()
     | "--micro" :: rest ->
@@ -249,37 +277,92 @@ let () =
     | "--out" :: file :: rest ->
         out := Some file;
         parse rest
-    | [ "--out" ] ->
-        usage ();
-        exit 1
+    | "--jobs" :: v :: rest ->
+        jobs := int_value "--jobs" v;
+        parse rest
+    | "--timeout" :: v :: rest ->
+        timeout := Some (float_value "--timeout" v);
+        parse rest
+    | "--cache-dir" :: dir :: rest ->
+        cache_dir := dir;
+        parse rest
+    | "--no-cache" :: rest ->
+        no_cache := true;
+        parse rest
+    | [ ("--out" | "--jobs" | "--timeout" | "--cache-dir") as flag ] ->
+        die "%s needs a value" flag
     | id :: rest when String.length id >= 2 && id.[0] = 'E' ->
         if List.mem id Experiments.ids then begin
           picked := !picked @ [ id ];
           parse rest
         end
-        else begin
-          Printf.eprintf "unknown experiment %s; valid experiments: %s\n" id
-            (String.concat " " Experiments.ids);
-          exit 1
-        end
-    | arg :: _ ->
-        Printf.eprintf "unknown argument %s\n" arg;
-        usage ();
-        exit 1
+        else
+          die "unknown experiment %s; valid experiments: %s" id
+            (String.concat " " Experiments.ids)
+    | arg :: _ -> die "unknown argument %s" arg
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let run_experiments =
-    if !picked <> [] then
-      List.filter (fun (id, _, _) -> List.mem id !picked) Experiments.all
+  let experiment_ids =
+    if !picked <> [] then !picked
     else if !micro_only && not !experiments_only then []
-    else Experiments.all
+    else Experiments.ids
   in
-  let run_micro =
-    !micro_only || ((not !experiments_only) && !picked = [])
+  let run_micro = !micro_only || ((not !experiments_only) && !picked = []) in
+  let report =
+    if experiment_ids = [] then None
+    else begin
+      let plans =
+        List.map
+          (fun id ->
+            {
+              Engine.Spec.instance = Engine.Spec.Experiment id;
+              config = Engine.Spec.default_config;
+              seed = 0;
+              timeout_s = !timeout;
+            })
+          experiment_ids
+      in
+      let config =
+        {
+          Engine.Batch.pool =
+            {
+              Engine.Pool.default_config with
+              jobs = !jobs;
+              default_timeout_s = !timeout;
+              handle_sigint = true;
+            };
+          cache_dir = (if !no_cache then None else Some !cache_dir);
+        }
+      in
+      let on_event = function
+        | Engine.Batch.Cache_hit { record; _ } ->
+            Printf.printf "[cache]   %s\n%!"
+              (Engine.Spec.describe record.Engine.Record.job)
+        | Engine.Batch.Unrunnable { record; _ } ->
+            Printf.printf "[error]   %s\n%!"
+              (Engine.Spec.describe record.Engine.Record.job)
+        | Engine.Batch.Pool (Engine.Pool.Started { job; worker; _ }) ->
+            Printf.printf "[w%d]      %s\n%!" worker
+              (Engine.Spec.describe job)
+        | Engine.Batch.Pool (Engine.Pool.Finished { record; _ }) ->
+            Printf.printf "[%s] %6.2fs %s\n%!"
+              (Engine.Record.status_name record.Engine.Record.status)
+              record.Engine.Record.timing.Engine.Record.wall_s
+              (Engine.Spec.describe record.Engine.Record.job)
+        | Engine.Batch.Pool (Engine.Pool.Retrying { job; attempt; _ }) ->
+            Printf.printf "[retry]   %s (attempt %d)\n%!"
+              (Engine.Spec.describe job) attempt
+        | Engine.Batch.Pool (Engine.Pool.Interrupted { pending }) ->
+            Printf.printf "[sigint]  skipping %d queued experiments\n%!"
+              pending
+      in
+      match Engine.Batch.run ~on_event config plans with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2
+      | Ok report -> Some report
+    end
   in
-  Obs.set_enabled true;
-  let experiment_rows = List.map run_experiment_json run_experiments in
-  Obs.set_enabled false;
   let micro_rows = if run_micro then micro_benchmarks () else [] in
   let rev = git_rev () in
   let out =
@@ -287,4 +370,7 @@ let () =
     | Some file -> file
     | None -> Printf.sprintf "BENCH_%s.json" rev
   in
-  write_report ~out ~rev ~experiments:experiment_rows ~micro:micro_rows
+  write_report ~out ~rev ~jobs:!jobs ~report ~micro:micro_rows;
+  match report with
+  | Some r when not (Engine.Batch.all_ok r) -> exit 1
+  | _ -> ()

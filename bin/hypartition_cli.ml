@@ -578,8 +578,84 @@ let run_trace_validate path =
           else Ok ())
         (Ok ()) experiments
     in
+    (* hypartition-bench/2: experiments run through the batch engine, so
+       the report also carries the engine section (worker count, cache
+       statistics). *)
+    let* () =
+      match Obs.Json.member "engine" doc with
+      | Some (Obs.Json.Obj _ as engine) -> (
+          match Obs.Json.member "jobs" engine with
+          | Some (Obs.Json.Int j) when j >= 1 -> Ok ()
+          | _ -> Error "engine section lacks a positive integer \"jobs\"")
+      | _ -> Error "missing object field \"engine\""
+    in
     Printf.printf "valid bench report (schema %s, git %s): %d experiments\n"
       Obs.bench_schema_version rev (List.length experiments);
+    Ok ()
+  in
+  let validate_batch doc =
+    (* hypartition-batch/1: the `batch` subcommand's JSON report — engine
+       stats plus one result record per plan, each echoing its cache
+       provenance. *)
+    let int_field name json =
+      match Option.bind (Obs.Json.member name json) Obs.Json.get_int with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "missing integer field %S" name)
+    in
+    let* stats =
+      match Obs.Json.member "stats" doc with
+      | Some (Obs.Json.Obj _ as s) -> Ok s
+      | _ -> Error "missing object field \"stats\""
+    in
+    let* total = int_field "total" stats in
+    let* from_cache = int_field "from_cache" stats in
+    let* results =
+      match Obs.Json.member "results" doc with
+      | Some (Obs.Json.Arr l) -> Ok l
+      | _ -> Error "missing array field \"results\""
+    in
+    let* () =
+      if List.length results <> total then
+        Error
+          (Printf.sprintf "stats.total = %d but %d results" total
+             (List.length results))
+      else Ok ()
+    in
+    let known_status s =
+      List.mem s [ "ok"; "failed"; "timeout"; "crashed"; "skipped" ]
+    in
+    let* cached_count =
+      List.fold_left
+        (fun acc (lineno, r) ->
+          let* n = acc in
+          let* fp = str_field "fingerprint" r in
+          let* status = str_field "status" r in
+          let* () =
+            if known_status status then Ok ()
+            else
+              Error
+                (Printf.sprintf "result %d (%s): unknown status %S" lineno fp
+                   status)
+          in
+          match Obs.Json.member "cached" r with
+          | Some (Obs.Json.Bool b) -> Ok (if b then n + 1 else n)
+          | _ ->
+              Error
+                (Printf.sprintf "result %d (%s): missing boolean \"cached\""
+                   lineno fp))
+        (Ok 0)
+        (List.mapi (fun i r -> (i, r)) results)
+    in
+    let* () =
+      if cached_count <> from_cache then
+        Error
+          (Printf.sprintf "stats.from_cache = %d but %d results marked cached"
+             from_cache cached_count)
+      else Ok ()
+    in
+    Printf.printf
+      "valid batch report (schema %s): %d results, %d from cache\n"
+      Engine.Batch.schema_version total from_cache;
     Ok ()
   in
   let validate_trace lines =
@@ -694,6 +770,9 @@ let run_trace_validate path =
         | Some s when s = Obs.bench_schema_version ->
             let* doc = Obs.Json.parse (String.trim content) in
             validate_bench doc
+        | Some s when s = Engine.Batch.schema_version ->
+            let* doc = Obs.Json.parse (String.trim content) in
+            validate_batch doc
         | Some s when s = Obs.trace_schema_version -> validate_trace lines
         | Some other -> Error (Printf.sprintf "unknown schema %S" other)
         | None -> Error "first line has no schema tag")
@@ -743,7 +822,7 @@ let lint_cmd =
     Arg.(value & opt (some file) None & info [ "config" ] ~docv:"CONF" ~doc)
   in
   let rules_flag =
-    let doc = "Print the rule catalogue (SRC00..SRC07) and exit." in
+    let doc = "Print the rule catalogue (SRC00..SRC08) and exit." in
     Arg.(value & flag & info [ "rules" ] ~doc)
   in
   let format_arg =
@@ -757,7 +836,7 @@ let lint_cmd =
   let info =
     Cmd.info "lint"
       ~doc:
-        "Run the AST-level source linter (rules SRC01..SRC07) over the \
+        "Run the AST-level source linter (rules SRC01..SRC08) over the \
          repository; non-zero exit on any unsuppressed finding."
   in
   Cmd.v info
@@ -765,16 +844,220 @@ let lint_cmd =
 
 let trace_cmd =
   let file_arg =
-    let doc = "Trace (JSONL) or bench (JSON) file to validate." in
+    let doc = "Trace (JSONL), bench (JSON) or batch report (JSON) file to validate." in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
   in
   let info =
     Cmd.info "trace"
       ~doc:
-        "Validate an observability artifact (JSONL span trace or bench \
-         JSON) against its schema; non-zero exit if malformed."
+        "Validate an observability artifact (JSONL span trace, bench JSON \
+         or batch-report JSON) against its schema; non-zero exit if \
+         malformed."
   in
   Cmd.v info Term.(const run_trace_validate $ file_arg)
+
+(* ---- batch: the parallel execution engine -------------------------------- *)
+
+let batch_progress_line (ev : Engine.Batch.event) =
+  match ev with
+  | Engine.Batch.Cache_hit { record; _ } ->
+      Printf.eprintf "[cache]   %s\n%!" (Engine.Spec.describe record.Engine.Record.job)
+  | Engine.Batch.Unrunnable { record; _ } ->
+      Printf.eprintf "[error]   %s: %s\n%!"
+        (Engine.Spec.describe record.Engine.Record.job)
+        (Option.value ~default:""
+           (Engine.Record.status_detail record.Engine.Record.status))
+  | Engine.Batch.Pool (Engine.Pool.Started { job; worker; attempt; _ }) ->
+      Printf.eprintf "[w%d]      %s%s\n%!" worker (Engine.Spec.describe job)
+        (if attempt > 1 then Printf.sprintf " (attempt %d)" attempt else "")
+  | Engine.Batch.Pool (Engine.Pool.Finished { record; _ }) ->
+      Printf.eprintf "[%s] %6.2fs %s%s\n%!"
+        (Engine.Record.status_name record.Engine.Record.status)
+        record.Engine.Record.timing.Engine.Record.wall_s
+        (Engine.Spec.describe record.Engine.Record.job)
+        (match Engine.Record.status_detail record.Engine.Record.status with
+        | Some d -> ": " ^ d
+        | None -> "")
+  | Engine.Batch.Pool (Engine.Pool.Retrying { job; attempt; delay_s; _ }) ->
+      Printf.eprintf "[retry]   %s: attempt %d in %.1fs\n%!"
+        (Engine.Spec.describe job) attempt delay_s
+  | Engine.Batch.Pool (Engine.Pool.Interrupted { pending }) ->
+      Printf.eprintf "[sigint]  draining; skipping %d queued jobs\n%!" pending
+
+let run_batch trace stats manifest files experiments k eps seed algorithm
+    metric jobs timeout cache_dir no_cache retries format =
+  setup_obs trace stats;
+  let config = { Engine.Spec.k; eps; algorithm; metric } in
+  let manifest_jobs =
+    match manifest with
+    | None -> Ok []
+    | Some path ->
+        Engine.Manifest.load ~known_experiments:Experiments.ids path
+  in
+  match manifest_jobs with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  | Ok manifest_jobs -> (
+      let ad_hoc =
+        List.map
+          (fun path ->
+            { Engine.Spec.instance = Engine.Spec.Hmetis_file path; config;
+              seed; timeout_s = timeout })
+          files
+        @ List.map
+            (fun id ->
+              { Engine.Spec.instance = Engine.Spec.Experiment id;
+                config = Engine.Spec.default_config; seed = 0;
+                timeout_s = timeout })
+            experiments
+      in
+      let plans = manifest_jobs @ ad_hoc in
+      match
+        List.find_opt
+          (fun id -> not (List.mem id Experiments.ids))
+          experiments
+      with
+      | Some id ->
+          Printf.eprintf "error: unknown experiment %s; valid: %s\n" id
+            (String.concat " " Experiments.ids);
+          2
+      | None when plans = [] ->
+          Printf.eprintf
+            "error: nothing to run (give a --manifest, hypergraph FILEs or \
+             --experiment ids)\n";
+          2
+      | None -> (
+          let pool =
+            {
+              Engine.Pool.default_config with
+              jobs;
+              retries;
+              default_timeout_s = timeout;
+              silence_worker_stdout = true;
+              handle_sigint = true;
+            }
+          in
+          let batch_config =
+            { Engine.Batch.pool;
+              cache_dir = (if no_cache then None else Some cache_dir) }
+          in
+          let on_event ev =
+            match format with `Text -> batch_progress_line ev | `Json -> ()
+          in
+          match Engine.Batch.run ~on_event batch_config plans with
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              2
+          | Ok report ->
+              (match format with
+              | `Json ->
+                  print_endline
+                    (Obs.Json.to_string
+                       (Engine.Batch.report_to_json ~jobs report))
+              | `Text ->
+                  let s = report.Engine.Batch.stats in
+                  Printf.printf
+                    "jobs  : %d total, %d from cache, %d ok, %d failed, %d \
+                     timeouts, %d crashes, %d skipped (%d retries)\n"
+                    s.Engine.Batch.total s.Engine.Batch.from_cache
+                    s.Engine.Batch.ok s.Engine.Batch.failed
+                    s.Engine.Batch.timeouts s.Engine.Batch.crashes
+                    s.Engine.Batch.skipped s.Engine.Batch.retries;
+                  (match s.Engine.Batch.cache with
+                  | Some c ->
+                      Printf.printf
+                        "cache : %d hits, %d misses, %d stores, %d corrupt\n"
+                        c.Engine.Cache.hits c.Engine.Cache.misses
+                        c.Engine.Cache.stores c.Engine.Cache.corrupt
+                  | None -> ());
+                  Printf.printf "wall  : %.2fs with %d worker%s\n"
+                    report.Engine.Batch.wall_s jobs
+                    (if jobs = 1 then "" else "s"));
+              if Engine.Batch.all_ok report then 0 else 1))
+
+let batch_cmd =
+  let manifest_arg =
+    let doc =
+      Printf.sprintf "Job manifest (JSON, schema %s) to expand and run."
+        Engine.Manifest.schema_version
+    in
+    Arg.(
+      value & opt (some file) None & info [ "manifest" ] ~docv:"MANIFEST" ~doc)
+  in
+  let files_arg =
+    let doc = "hMETIS hypergraph files to partition as ad-hoc jobs." in
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let experiments_arg =
+    let doc = "Paper experiment ids (E1..) to run as ad-hoc jobs." in
+    Arg.(
+      value & opt_all string [] & info [ "experiment" ] ~docv:"ID" ~doc)
+  in
+  let spec_algorithm_arg =
+    let doc =
+      Printf.sprintf "Algorithm for ad-hoc FILE jobs: %s."
+        (String.concat ", " (List.map fst Engine.Spec.algorithms))
+    in
+    Arg.(
+      value
+      & opt (enum Engine.Spec.algorithms) Engine.Spec.Multilevel
+      & info [ "a"; "algorithm" ] ~doc)
+  in
+  let spec_metric_arg =
+    let doc = "Cost metric for ad-hoc FILE jobs: connectivity or cutnet." in
+    Arg.(
+      value
+      & opt (enum Engine.Spec.metrics) Partition.Connectivity
+      & info [ "metric" ] ~doc)
+  in
+  let jobs_arg =
+    let doc = "Worker processes to run in parallel." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Default wall-clock budget per job in seconds (SIGKILL on expiry); \
+       manifest entries may override it."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let cache_dir_arg =
+    let doc = "Result cache directory." in
+    Arg.(
+      value
+      & opt string Engine.Batch.default_cache_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the result cache (neither read nor write it)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let retries_arg =
+    let doc = "Extra attempts for crashed workers (timeouts never retry)." in
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: text or json (hypartition-batch/1)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let info =
+    Cmd.info "batch"
+      ~doc:
+        "Run a job plan (manifest and/or ad-hoc instances) through the \
+         parallel, fault-isolated execution engine with a content-addressed \
+         result cache.  Exits non-zero if any job ultimately fails."
+  in
+  Cmd.v info
+    Term.(
+      const run_batch $ trace_arg $ stats_flag $ manifest_arg $ files_arg
+      $ experiments_arg $ k_arg $ eps_arg $ seed_arg $ spec_algorithm_arg
+      $ spec_metric_arg $ jobs_arg $ timeout_arg $ cache_dir_arg
+      $ no_cache_arg $ retries_arg $ format_arg)
 
 let main =
   let info =
@@ -785,7 +1068,7 @@ let main =
     [
       partition_cmd; stats_cmd; recognize_cmd; hierarchical_cmd;
       schedule_cmd; convert_cmd; evaluate_cmd; generate_cmd; check_cmd;
-      lint_cmd; trace_cmd;
+      lint_cmd; trace_cmd; batch_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,122 @@
+(* Content-addressed on-disk result cache.
+
+   Layout: <dir>/<first 2 hex digits>/<remaining 14>.json, one
+   hypartition-result/1 record per file, keyed by the job fingerprint
+   (Spec.fingerprint).  Writes go through a temp file in the target
+   directory followed by a rename, so a reader (or a sibling worker
+   sweeping the same manifest) never observes a half-written record and
+   a SIGKILL mid-store leaves at worst a stale .tmp file, never a corrupt
+   entry.  Reads are fully validated — schema tag, fingerprint echo,
+   record shape — and any defect degrades to a miss, so a corrupted or
+   foreign file in the cache directory costs a recomputation, not a
+   crash. *)
+
+type stats = { hits : int; misses : int; stores : int; corrupt : int }
+
+type t = {
+  dir : string;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_stores : int;
+  mutable s_corrupt : int;
+}
+
+let c_hit = Obs.Counter.make "engine.cache.hit"
+let c_miss = Obs.Counter.make "engine.cache.miss"
+let c_store = Obs.Counter.make "engine.cache.store"
+let c_corrupt = Obs.Counter.make "engine.cache.corrupt"
+
+let stats t =
+  { hits = t.s_hits; misses = t.s_misses; stores = t.s_stores; corrupt = t.s_corrupt }
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir ->
+      (* A sibling worker created it first; that is fine. *)
+      ()
+  end
+
+let open_ dir =
+  match mkdir_p dir with
+  | () ->
+      if Sys.is_directory dir then
+        Ok { dir; s_hits = 0; s_misses = 0; s_stores = 0; s_corrupt = 0 }
+      else Error (Printf.sprintf "Cache.open_: %s is not a directory" dir)
+  | exception Sys_error msg -> Error (Printf.sprintf "Cache.open_: %s" msg)
+
+let path_of t fingerprint =
+  if not (Fingerprint.is_digest fingerprint) then
+    invalid_arg "Cache.path_of: malformed fingerprint";
+  Filename.concat
+    (Filename.concat t.dir (String.sub fingerprint 0 2))
+    (String.sub fingerprint 2 14 ^ ".json")
+
+let miss t =
+  t.s_misses <- t.s_misses + 1;
+  Obs.Counter.incr c_miss;
+  None
+
+let find t fingerprint =
+  let path = path_of t fingerprint in
+  if not (Sys.file_exists path) then miss t
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error _ -> miss t
+    | content -> (
+        let parsed =
+          match Obs.Json.parse (String.trim content) with
+          | Error e -> Error e
+          | Ok json -> Record.of_json json
+        in
+        match parsed with
+        | Ok record
+          when String.equal record.Record.fingerprint fingerprint
+               && Record.cacheable record ->
+            t.s_hits <- t.s_hits + 1;
+            Obs.Counter.incr c_hit;
+            Some record
+        | Ok _ | Error _ ->
+            (* Wrong fingerprint echo, non-cacheable status or parse
+               defect: treat as corruption and recompute. *)
+            t.s_corrupt <- t.s_corrupt + 1;
+            Obs.Counter.incr c_corrupt;
+            miss t)
+
+let store t record =
+  if not (Record.cacheable record) then
+    Error "Cache.store: only Done records are cacheable"
+  else begin
+    let path = path_of t record.Record.fingerprint in
+    let dir = Filename.dirname path in
+    match mkdir_p dir with
+    | exception Sys_error msg -> Error (Printf.sprintf "Cache.store: %s" msg)
+    | () -> (
+        let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+        let write () =
+          Out_channel.with_open_bin tmp (fun oc ->
+              output_string oc (Obs.Json.to_string (Record.to_json record));
+              output_char oc '\n');
+          Sys.rename tmp path
+        in
+        match write () with
+        | () ->
+            t.s_stores <- t.s_stores + 1;
+            Obs.Counter.incr c_store;
+            Ok ()
+        | exception Sys_error msg ->
+            (if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ());
+            Error (Printf.sprintf "Cache.store: %s" msg))
+  end
+
+let stats_to_json s =
+  let open Obs.Json in
+  Obj
+    [
+      ("hits", Int s.hits);
+      ("misses", Int s.misses);
+      ("stores", Int s.stores);
+      ("corrupt", Int s.corrupt);
+    ]

@@ -1,0 +1,30 @@
+(** Content-addressed on-disk result cache.
+
+    One ["hypartition-result/1"] record per file under
+    [<dir>/<hh>/<rest>.json], keyed by the job fingerprint.  Stores are
+    atomic (temp file + rename in the target directory), so concurrent
+    workers and interrupted runs never leave a half-written entry; reads
+    are fully validated and any defect — foreign file, truncation, wrong
+    fingerprint echo — degrades to a miss plus a [corrupt] tick, never a
+    crash. *)
+
+type t
+
+type stats = { hits : int; misses : int; stores : int; corrupt : int }
+
+val open_ : string -> (t, string) result
+(** Create (mkdir -p) or reuse a cache rooted at the given directory. *)
+
+val path_of : t -> string -> string
+(** The on-disk path an entry with this fingerprint lives at.  Raises
+    [Invalid_argument] on a malformed fingerprint. *)
+
+val find : t -> string -> Record.t option
+(** Validated lookup; counts a hit, or a miss (plus [corrupt] when a file
+    existed but did not validate). *)
+
+val store : t -> Record.t -> (unit, string) result
+(** Atomically persist a [Done] record; rejects non-cacheable records. *)
+
+val stats : t -> stats
+val stats_to_json : stats -> Obs.Json.t

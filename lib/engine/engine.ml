@@ -1,0 +1,10 @@
+(* Re-export root for the batch-execution engine. *)
+
+module Fingerprint = Fingerprint
+module Spec = Spec
+module Record = Record
+module Cache = Cache
+module Manifest = Manifest
+module Pool = Pool
+module Runner = Runner
+module Batch = Batch

@@ -1,0 +1,34 @@
+(* 64-bit FNV-1a over a canonical byte string — the content hash behind
+   the result cache.  Hand-rolled (no external hashing dependency) and
+   stable across OCaml versions: the algorithm is pure 64-bit integer
+   arithmetic on bytes, so the digest of a canonical job serialization is
+   reproducible anywhere. *)
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let fnv1a_64 s =
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let hex_of_int64 h =
+  (* Unsigned 16-digit lowercase hex. *)
+  Printf.sprintf "%016Lx" h
+
+let digest s = hex_of_int64 (fnv1a_64 s)
+
+let digest_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | content -> Ok (digest content)
+  | exception Sys_error msg -> Error (Printf.sprintf "Fingerprint.digest_file: %s" msg)
+
+let is_digest s =
+  String.length s = 16
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s

@@ -1,0 +1,401 @@
+(* Fork-based worker pool: the fault-isolation boundary of the engine.
+
+   Each job runs in a forked child ("worker") that reports a
+   Record.payload back over a dedicated status pipe and then _exits
+   without running the parent's at_exit handlers.  The coordinator
+   multiplexes the pipes with select, reaps children with non-blocking
+   waitpid, SIGKILLs any worker that exceeds its wall-clock budget, and
+   retries crashed workers (bounded, with exponential backoff) — so a
+   crashing, diverging or OOM-killed job costs exactly one result, never
+   the sweep.
+
+   Status pipes are drained while workers run (not after they exit): a
+   worker whose payload exceeds the kernel pipe buffer would otherwise
+   deadlock against a coordinator waiting for its exit.
+
+   SIGINT (when [handle_sigint]) drains gracefully: no new workers are
+   forked, queued jobs become Skipped records, and in-flight workers run
+   to completion — so every result that will be cached is a complete,
+   validated record.
+
+   This module is the only place in the repository allowed to call
+   Unix.fork / Unix.waitpid / Unix.kill (lint rule SRC08): process
+   management stays centralized behind this interface. *)
+
+type config = {
+  jobs : int;
+  retries : int;
+  backoff_s : float;
+  default_timeout_s : float option;
+  silence_worker_stdout : bool;
+  handle_sigint : bool;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    retries = 1;
+    backoff_s = 0.1;
+    default_timeout_s = None;
+    silence_worker_stdout = false;
+    handle_sigint = false;
+  }
+
+type event =
+  | Started of { index : int; job : Spec.job; worker : int; attempt : int }
+  | Finished of { index : int; record : Record.t }
+  | Retrying of { index : int; job : Spec.job; attempt : int; delay_s : float }
+  | Interrupted of { pending : int }
+
+let c_ok = Obs.Counter.make "engine.job.ok"
+let c_failed = Obs.Counter.make "engine.job.failed"
+let c_timeout = Obs.Counter.make "engine.job.timeout"
+let c_crashed = Obs.Counter.make "engine.job.crashed"
+let c_retried = Obs.Counter.make "engine.job.retried"
+let c_skipped = Obs.Counter.make "engine.job.skipped"
+let h_wall = Obs.Histogram.make "engine.job.wall_s"
+
+type pending = {
+  p_index : int;
+  p_fp : string;
+  p_job : Spec.job;
+  p_attempt : int;  (* 1-based *)
+  p_ready_at : int64;  (* monotonic ns; backoff gate for retries *)
+}
+
+type running = {
+  r_index : int;
+  r_fp : string;
+  r_job : Spec.job;
+  r_attempt : int;
+  r_pid : int;
+  r_fd : Unix.file_descr;
+  r_buf : Buffer.t;
+  mutable r_eof : bool;
+  r_started : int64;
+  r_deadline : int64 option;
+  r_slot : int;
+  mutable r_killed : bool;
+}
+
+let ns_of_s s = Int64.of_float (s *. 1e9)
+
+(* ---- the worker side ---------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | written -> off := !off + written
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Runs in the forked child; never returns.  Anything the worker function
+   raises becomes a Failed payload (a deterministic job-level failure);
+   only dying without completing the protocol counts as a crash. *)
+let child_main ~silence ~worker ~job write_fd =
+  if silence then begin
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stdout;
+    Unix.close devnull
+  end;
+  (* Drop sinks inherited from the coordinator: a worker must never
+     append to the parent's trace file. *)
+  Obs.reset_for_tests ();
+  let payload =
+    try worker job
+    with e ->
+      {
+        Record.p_status = `Failed ("uncaught exception: " ^ Printexc.to_string e);
+        p_metrics = [];
+        p_observed = None;
+      }
+  in
+  (match write_all write_fd (Obs.Json.to_string (Record.payload_to_json payload))
+   with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ());
+  (try Unix.close write_fd with Unix.Unix_error _ -> ());
+  (* Flush the child's own stdio, then exit WITHOUT at_exit: the
+     coordinator's handlers (obs sinks, alcotest reporting) must run
+     exactly once, in the coordinator. *)
+  (try flush stdout with Sys_error _ -> ());
+  (try flush stderr with Sys_error _ -> ());
+  Unix._exit 0
+
+(* ---- the coordinator side ----------------------------------------------- *)
+
+let spawn ~config ~worker ~slot (p : pending) =
+  (* Flush buffered output so the child does not replay it. *)
+  flush stdout;
+  flush stderr;
+  let read_fd, write_fd = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+      (try Unix.close read_fd with Unix.Unix_error _ -> ());
+      child_main ~silence:config.silence_worker_stdout ~worker ~job:p.p_job
+        write_fd
+  | pid ->
+      Unix.close write_fd;
+      let now = Support.Util.monotonic_ns () in
+      let timeout =
+        match p.p_job.Spec.timeout_s with
+        | Some t -> Some t
+        | None -> config.default_timeout_s
+      in
+      {
+        r_index = p.p_index;
+        r_fp = p.p_fp;
+        r_job = p.p_job;
+        r_attempt = p.p_attempt;
+        r_pid = pid;
+        r_fd = read_fd;
+        r_buf = Buffer.create 1024;
+        r_eof = false;
+        r_started = now;
+        r_deadline = Option.map (fun t -> Int64.add now (ns_of_s t)) timeout;
+        r_slot = slot;
+        r_killed = false;
+      }
+
+let read_chunk r =
+  let chunk = Bytes.create 65536 in
+  match Unix.read r.r_fd chunk 0 (Bytes.length chunk) with
+  | 0 ->
+      r.r_eof <- true;
+      (try Unix.close r.r_fd with Unix.Unix_error _ -> ())
+  | n -> Buffer.add_subbytes r.r_buf chunk 0 n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+(* Classify a reaped worker from its exit status and whatever arrived on
+   the status pipe. *)
+let classify r status =
+  let budget =
+    match r.r_deadline with
+    | Some d ->
+        Support.Util.seconds_of_ns (Int64.sub d r.r_started)
+    | None -> 0.0
+  in
+  match status with
+  | Unix.WEXITED 0 -> (
+      let raw = String.trim (Buffer.contents r.r_buf) in
+      match Obs.Json.parse raw with
+      | Error e -> `Crash (Printf.sprintf "worker protocol: bad payload (%s)" e)
+      | Ok json -> (
+          match Record.payload_of_json json with
+          | Error e -> `Crash (Printf.sprintf "worker protocol: %s" e)
+          | Ok payload -> `Payload payload))
+  | Unix.WEXITED code -> `Crash (Printf.sprintf "worker exited with status %d" code)
+  | Unix.WSIGNALED signal ->
+      if r.r_killed then `Timeout budget
+      else `Crash (Printf.sprintf "worker killed by signal %d" signal)
+  | Unix.WSTOPPED signal ->
+      `Crash (Printf.sprintf "worker stopped by signal %d" signal)
+
+let make_record ~r ~status ~metrics ~observed ~wall =
+  Obs.Histogram.observe h_wall wall;
+  {
+    Record.fingerprint = r.r_fp;
+    job = r.r_job;
+    status;
+    metrics;
+    observed;
+    timing = { Record.wall_s = wall; attempts = r.r_attempt; worker = r.r_slot };
+  }
+
+let skipped_record ~reason (p : pending) =
+  {
+    Record.fingerprint = p.p_fp;
+    job = p.p_job;
+    status = Record.Skipped reason;
+    metrics = [];
+    observed = None;
+    timing = Record.no_timing;
+  }
+
+let run ?(on_event = fun (_ : event) -> ()) config ~worker jobs =
+  let slots = max 1 config.jobs in
+  let interrupted = ref false in
+  let previous_sigint =
+    if config.handle_sigint then
+      Some
+        (Sys.signal Sys.sigint
+           (Sys.Signal_handle (fun _ -> interrupted := true)))
+    else None
+  in
+  let restore_sigint () =
+    match previous_sigint with
+    | Some b -> Sys.set_signal Sys.sigint b
+    | None -> ()
+  in
+  Fun.protect ~finally:restore_sigint @@ fun () ->
+  let pending =
+    ref
+      (List.map
+         (fun (index, fp, job) ->
+           {
+             p_index = index;
+             p_fp = fp;
+             p_job = job;
+             p_attempt = 1;
+             p_ready_at = 0L;
+           })
+         jobs)
+  in
+  let running = ref [] in
+  let results = ref [] in
+  let slot_free = Array.make slots true in
+  let interrupt_announced = ref false in
+  let finish index record =
+    (match record.Record.status with
+    | Record.Done -> Obs.Counter.incr c_ok
+    | Record.Failed _ -> Obs.Counter.incr c_failed
+    | Record.Timed_out _ -> Obs.Counter.incr c_timeout
+    | Record.Crashed _ -> Obs.Counter.incr c_crashed
+    | Record.Skipped _ -> Obs.Counter.incr c_skipped);
+    results := (index, record) :: !results
+  in
+  let take_ready now =
+    (* First pending job whose backoff gate has passed, preserving queue
+       order for the rest. *)
+    let rec go acc = function
+      | [] -> None
+      | p :: rest when p.p_ready_at <= now ->
+          pending := List.rev_append acc rest;
+          Some p
+      | p :: rest -> go (p :: acc) rest
+    in
+    go [] !pending
+  in
+  let free_slot () =
+    let rec go i = if slot_free.(i) then i else go (i + 1) in
+    go 0
+  in
+  let finalize now r status =
+    slot_free.(r.r_slot) <- true;
+    (* The worker has exited, so the pipe's write end is gone — drain what
+       is still buffered before classifying.  Reaping between the worker's
+       final write and the next select round must not truncate the payload
+       into a spurious protocol crash. *)
+    while not r.r_eof do
+      read_chunk r
+    done;
+    let wall = Support.Util.seconds_of_ns (Int64.sub now r.r_started) in
+    match classify r status with
+    | `Payload { Record.p_status = `Done; p_metrics; p_observed } ->
+        let record =
+          make_record ~r ~status:Record.Done ~metrics:p_metrics
+            ~observed:p_observed ~wall
+        in
+        on_event (Finished { index = r.r_index; record });
+        finish r.r_index record
+    | `Payload { Record.p_status = `Failed msg; p_metrics; p_observed } ->
+        let record =
+          make_record ~r ~status:(Record.Failed msg) ~metrics:p_metrics
+            ~observed:p_observed ~wall
+        in
+        on_event (Finished { index = r.r_index; record });
+        finish r.r_index record
+    | `Timeout budget ->
+        let record =
+          make_record ~r ~status:(Record.Timed_out budget) ~metrics:[]
+            ~observed:None ~wall
+        in
+        on_event (Finished { index = r.r_index; record });
+        finish r.r_index record
+    | `Crash msg ->
+        if r.r_attempt <= config.retries && not !interrupted then begin
+          (* Transient-looking death: bounded retry with exponential
+             backoff. *)
+          let delay =
+            config.backoff_s *. (2.0 ** float_of_int (r.r_attempt - 1))
+          in
+          Obs.Counter.incr c_retried;
+          on_event
+            (Retrying
+               { index = r.r_index; job = r.r_job; attempt = r.r_attempt + 1;
+                 delay_s = delay });
+          pending :=
+            !pending
+            @ [
+                {
+                  p_index = r.r_index;
+                  p_fp = r.r_fp;
+                  p_job = r.r_job;
+                  p_attempt = r.r_attempt + 1;
+                  p_ready_at = Int64.add now (ns_of_s delay);
+                };
+              ]
+        end
+        else begin
+          let record =
+            make_record ~r ~status:(Record.Crashed msg) ~metrics:[]
+              ~observed:None ~wall
+          in
+          on_event (Finished { index = r.r_index; record });
+          finish r.r_index record
+        end
+  in
+  while !pending <> [] || !running <> [] do
+    let now = Support.Util.monotonic_ns () in
+    if !interrupted then begin
+      if not !interrupt_announced then begin
+        interrupt_announced := true;
+        on_event (Interrupted { pending = List.length !pending })
+      end;
+      List.iter
+        (fun p -> finish p.p_index (skipped_record ~reason:"interrupted (SIGINT)" p))
+        !pending;
+      pending := []
+    end;
+    (* Fork workers into free slots. *)
+    let continue = ref true in
+    while
+      !continue && List.length !running < slots && not !interrupted
+    do
+      match take_ready now with
+      | None -> continue := false
+      | Some p ->
+          let slot = free_slot () in
+          slot_free.(slot) <- false;
+          let r = spawn ~config ~worker ~slot p in
+          on_event
+            (Started
+               { index = p.p_index; job = p.p_job; worker = slot;
+                 attempt = p.p_attempt });
+          running := r :: !running
+    done;
+    (* Drain status pipes (50 ms granularity also paces deadline and
+       backoff checks). *)
+    let fds =
+      List.filter_map (fun r -> if r.r_eof then None else Some r.r_fd) !running
+    in
+    (match Unix.select fds [] [] 0.05 with
+    | readable, _, _ ->
+        List.iter
+          (fun r -> if List.mem r.r_fd readable then read_chunk r)
+          !running
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* Enforce deadlines and reap exits. *)
+    let now = Support.Util.monotonic_ns () in
+    let still = ref [] in
+    List.iter
+      (fun r ->
+        (match r.r_deadline with
+        | Some d when (not r.r_killed) && now > d -> (
+            r.r_killed <- true;
+            try Unix.kill r.r_pid Sys.sigkill
+            with Unix.Unix_error (Unix.ESRCH, _, _) -> ())
+        | _ -> ());
+        match Unix.waitpid [ Unix.WNOHANG ] r.r_pid with
+        | 0, _ -> still := r :: !still
+        | _, status -> finalize now r status
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> still := r :: !still)
+      !running;
+    running := !still
+  done;
+  (* Results in input (index) order: callers zip against their job list. *)
+  List.map snd
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) !results)

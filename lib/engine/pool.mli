@@ -1,0 +1,50 @@
+(** Fork-based worker pool: the engine's fault-isolation boundary.
+
+    Each job runs in a forked worker process that reports a
+    {!Record.payload} over a dedicated status pipe; the coordinator
+    multiplexes pipes with [select], reaps workers without blocking,
+    SIGKILLs any worker past its wall-clock budget, and retries crashed
+    workers (bounded, exponential backoff).  A crashing, diverging or
+    OOM-killed job therefore costs exactly one result, never the sweep.
+
+    This module is the only place in the repository allowed to call
+    [Unix.fork] / [Unix.waitpid] / [Unix.kill] (lint rule SRC08). *)
+
+type config = {
+  jobs : int;  (** worker slots (clamped to ≥ 1) *)
+  retries : int;  (** extra attempts for {e crashed} workers; timeouts and
+                      deterministic failures are never retried *)
+  backoff_s : float;  (** base retry backoff; doubles per attempt *)
+  default_timeout_s : float option;
+      (** budget for jobs that carry none; [None] = unbounded *)
+  silence_worker_stdout : bool;
+      (** redirect worker stdout to /dev/null (batch CLI); workers keep
+          stderr either way *)
+  handle_sigint : bool;
+      (** install a draining SIGINT handler for the duration of {!run}:
+          queued jobs become [Skipped], in-flight workers finish, the
+          cache stays consistent *)
+}
+
+val default_config : config
+(** 1 worker, 1 retry, 0.1 s backoff, no default timeout, inherited
+    stdout, no signal handler. *)
+
+type event =
+  | Started of { index : int; job : Spec.job; worker : int; attempt : int }
+  | Finished of { index : int; record : Record.t }
+  | Retrying of { index : int; job : Spec.job; attempt : int; delay_s : float }
+  | Interrupted of { pending : int }
+
+val run :
+  ?on_event:(event -> unit) ->
+  config ->
+  worker:(Spec.job -> Record.payload) ->
+  (int * string * Spec.job) list ->
+  Record.t list
+(** [run config ~worker jobs] executes [(index, fingerprint, job)] plans
+    and returns one record per plan, in input (index) order.  [worker]
+    runs {e in the forked child}; anything it raises becomes a [Failed]
+    record (deterministic), while dying without completing the pipe
+    protocol is a [Crashed] record (retried).  [on_event] fires in the
+    coordinator, in completion order. *)

@@ -1,0 +1,19 @@
+(** Worker-side job execution.
+
+    [execute] materializes the instance (load, generate, or experiment
+    lookup), runs the work with observability collection on, audits the
+    result with the lib/analysis auditors, and packages the outcome as a
+    {!Record.payload}.  Deterministic failures (unreadable input,
+    infeasible instance, audit violation) come back as [`Failed] — only
+    process death is a crash, and only the {!Spec.Crash} drill dies on
+    purpose. *)
+
+val execute : Spec.job -> Record.payload
+(** Run one job in the current process.  Intended to be passed as the
+    [worker] of {!Pool.run}; safe to call in-process for tests (except
+    on {!Spec.Crash}, which exits). *)
+
+val snapshot_to_json : Obs.snapshot -> Obs.Json.t
+(** The ["observed"] rendering of an observability snapshot (counters,
+    gauges, histograms, span rollup) shared by result records and the
+    bench report. *)

@@ -23,10 +23,35 @@ let of_string s =
         | _ -> failwith (Printf.sprintf "Dag_io.of_string: malformed line %S" line)
       in
       let n, m = parse_two header in
+      if n < 0 || m < 0 then
+        failwith
+          (Printf.sprintf "Dag_io.of_string: negative header counts (%d %d)" n m);
       let rest = Array.of_list rest in
       if Array.length rest < m then failwith "Dag_io.of_string: truncated file";
-      let edges = List.init m (fun i -> parse_two rest.(i)) in
-      Dag.of_edges ~n edges
+      if Array.length rest > m then
+        failwith
+          (Printf.sprintf
+             "Dag_io.of_string: trailing garbage (%d lines beyond the %d \
+              edges the header promises)"
+             (Array.length rest - m) m);
+      let edges =
+        List.init m (fun i ->
+            let u, v = parse_two rest.(i) in
+            if u < 0 || u >= n || v < 0 || v >= n then
+              failwith
+                (Printf.sprintf
+                   "Dag_io.of_string: edge (%d, %d) out of range [0, %d)" u v n);
+            (u, v))
+      in
+      (* Dag.of_edges validates what only the full structure can see
+         (self-loops, duplicates, acyclicity); re-raise its defects as the
+         parse errors they are here. *)
+      match Dag.of_edges ~n edges with
+      | dag -> dag
+      | exception Invalid_argument msg ->
+          failwith (Printf.sprintf "Dag_io.of_string: invalid DAG: %s" msg)
+      | exception Dag.Cycle ->
+          failwith "Dag_io.of_string: the edge list has a cycle"
 
 let to_string dag =
   let buf = Buffer.create 1024 in

@@ -28,6 +28,9 @@ let of_lines lines =
         | [ m; n; fmt ] -> (m, n, fmt)
         | _ -> failwith "Hmetis.of_lines: malformed header"
       in
+      if m < 0 || n < 0 then
+        failwith
+          (Printf.sprintf "Hmetis.of_lines: negative header counts (%d %d)" m n);
       if fmt <> 0 && fmt <> 1 && fmt <> 10 && fmt <> 11 then
         failwith "Hmetis.of_lines: unsupported fmt";
       let has_edge_weights = fmt = 1 || fmt = 11 in
@@ -35,14 +38,35 @@ let of_lines lines =
       let rest = Array.of_list rest in
       let expected = m + if has_node_weights then n else 0 in
       if Array.length rest < expected then failwith "Hmetis.of_lines: truncated file";
+      if Array.length rest > expected then
+        failwith
+          (Printf.sprintf
+             "Hmetis.of_lines: trailing garbage (%d lines beyond the %d the \
+              header promises)"
+             (Array.length rest - expected)
+             expected);
+      let check_pin e v =
+        (* hMETIS pins are 1-indexed; anything outside [1, n] cannot name a
+           node. *)
+        if v < 1 || v > n then
+          failwith
+            (Printf.sprintf
+               "Hmetis.of_lines: pin %d of edge %d out of range [1, %d]" v
+               (e + 1) n);
+        v - 1
+      in
       let edge_weights = Array.make m 1 in
       let edges =
         Array.init m (fun e ->
             match ints_of_line rest.(e) with
+            | [] when has_edge_weights ->
+                failwith
+                  (Printf.sprintf
+                     "Hmetis.of_lines: edge %d lacks its weight" (e + 1))
             | w :: pins when has_edge_weights ->
                 edge_weights.(e) <- w;
-                Array.of_list (List.map (fun v -> v - 1) pins)
-            | pins -> Array.of_list (List.map (fun v -> v - 1) pins))
+                Array.of_list (List.map (check_pin e) pins)
+            | pins -> Array.of_list (List.map (check_pin e) pins))
       in
       let node_weights =
         if has_node_weights then
@@ -52,7 +76,13 @@ let of_lines lines =
               | _ -> failwith "Hmetis.of_lines: malformed node weight line")
         else Array.make n 1
       in
-      Hg.of_edges ~n ~node_weights ~edge_weights edges
+      (* Hg.of_edges validates what only the full structure can see
+         (duplicate pins within an edge); re-raise its Invalid_argument as
+         the parse error it is here. *)
+      match Hg.of_edges ~n ~node_weights ~edge_weights edges with
+      | hg -> hg
+      | exception Invalid_argument msg ->
+          failwith (Printf.sprintf "Hmetis.of_lines: invalid hypergraph: %s" msg)
 
 let of_string s =
   of_lines

@@ -42,6 +42,10 @@ let catalogue =
     ( "SRC07",
       "library .ml without a matching .mli: every library module is sealed \
        (pure re-export roots are exempt)" );
+    ( "SRC08",
+      "Unix.fork / Unix.waitpid / Unix.kill outside lib/engine: process \
+       management is centralized in the engine's worker pool, which owns \
+       crash isolation, reaping and timeout kills" );
   ]
 
 let rule_ids = List.map fst catalogue
@@ -85,6 +89,12 @@ let is_src04 lid = last_component lid = "time_it"
 
 let is_src06 (lid : Longident.t) =
   match lid with Ldot (Lident "Obj", "magic") -> true | _ -> false
+
+let is_src08 (lid : Longident.t) =
+  match lid with
+  | Ldot (Lident ("Unix" | "UnixLabels"), ("fork" | "waitpid" | "kill")) ->
+      true
+  | _ -> false
 
 (* Callback-taking functions whose function-literal arguments run once per
    element: List/Array iteration, plus this repo's iter_*/fold_* walkers
@@ -182,6 +192,7 @@ let reexport_only (str : Parsetree.structure) =
    whether SRC03 applies (library code only). *)
 let scan ~path (str : Parsetree.structure) =
   let in_library = String.starts_with ~prefix:"lib/" path in
+  let in_engine = String.starts_with ~prefix:"lib/engine/" path in
   let acc = ref [] in
   let add ~rule ~loc message =
     acc :=
@@ -233,7 +244,13 @@ let scan ~path (str : Parsetree.structure) =
         if is_src04 txt then
           add ~rule:"SRC04" ~loc
             "Support.Util.time_it was removed; use Obs.Span.timed";
-        if is_src06 txt then add ~rule:"SRC06" ~loc "Obj.magic is forbidden"
+        if is_src06 txt then add ~rule:"SRC06" ~loc "Obj.magic is forbidden";
+        if (not in_engine) && is_src08 txt then
+          add ~rule:"SRC08" ~loc
+            (Printf.sprintf
+               "Unix.%s outside lib/engine; process management belongs to \
+                the engine's worker pool"
+               (last_component txt))
     | Pexp_apply
         ( { pexp_desc = Pexp_ident { txt = Lident ("failwith" | "invalid_arg"); loc };
             _ },

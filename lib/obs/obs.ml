@@ -12,7 +12,7 @@
 type attr = Str of string | Int of int | Float of float | Bool of bool
 
 let trace_schema_version = "hypartition-trace/1"
-let bench_schema_version = "hypartition-bench/1"
+let bench_schema_version = "hypartition-bench/2"
 
 let now_ns = Support.Util.monotonic_ns
 

@@ -139,7 +139,10 @@ val trace_schema_version : string
 
 val bench_schema_version : string
 (** The schema tag of the machine-readable bench output
-    ([BENCH_<gitrev>.json]), ["hypartition-bench/1"]. *)
+    ([BENCH_<gitrev>.json]), ["hypartition-bench/2"]: experiments run
+    through the lib/engine batch engine, so each section carries engine
+    timing (wall time, attempts, worker slot, cached flag) and the report
+    carries an ["engine"] section with worker count and cache statistics. *)
 
 (** {1 JSON}
 

@@ -18,7 +18,7 @@ let of_string ~n s =
            | _ -> failwith (Printf.sprintf "Part_io.of_string: bad entry %S" l))
          lines)
   in
-  let k = 1 + Support.Util.max_array vector in
+  let k = if n = 0 then 1 else 1 + Support.Util.max_array vector in
   Part.create ~k vector
 
 let to_string part =

@@ -1,0 +1,495 @@
+(* lib/engine: fingerprinting, job plans, result records, the
+   content-addressed cache, manifest expansion, the fork pool's fault
+   isolation, and the batch determinism guarantee (same manifest at
+   --jobs 1 and --jobs 8 gives byte-identical deterministic records). *)
+
+module E = Engine
+
+let temp_dir prefix =
+  let base = Filename.temp_file prefix "" in
+  Sys.remove base;
+  Sys.mkdir base 0o700;
+  base
+
+let write_file path content =
+  Out_channel.with_open_bin path (fun oc -> output_string oc content)
+
+let gen_job ?(k = 2) ?(seed = 1) ?(n = 40) ?timeout_s () =
+  {
+    E.Spec.instance = E.Spec.Generated { kind = E.Spec.Uniform; n };
+    config = { E.Spec.default_config with E.Spec.k };
+    seed;
+    timeout_s;
+  }
+
+let fingerprint_exn job =
+  match E.Spec.fingerprint ~schema:E.Record.schema_version job with
+  | Ok fp -> fp
+  | Error e -> Alcotest.failf "fingerprint failed: %s" e
+
+(* ---- fingerprint --------------------------------------------------------- *)
+
+let test_fnv1a_golden () =
+  (* Published FNV-1a 64-bit test vectors. *)
+  Alcotest.(check string) "empty" "cbf29ce484222325" (E.Fingerprint.digest "");
+  Alcotest.(check string) "a" "af63dc4c8601ec8c" (E.Fingerprint.digest "a");
+  Alcotest.(check bool) "order sensitive" true
+    (E.Fingerprint.digest "ab" <> E.Fingerprint.digest "ba");
+  Alcotest.(check bool) "is_digest accepts" true
+    (E.Fingerprint.is_digest (E.Fingerprint.digest "x"));
+  Alcotest.(check bool) "is_digest rejects short" false
+    (E.Fingerprint.is_digest "abc");
+  Alcotest.(check bool) "is_digest rejects uppercase" false
+    (E.Fingerprint.is_digest "CBF29CE484222325")
+
+let test_fingerprint_identity () =
+  let fp = fingerprint_exn (gen_job ()) in
+  Alcotest.(check bool) "well-formed" true (E.Fingerprint.is_digest fp);
+  Alcotest.(check string) "deterministic" fp (fingerprint_exn (gen_job ()));
+  Alcotest.(check bool) "seed changes it" true
+    (fp <> fingerprint_exn (gen_job ~seed:2 ()));
+  Alcotest.(check bool) "config changes it" true
+    (fp <> fingerprint_exn (gen_job ~k:4 ()));
+  (* The timeout bounds a run; it does not change what the job computes,
+     so it is excluded from the identity by design. *)
+  Alcotest.(check string) "timeout excluded" fp
+    (fingerprint_exn (gen_job ~timeout_s:5.0 ()));
+  (* The result-schema version is mixed in: bumping it invalidates all
+     cached fingerprints. *)
+  match E.Spec.fingerprint ~schema:"hypartition-result/999" (gen_job ()) with
+  | Ok fp' -> Alcotest.(check bool) "schema mixed in" true (fp <> fp')
+  | Error e -> Alcotest.failf "fingerprint failed: %s" e
+
+let test_fingerprint_file_content () =
+  let dir = temp_dir "hyp_fp" in
+  let path = Filename.concat dir "inst.hgr" in
+  write_file path "1 3\n1 2\n";
+  let job timeout_s =
+    { (gen_job ~timeout_s ()) with E.Spec.instance = E.Spec.Hmetis_file path }
+  in
+  let fp1 = fingerprint_exn (job 1.0) in
+  write_file path "1 3\n2 3\n";
+  let fp2 = fingerprint_exn (job 1.0) in
+  Alcotest.(check bool) "content hashed, not the path" true (fp1 <> fp2);
+  (* An unreadable instance cannot be fingerprinted — an Error, not an
+     exception. *)
+  let missing =
+    { (gen_job ()) with
+      E.Spec.instance = E.Spec.Hmetis_file (Filename.concat dir "absent.hgr")
+    }
+  in
+  match E.Spec.fingerprint ~schema:E.Record.schema_version missing with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for a missing instance file"
+
+(* ---- spec and record codecs ---------------------------------------------- *)
+
+let test_spec_roundtrip () =
+  let jobs =
+    [
+      gen_job ~k:4 ~seed:7 ~timeout_s:2.5 ();
+      { (gen_job ()) with E.Spec.instance = E.Spec.Hmetis_file "x.hgr" };
+      { (gen_job ()) with E.Spec.instance = E.Spec.Dag_file "y.dag" };
+      { (gen_job ()) with E.Spec.instance = E.Spec.Experiment "E3" };
+      { (gen_job ()) with E.Spec.instance = E.Spec.Spin 1.5 };
+      { (gen_job ()) with E.Spec.instance = E.Spec.Crash 66 };
+    ]
+  in
+  List.iter
+    (fun job ->
+      match E.Spec.of_json (E.Spec.to_json job) with
+      | Ok job' ->
+          Alcotest.(check string) "roundtrip" (E.Spec.describe job)
+            (E.Spec.describe job');
+          Alcotest.(check bool) "identical" true (job = job')
+      | Error e -> Alcotest.failf "spec roundtrip failed: %s" e)
+    jobs;
+  match E.Spec.of_json (Obs.Json.Str "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed spec JSON must not decode"
+
+let test_record_roundtrip () =
+  let record =
+    {
+      E.Record.fingerprint = E.Fingerprint.digest "probe";
+      job = gen_job ();
+      status = E.Record.Failed "Runner.execute: boom";
+      metrics = [ ("n", Obs.Json.Int 40) ];
+      observed = Some (Obs.Json.Obj [ ("counters", Obs.Json.Obj []) ]);
+      timing = { E.Record.wall_s = 0.25; attempts = 2; worker = 3 };
+    }
+  in
+  (match E.Record.of_json (E.Record.to_json record) with
+  | Ok r ->
+      Alcotest.(check string) "deterministic part survives"
+        (E.Record.deterministic_string record)
+        (E.Record.deterministic_string r);
+      Alcotest.(check int) "attempts survive" 2 r.E.Record.timing.E.Record.attempts
+  | Error e -> Alcotest.failf "record roundtrip failed: %s" e);
+  (* The deterministic rendering quantifies over everything except timing
+     and the observability snapshot. *)
+  let shifted =
+    { record with
+      E.Record.timing = { E.Record.wall_s = 99.0; attempts = 1; worker = 0 };
+      observed = None }
+  in
+  Alcotest.(check string) "timing/observed excluded"
+    (E.Record.deterministic_string record)
+    (E.Record.deterministic_string shifted);
+  Alcotest.(check bool) "only Done is cacheable" false
+    (E.Record.cacheable record)
+
+(* ---- cache --------------------------------------------------------------- *)
+
+let done_record job =
+  {
+    E.Record.fingerprint = fingerprint_exn job;
+    job;
+    status = E.Record.Done;
+    metrics = [ ("connectivity", Obs.Json.Int 12) ];
+    observed = None;
+    timing = { E.Record.wall_s = 0.01; attempts = 1; worker = 0 };
+  }
+
+let open_cache dir =
+  match E.Cache.open_ dir with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "cache open failed: %s" e
+
+let test_cache_roundtrip () =
+  let dir = temp_dir "hyp_cache" in
+  let cache = open_cache dir in
+  let record = done_record (gen_job ()) in
+  Alcotest.(check bool) "cold lookup misses" true
+    (E.Cache.find cache record.E.Record.fingerprint = None);
+  (match E.Cache.store cache record with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "store failed: %s" e);
+  (match E.Cache.find cache record.E.Record.fingerprint with
+  | Some r ->
+      Alcotest.(check string) "identical deterministic record"
+        (E.Record.deterministic_string record)
+        (E.Record.deterministic_string r)
+  | None -> Alcotest.fail "stored record must be found");
+  let stats = E.Cache.stats cache in
+  Alcotest.(check int) "one hit" 1 stats.E.Cache.hits;
+  Alcotest.(check int) "one miss" 1 stats.E.Cache.misses;
+  Alcotest.(check int) "one store" 1 stats.E.Cache.stores;
+  (* Atomic stores leave no temp files behind. *)
+  let rec files dir =
+    Array.to_list (Sys.readdir dir)
+    |> List.concat_map (fun f ->
+           let p = Filename.concat dir f in
+           if Sys.is_directory p then files p else [ p ])
+  in
+  Alcotest.(check bool) "no temp litter" true
+    (List.for_all
+       (fun p -> Filename.check_suffix p ".json")
+       (files dir))
+
+let test_cache_rejects_defects () =
+  let dir = temp_dir "hyp_cache" in
+  let cache = open_cache dir in
+  let record = done_record (gen_job ()) in
+  (* Only Done records are cacheable. *)
+  (match
+     E.Cache.store cache
+       { record with E.Record.status = E.Record.Failed "Runner.execute: x" }
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-Done record must not store");
+  (* A corrupted entry degrades to a miss plus a corrupt tick. *)
+  let path = E.Cache.path_of cache record.E.Record.fingerprint in
+  (match Sys.mkdir (Filename.dirname path) 0o700 with
+  | () -> ()
+  | exception Sys_error _ -> ());
+  write_file path "{ not json";
+  Alcotest.(check bool) "corrupt entry is a miss" true
+    (E.Cache.find cache record.E.Record.fingerprint = None);
+  (* A record whose fingerprint echo disagrees with its filename is
+     foreign: also a miss. *)
+  write_file path
+    (Obs.Json.to_string (E.Record.to_json (done_record (gen_job ~seed:9 ()))));
+  Alcotest.(check bool) "wrong echo is a miss" true
+    (E.Cache.find cache record.E.Record.fingerprint = None);
+  let stats = E.Cache.stats cache in
+  Alcotest.(check int) "corrupt ticks" 2 stats.E.Cache.corrupt;
+  Alcotest.check_raises "malformed fingerprint"
+    (Invalid_argument "Cache.path_of: malformed fingerprint") (fun () ->
+      ignore (E.Cache.path_of cache "nope"))
+
+(* ---- manifest ------------------------------------------------------------ *)
+
+let manifest_text =
+  {|{
+  "schema": "hypartition-manifest/1",
+  "defaults": { "k": 2, "eps": 0.03, "seed": 5, "timeout_s": 30.0 },
+  "instances": [
+    { "generate": "uniform", "n": 30 },
+    { "experiment": "E1" },
+    { "spin": 9.0, "timeout_s": 1.0 }
+  ],
+  "configs": [ { "k": 2 }, { "k": 4, "algorithm": "bfs" } ],
+  "seeds": [ 1, 2, 3 ]
+}|}
+
+let test_manifest_expansion () =
+  match E.Manifest.of_string ~known_experiments:[ "E1" ] manifest_text with
+  | Error e -> Alcotest.failf "manifest failed: %s" e
+  | Ok jobs ->
+      (* 1 sweepable instance x 2 configs x 3 seeds + experiment + drill. *)
+      Alcotest.(check int) "expansion count" 8 (List.length jobs);
+      let seeds =
+        List.filter_map
+          (fun (j : E.Spec.job) ->
+            match j.E.Spec.instance with
+            | E.Spec.Generated _ -> Some (j.E.Spec.config.E.Spec.k, j.E.Spec.seed)
+            | _ -> None)
+          jobs
+      in
+      Alcotest.(check (list (pair int int)))
+        "deterministic order: configs outer, seeds inner"
+        [ (2, 1); (2, 2); (2, 3); (4, 1); (4, 2); (4, 3) ]
+        seeds;
+      let drill =
+        List.find
+          (fun (j : E.Spec.job) ->
+            match j.E.Spec.instance with E.Spec.Spin _ -> true | _ -> false)
+          jobs
+      in
+      Alcotest.(check (option (float 1e-9))) "per-entry timeout override"
+        (Some 1.0) drill.E.Spec.timeout_s;
+      Alcotest.(check bool) "drills pin config and seed" true
+        (drill.E.Spec.config = E.Spec.default_config && drill.E.Spec.seed = 0);
+      let experiment =
+        List.find
+          (fun (j : E.Spec.job) ->
+            match j.E.Spec.instance with
+            | E.Spec.Experiment _ -> true
+            | _ -> false)
+          jobs
+      in
+      Alcotest.(check (option (float 1e-9))) "defaults timeout applies"
+        (Some 30.0) experiment.E.Spec.timeout_s
+
+let test_manifest_errors () =
+  let expect name text =
+    match E.Manifest.of_string ~known_experiments:[ "E1" ] text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: manifest unexpectedly parsed" name
+  in
+  expect "not JSON" "nonsense";
+  expect "wrong schema" {|{ "schema": "hypartition-manifest/9" }|};
+  expect "no instances"
+    {|{ "schema": "hypartition-manifest/1", "instances": [] }|};
+  expect "unknown generator"
+    {|{ "schema": "hypartition-manifest/1",
+        "instances": [ { "generate": "warp", "n": 4 } ] }|};
+  expect "unknown experiment"
+    {|{ "schema": "hypartition-manifest/1",
+        "instances": [ { "experiment": "E99" } ] }|};
+  expect "unknown algorithm"
+    {|{ "schema": "hypartition-manifest/1",
+        "instances": [ { "generate": "uniform", "n": 4 } ],
+        "configs": [ { "algorithm": "quantum" } ] }|};
+  expect "invalid job shape"
+    {|{ "schema": "hypartition-manifest/1",
+        "defaults": { "k": 0 },
+        "instances": [ { "generate": "uniform", "n": 4 } ] }|}
+
+(* ---- runner (in-process) ------------------------------------------------- *)
+
+let test_runner_execute () =
+  let payload = E.Runner.execute (gen_job ~n:30 ()) in
+  (match payload.E.Record.p_status with
+  | `Done -> ()
+  | `Failed msg -> Alcotest.failf "expected Done, got Failed %s" msg);
+  (match List.assoc_opt "connectivity" payload.E.Record.p_metrics with
+  | Some (Obs.Json.Int _) -> ()
+  | _ -> Alcotest.fail "audited partition metrics expected");
+  Alcotest.(check bool) "observability snapshot captured" true
+    (payload.E.Record.p_observed <> None);
+  (* Deterministic failures are Failed payloads with parser-prefixed
+     messages, never exceptions. *)
+  let bad =
+    { (gen_job ()) with E.Spec.instance = E.Spec.Hmetis_file "/absent.hgr" }
+  in
+  match (E.Runner.execute bad).E.Record.p_status with
+  | `Failed _ -> ()
+  | `Done -> Alcotest.fail "missing instance must fail"
+
+let test_runner_determinism () =
+  let p1 = E.Runner.execute (gen_job ~n:30 ()) in
+  let p2 = E.Runner.execute (gen_job ~n:30 ()) in
+  Alcotest.(check bool) "same plan, same metrics" true
+    (p1.E.Record.p_metrics = p2.E.Record.p_metrics)
+
+(* ---- pool: fault isolation ----------------------------------------------- *)
+
+let quiet_pool jobs =
+  {
+    E.Pool.default_config with
+    E.Pool.jobs;
+    retries = 1;
+    backoff_s = 0.01;
+    silence_worker_stdout = true;
+  }
+
+let run_pool ?on_event config plans =
+  (* Pool-level tests include plans whose instance file is unreadable and
+     therefore unfingerprintable (Batch classifies those before the pool
+     ever sees them); key them by description instead. *)
+  let key job =
+    match E.Spec.fingerprint ~schema:E.Record.schema_version job with
+    | Ok fp -> fp
+    | Error _ -> E.Fingerprint.digest (E.Spec.describe job)
+  in
+  let plans = List.mapi (fun i job -> (i, key job, job)) plans in
+  E.Pool.run ?on_event config ~worker:E.Runner.execute plans
+
+let test_pool_crash_isolation () =
+  let plans =
+    [
+      gen_job ~seed:1 ~n:30 ();
+      { (gen_job ()) with E.Spec.instance = E.Spec.Crash 66 };
+      gen_job ~seed:2 ~n:30 ();
+    ]
+  in
+  let retries = ref 0 in
+  let on_event = function E.Pool.Retrying _ -> incr retries | _ -> () in
+  let records = run_pool ~on_event (quiet_pool 4) plans in
+  Alcotest.(check int) "one record per plan" 3 (List.length records);
+  let statuses =
+    List.map (fun r -> E.Record.status_name r.E.Record.status) records
+  in
+  Alcotest.(check (list string)) "crash costs one result, never the sweep"
+    [ "ok"; "crashed"; "ok" ] statuses;
+  Alcotest.(check int) "crash retried before giving up" 1 !retries;
+  let crashed = List.nth records 1 in
+  Alcotest.(check int) "attempts counted" 2
+    crashed.E.Record.timing.E.Record.attempts
+
+let test_pool_timeout_kill () =
+  let t0 = Support.Util.monotonic_ns () in
+  let plans =
+    [
+      { (gen_job ()) with
+        E.Spec.instance = E.Spec.Spin 30.0; timeout_s = Some 0.3 };
+      gen_job ~n:30 ();
+    ]
+  in
+  let records = run_pool (quiet_pool 2) plans in
+  let wall =
+    Support.Util.seconds_of_ns (Int64.sub (Support.Util.monotonic_ns ()) t0)
+  in
+  (match (List.hd records).E.Record.status with
+  | E.Record.Timed_out budget ->
+      Alcotest.(check (float 1e-9)) "records its budget" 0.3 budget
+  | s -> Alcotest.failf "expected Timed_out, got %s" (E.Record.status_name s));
+  Alcotest.(check string) "sibling unaffected" "ok"
+    (E.Record.status_name (List.nth records 1).E.Record.status);
+  (* The spinner was SIGKILLed at its budget, not run to completion. *)
+  Alcotest.(check bool) "killed promptly" true (wall < 10.0)
+
+let test_pool_failed_not_retried () =
+  let plans =
+    [ { (gen_job ()) with E.Spec.instance = E.Spec.Hmetis_file "/absent.hgr" } ]
+  in
+  let retries = ref 0 in
+  let on_event = function E.Pool.Retrying _ -> incr retries | _ -> () in
+  let records = run_pool ~on_event (quiet_pool 2) plans in
+  Alcotest.(check string) "deterministic failure" "failed"
+    (E.Record.status_name (List.hd records).E.Record.status);
+  Alcotest.(check int) "deterministic failures never retry" 0 !retries
+
+(* ---- batch: cache interplay and determinism ------------------------------ *)
+
+let batch_config ~jobs ~cache_dir =
+  {
+    E.Batch.pool = (quiet_pool jobs : E.Pool.config);
+    cache_dir;
+  }
+
+let run_batch ~jobs ~cache_dir plans =
+  match E.Batch.run (batch_config ~jobs ~cache_dir) plans with
+  | Ok report -> report
+  | Error e -> Alcotest.failf "batch failed: %s" e
+
+let test_batch_cache_second_pass () =
+  let dir = Some (temp_dir "hyp_batch") in
+  let plans =
+    [ gen_job ~seed:1 ~n:30 (); gen_job ~seed:2 ~n:30 ();
+      { (gen_job ()) with E.Spec.instance = E.Spec.Crash 3 } ]
+  in
+  let first = run_batch ~jobs:2 ~cache_dir:dir plans in
+  Alcotest.(check int) "first pass computes" 0 first.E.Batch.stats.E.Batch.from_cache;
+  Alcotest.(check int) "two ok" 2 first.E.Batch.stats.E.Batch.ok;
+  Alcotest.(check int) "one crash" 1 first.E.Batch.stats.E.Batch.crashes;
+  Alcotest.(check bool) "a failing sibling fails the batch" false
+    (E.Batch.all_ok first);
+  let second = run_batch ~jobs:2 ~cache_dir:dir plans in
+  Alcotest.(check int) "second pass hits for completed jobs" 2
+    second.E.Batch.stats.E.Batch.from_cache;
+  Alcotest.(check int) "crash is never cached" 1
+    second.E.Batch.stats.E.Batch.crashes;
+  (* Cached outcomes carry the original deterministic record. *)
+  List.iter2
+    (fun (a : E.Batch.outcome) (b : E.Batch.outcome) ->
+      if b.E.Batch.cached then
+        Alcotest.(check string) "cache returns the same record"
+          (E.Record.deterministic_string a.E.Batch.record)
+          (E.Record.deterministic_string b.E.Batch.record))
+    first.E.Batch.outcomes second.E.Batch.outcomes
+
+let test_batch_determinism_across_parallelism () =
+  (* The headline guarantee: the same manifest at --jobs 1 and --jobs 8
+     yields byte-identical records modulo the timing/observed sections. *)
+  let manifest =
+    {|{
+  "schema": "hypartition-manifest/1",
+  "defaults": { "eps": 0.2 },
+  "instances": [ { "generate": "uniform", "n": 32 } ],
+  "configs": [ { "k": 2 }, { "k": 4 } ],
+  "seeds": [ 1, 2, 3 ]
+}|}
+  in
+  let plans =
+    match E.Manifest.of_string ~known_experiments:[] manifest with
+    | Ok jobs -> jobs
+    | Error e -> Alcotest.failf "manifest failed: %s" e
+  in
+  let serial = run_batch ~jobs:1 ~cache_dir:None plans in
+  let parallel = run_batch ~jobs:8 ~cache_dir:None plans in
+  Alcotest.(check int) "six jobs" 6 (List.length serial.E.Batch.outcomes);
+  List.iter2
+    (fun (a : E.Batch.outcome) (b : E.Batch.outcome) ->
+      Alcotest.(check string) "byte-identical deterministic records"
+        (E.Record.deterministic_string a.E.Batch.record)
+        (E.Record.deterministic_string b.E.Batch.record))
+    serial.E.Batch.outcomes parallel.E.Batch.outcomes;
+  Alcotest.(check bool) "all ok serial" true (E.Batch.all_ok serial);
+  Alcotest.(check bool) "all ok parallel" true (E.Batch.all_ok parallel)
+
+let suite =
+  [
+    Alcotest.test_case "FNV-1a golden vectors" `Quick test_fnv1a_golden;
+    Alcotest.test_case "fingerprint identity" `Quick test_fingerprint_identity;
+    Alcotest.test_case "fingerprint hashes file content" `Quick
+      test_fingerprint_file_content;
+    Alcotest.test_case "spec JSON roundtrip" `Quick test_spec_roundtrip;
+    Alcotest.test_case "record JSON roundtrip" `Quick test_record_roundtrip;
+    Alcotest.test_case "cache roundtrip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "cache rejects defects" `Quick test_cache_rejects_defects;
+    Alcotest.test_case "manifest expansion" `Quick test_manifest_expansion;
+    Alcotest.test_case "manifest errors" `Quick test_manifest_errors;
+    Alcotest.test_case "runner execute" `Quick test_runner_execute;
+    Alcotest.test_case "runner determinism" `Quick test_runner_determinism;
+    Alcotest.test_case "pool crash isolation" `Quick test_pool_crash_isolation;
+    Alcotest.test_case "pool timeout kill" `Quick test_pool_timeout_kill;
+    Alcotest.test_case "pool never retries deterministic failures" `Quick
+      test_pool_failed_not_retried;
+    Alcotest.test_case "batch cache second pass" `Quick
+      test_batch_cache_second_pass;
+    Alcotest.test_case "batch determinism across parallelism" `Quick
+      test_batch_determinism_across_parallelism;
+  ]

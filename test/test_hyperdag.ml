@@ -153,6 +153,50 @@ let test_roundtrip_dag_hyperdag () =
           (norm hg = norm hg')
   done
 
+(* Malformed input must always surface as a [Failure] whose message names
+   the parser ("Dag_io. ..."), never as an escaping [Invalid_argument] or
+   [Dag.Cycle] from the constructor. *)
+let expect_dag_io_failure name text =
+  match Hyperdag.Dag_io.of_string text with
+  | _ -> Alcotest.failf "%s: parse unexpectedly succeeded" name
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (name ^ ": error names the parser")
+        true
+        (String.length msg >= 7 && String.sub msg 0 7 = "Dag_io.")
+  | exception e ->
+      Alcotest.failf "%s: expected Failure, got %s" name (Printexc.to_string e)
+
+let test_dag_io_malformed () =
+  expect_dag_io_failure "empty" "";
+  expect_dag_io_failure "truncated header" "3\n";
+  expect_dag_io_failure "negative header" "-2 1\n0 1\n";
+  expect_dag_io_failure "non-numeric edge" "2 1\n0 x\n";
+  expect_dag_io_failure "truncated edge list" "3 2\n0 1\n";
+  expect_dag_io_failure "trailing garbage" "2 1\n0 1\n1 0 extra\n";
+  expect_dag_io_failure "endpoint out of range" "2 1\n0 5\n";
+  expect_dag_io_failure "negative endpoint" "2 1\n-1 0\n";
+  expect_dag_io_failure "self-loop" "2 1\n1 1\n";
+  expect_dag_io_failure "cycle" "2 2\n0 1\n1 0\n"
+
+let test_dag_io_roundtrip () =
+  let rng = Support.Rng.create 17 in
+  for _ = 1 to 20 do
+    let n = 2 + Support.Rng.int rng 10 in
+    let edges = ref [] in
+    for v = 1 to n - 1 do
+      let d = Support.Rng.int rng (min 3 v) in
+      Array.iter
+        (fun u -> edges := (u, v) :: !edges)
+        (Support.Rng.sample_distinct rng ~n:v ~k:d)
+    done;
+    let dag = D.of_edges ~n !edges in
+    let dag' = Hyperdag.Dag_io.of_string (Hyperdag.Dag_io.to_string dag) in
+    Alcotest.(check int) "n" (D.num_nodes dag) (D.num_nodes dag');
+    let norm d = List.sort Support.Order.int_pair (D.edges d) in
+    Alcotest.(check bool) "same edges" true (norm dag = norm dag')
+  done
+
 let test_generator_assignment_validation () =
   let hg = H.of_edges ~n:3 [| [| 0; 1 |]; [| 1; 2 |] |] in
   Alcotest.(check bool) "valid witness" true
@@ -246,6 +290,8 @@ let suite =
       test_densest_hyperdag_recognized;
     Alcotest.test_case "roundtrip dag <-> hyperDAG" `Quick
       test_roundtrip_dag_hyperdag;
+    Alcotest.test_case "DAG IO malformed input" `Quick test_dag_io_malformed;
+    Alcotest.test_case "DAG IO roundtrip" `Quick test_dag_io_roundtrip;
     Alcotest.test_case "generator assignment validation" `Quick
       test_generator_assignment_validation;
     QCheck_alcotest.to_alcotest qcheck_hyperdag_degree_sequence;

@@ -197,6 +197,32 @@ let test_hmetis_errors () =
      Alcotest.fail "expected failure on truncated file"
    with Failure _ -> ())
 
+(* Malformed input must always surface as a [Failure] whose message names
+   the parser ("Hmetis. ..."), never as an escaping [Invalid_argument]
+   from a constructor deeper down. *)
+let expect_hmetis_failure name text =
+  match H.Hmetis.of_string text with
+  | _ -> Alcotest.failf "%s: parse unexpectedly succeeded" name
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        (name ^ ": error names the parser")
+        true
+        (String.length msg >= 7 && String.sub msg 0 7 = "Hmetis.")
+  | exception e ->
+      Alcotest.failf "%s: expected Failure, got %s" name (Printexc.to_string e)
+
+let test_hmetis_malformed () =
+  expect_hmetis_failure "negative header" "-1 3\n";
+  expect_hmetis_failure "non-numeric header" "two 3\n";
+  expect_hmetis_failure "unsupported fmt" "1 3 7\n1 2\n";
+  expect_hmetis_failure "truncated header" "2\n1 2\n";
+  expect_hmetis_failure "pin above range" "1 3\n1 4\n";
+  expect_hmetis_failure "pin zero (1-indexed format)" "1 3\n0 1\n";
+  expect_hmetis_failure "duplicate pin in an edge" "1 3\n2 2\n";
+  expect_hmetis_failure "trailing garbage" "1 3\n1 2\n1 3\n";
+  expect_hmetis_failure "missing node weights" "1 2 10\n1 2\n";
+  expect_hmetis_failure "malformed node weight line" "1 2 10\n1 2\n1 1\n1\n"
+
 let string_contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i =
@@ -285,6 +311,7 @@ let suite =
     Alcotest.test_case "hMETIS reference parse" `Quick
       test_hmetis_parse_reference;
     Alcotest.test_case "hMETIS errors" `Quick test_hmetis_errors;
+    Alcotest.test_case "hMETIS malformed input" `Quick test_hmetis_malformed;
     Alcotest.test_case "DOT export" `Quick test_dot_export;
     QCheck_alcotest.to_alcotest qcheck_pin_count;
     QCheck_alcotest.to_alcotest qcheck_incidence_consistent;

@@ -50,7 +50,10 @@ let test_catalogue () =
   let ids = List.map fst L.catalogue in
   Alcotest.(check (list string))
     "stable rule ids"
-    [ "SRC00"; "SRC01"; "SRC02"; "SRC03"; "SRC04"; "SRC05"; "SRC06"; "SRC07" ]
+    [
+      "SRC00"; "SRC01"; "SRC02"; "SRC03"; "SRC04"; "SRC05"; "SRC06"; "SRC07";
+      "SRC08";
+    ]
     ids;
   List.iter
     (fun (_, what) -> Alcotest.(check bool) "documented" true (what <> ""))
@@ -158,6 +161,32 @@ let test_src07 () =
   check_silent "pure re-export root is exempt" ~rule:"SRC07" r;
   let r = lint [ ("bench/fix.ml", source) ] in
   check_silent "non-library code is exempt" ~rule:"SRC07" r
+
+(* ---- SRC08: process management outside lib/engine ----------------------- *)
+
+let test_src08 () =
+  let source =
+    "let f () =\n\
+     \  match Unix.fork () with\n\
+     \  | 0 -> exit 0\n\
+     \  | pid ->\n\
+     \      Unix.kill pid Sys.sigkill;\n\
+     \      ignore (Unix.waitpid [] pid)\n"
+  in
+  let r = lint (sealed "lib/a/fix.ml" source) in
+  check_fires "fork in a library" ~rule:"SRC08" ~file:"lib/a/fix.ml" ~line:2 r;
+  check_fires "kill in a library" ~rule:"SRC08" ~file:"lib/a/fix.ml" ~line:5 r;
+  check_fires "waitpid in a library" ~rule:"SRC08" ~file:"lib/a/fix.ml" ~line:6
+    r;
+  let r = lint [ ("bin/fix.ml", source) ] in
+  check_fires "executables are covered too" ~rule:"SRC08" ~file:"bin/fix.ml"
+    ~line:2 r;
+  let r = lint (sealed "lib/engine/fix.ml" source) in
+  check_silent "lib/engine owns process management" ~rule:"SRC08" r;
+  let r =
+    lint (sealed "lib/a/fix.ml" "let pid () = Unix.getpid ()\n")
+  in
+  check_silent "other Unix calls are fine" ~rule:"SRC08" r
 
 (* ---- SRC00: parse errors ------------------------------------------------ *)
 
@@ -279,6 +308,7 @@ let suite =
     Alcotest.test_case "SRC05 raise-message prefix" `Quick test_src05;
     Alcotest.test_case "SRC06 Obj.magic" `Quick test_src06;
     Alcotest.test_case "SRC07 missing interface" `Quick test_src07;
+    Alcotest.test_case "SRC08 process management" `Quick test_src08;
     Alcotest.test_case "SRC00 parse error" `Quick test_parse_error;
     Alcotest.test_case "inline suppression" `Quick test_inline_suppression;
     Alcotest.test_case "marker hygiene" `Quick test_marker_hygiene;

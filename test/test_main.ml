@@ -22,4 +22,5 @@ let () =
       ("coverage", Test_coverage.suite);
       ("analysis", Test_analysis.suite);
       ("lint", Test_lint.suite);
+      ("engine", Test_engine.suite);
     ]

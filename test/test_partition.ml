@@ -178,6 +178,31 @@ let test_part_io_parse () =
      Alcotest.fail "expected bad entry"
    with Failure _ -> ())
 
+(* Malformed input must always surface as a [Failure] whose message names
+   the parser ("Part_io. ..."), never as an escaping [Invalid_argument]. *)
+let test_part_io_malformed () =
+  let expect name ~n text =
+    match P.Io.of_string ~n text with
+    | _ -> Alcotest.failf "%s: parse unexpectedly succeeded" name
+    | exception Failure msg ->
+        Alcotest.(check bool)
+          (name ^ ": error names the parser")
+          true
+          (String.length msg >= 8 && String.sub msg 0 8 = "Part_io.")
+    | exception e ->
+        Alcotest.failf "%s: expected Failure, got %s" name
+          (Printexc.to_string e)
+  in
+  expect "trailing garbage" ~n:2 "0\n1\n0\n";
+  expect "truncated" ~n:3 "0\n1\n";
+  expect "non-numeric entry" ~n:1 "zero\n";
+  expect "negative entry" ~n:1 "-1\n";
+  expect "entries for n=0" ~n:0 "0\n";
+  (* The degenerate empty vector parses (k = 1, no nodes). *)
+  let p = P.Io.of_string ~n:0 "% nothing\n" in
+  Alcotest.(check int) "empty vector k" 1 (P.k p);
+  Alcotest.(check (array int)) "empty vector" [||] (P.assignment p)
+
 (* Layer-wise --------------------------------------------------------------- *)
 
 let test_layerwise_feasibility () =
@@ -225,6 +250,8 @@ let suite =
       test_single_constraint_is_standard;
     Alcotest.test_case "partition IO roundtrip" `Quick test_part_io_roundtrip;
     Alcotest.test_case "partition IO parse" `Quick test_part_io_parse;
+    Alcotest.test_case "partition IO malformed input" `Quick
+      test_part_io_malformed;
     Alcotest.test_case "layerwise feasibility" `Quick
       test_layerwise_feasibility;
     Alcotest.test_case "layerwise small layers" `Quick
