@@ -53,6 +53,19 @@ let fm_pass_bench () =
               ~config:{ Solvers.Refine.default_config with eps = 0.03 }
               hg part)))
 
+(* Same kernel at k = 8: the gain cache pays for itself when recomputing a
+   move delta costs O(deg * k) but reading the cached row costs O(k). *)
+let fm_kway_bench () =
+  let rng = Support.Rng.create 3 in
+  let hg = Workloads.Rand_hg.uniform rng ~n:1000 ~m:1500 ~min_size:2 ~max_size:6 in
+  Test.make ~name:"FM refinement (n=1000, m=1500, k=8)"
+    (Staged.stage (fun () ->
+         let part = Solvers.Initial.random_balanced ~eps:0.03 rng hg ~k:8 in
+         ignore
+           (Solvers.Refine.refine
+              ~config:{ Solvers.Refine.default_config with eps = 0.03 }
+              hg part)))
+
 let coarsen_bench () =
   let rng = Support.Rng.create 4 in
   let hg = Workloads.Rand_hg.uniform rng ~n:2000 ~m:3000 ~min_size:2 ~max_size:6 in
@@ -112,7 +125,8 @@ let micro_benchmarks () =
   let tests =
     [
       connectivity_bench (); cutnet_bench (); fm_pass_bench ();
-      coarsen_bench (); multilevel_bench (); recognition_bench ();
+      fm_kway_bench (); coarsen_bench (); multilevel_bench ();
+      recognition_bench ();
       matching_bench (); kl_bench (); vcycle_bench (); hier_cost_bench ();
     ]
   in
@@ -237,7 +251,8 @@ let write_report ~out ~rev ~jobs ~report ~micro =
 let usage () =
   prerr_endline
     "usage: main.exe [--micro] [--experiments] [E<k> ...] [--out FILE]\n\
-    \                [--jobs N] [--timeout SECS] [--cache-dir DIR] [--no-cache]"
+    \                [--jobs N] [--timeout SECS] [--cache-dir DIR] [--no-cache]\n\
+    \                [--compare BASELINE.json] [--threshold PCT]"
 
 let die fmt =
   Printf.ksprintf
@@ -256,6 +271,8 @@ let () =
   let timeout = ref None in
   let cache_dir = ref Engine.Batch.default_cache_dir in
   let no_cache = ref false in
+  let compare_with = ref None in
+  let threshold = ref 25.0 in
   let int_value flag v =
     match int_of_string_opt v with
     | Some n when n >= 1 -> n
@@ -289,7 +306,14 @@ let () =
     | "--no-cache" :: rest ->
         no_cache := true;
         parse rest
-    | [ ("--out" | "--jobs" | "--timeout" | "--cache-dir") as flag ] ->
+    | "--compare" :: file :: rest ->
+        compare_with := Some file;
+        parse rest
+    | "--threshold" :: v :: rest ->
+        threshold := float_value "--threshold" v;
+        parse rest
+    | [ ("--out" | "--jobs" | "--timeout" | "--cache-dir" | "--compare"
+        | "--threshold") as flag ] ->
         die "%s needs a value" flag
     | id :: rest when String.length id >= 2 && id.[0] = 'E' ->
         if List.mem id Experiments.ids then begin
@@ -371,6 +395,23 @@ let () =
     | None -> Printf.sprintf "BENCH_%s.json" rev
   in
   write_report ~out ~rev ~jobs:!jobs ~report ~micro:micro_rows;
+  (* Regression gate: compare the report just written against a committed
+     baseline.  Experiments gate on wall time at the given threshold; micro
+     rows are informational (see Engine.Bench_compare). *)
+  (match !compare_with with
+  | None -> ()
+  | Some baseline -> (
+      match
+        Engine.Bench_compare.compare_files ~threshold_pct:!threshold ~baseline
+          ~current:out ()
+      with
+      | Error msg ->
+          Printf.eprintf "compare error: %s\n" msg;
+          exit 2
+      | Ok cmp ->
+          print_newline ();
+          print_string (Engine.Bench_compare.render cmp);
+          if not (Engine.Bench_compare.ok cmp) then exit 1));
   match report with
   | Some r when not (Engine.Batch.all_ok r) -> exit 1
   | _ -> ()

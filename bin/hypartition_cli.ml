@@ -822,7 +822,7 @@ let lint_cmd =
     Arg.(value & opt (some file) None & info [ "config" ] ~docv:"CONF" ~doc)
   in
   let rules_flag =
-    let doc = "Print the rule catalogue (SRC00..SRC08) and exit." in
+    let doc = "Print the rule catalogue (SRC00..SRC09) and exit." in
     Arg.(value & flag & info [ "rules" ] ~doc)
   in
   let format_arg =
@@ -836,11 +836,70 @@ let lint_cmd =
   let info =
     Cmd.info "lint"
       ~doc:
-        "Run the AST-level source linter (rules SRC01..SRC08) over the \
+        "Run the AST-level source linter (rules SRC01..SRC09) over the \
          repository; non-zero exit on any unsuppressed finding."
   in
   Cmd.v info
     Term.(const run_lint $ root_arg $ config_arg $ rules_flag $ format_arg)
+
+(* bench: compare a fresh bench report against a committed baseline and
+   gate on experiment wall-time regressions (the CI perf-smoke check).
+   Producing the reports is bench/main.exe's job; this subcommand only
+   reads them, so it stays cheap enough to run anywhere. *)
+
+let run_bench_compare current baseline threshold format =
+  match
+    Engine.Bench_compare.compare_files ~threshold_pct:threshold ~baseline
+      ~current ()
+  with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  | Ok cmp ->
+      (match format with
+      | `Text -> print_string (Engine.Bench_compare.render cmp)
+      | `Json ->
+          print_endline
+            (Obs.Json.to_string (Engine.Bench_compare.to_json cmp)));
+      if Engine.Bench_compare.ok cmp then 0 else 1
+
+let bench_cmd =
+  let current_arg =
+    let doc = "Current bench report (BENCH_<gitrev>.json, written by \
+               bench/main.exe)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CURRENT" ~doc)
+  in
+  let compare_arg =
+    let doc = "Baseline bench report to compare against (e.g. the committed \
+               bench/baseline/BENCH_*.json)." in
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "compare" ] ~docv:"BASELINE" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Regression threshold in percent: fail when some experiment's \
+               wall time exceeds baseline by more than this." in
+    Arg.(value & opt float 25.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: text or json (hypartition-bench-compare/1)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let info =
+    Cmd.info "bench"
+      ~doc:
+        "Compare a bench report against a baseline: per-row speedups, with \
+         a non-zero exit if any experiment's wall time regressed beyond \
+         the threshold (micro rows are informational)."
+  in
+  Cmd.v info
+    Term.(
+      const run_bench_compare $ current_arg $ compare_arg $ threshold_arg
+      $ format_arg)
 
 let trace_cmd =
   let file_arg =
@@ -1068,7 +1127,7 @@ let main =
     [
       partition_cmd; stats_cmd; recognize_cmd; hierarchical_cmd;
       schedule_cmd; convert_cmd; evaluate_cmd; generate_cmd; check_cmd;
-      lint_cmd; trace_cmd; batch_cmd;
+      lint_cmd; bench_cmd; trace_cmd; batch_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

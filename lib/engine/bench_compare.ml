@@ -1,0 +1,203 @@
+(* Compare two machine-readable bench reports (schema
+   Obs.bench_schema_version) and gate on wall-time regressions.
+
+   Rows are matched by name: experiments by their "id" field (compared on
+   engine wall seconds), micro-benchmarks by their "name" field (compared
+   on ns/run).  Rows present on only one side are reported but never gate
+   — benchmarks are added and retired over the repo's life, and an old
+   baseline must stay usable as new rows appear.
+
+   Only experiment rows gate: their wall time is dominated by solver work
+   and is what the perf-smoke CI job protects.  Micro rows are single-
+   kernel timings that swing with machine load, so they are informational
+   (still listed with their speedups).  The gate fails when some
+   experiment's wall time exceeds baseline * (1 + threshold_pct / 100). *)
+
+type kind = Experiment | Micro
+
+type row = {
+  name : string;
+  kind : kind;
+  baseline : float; (* seconds (experiments) or ns/run (micro) *)
+  current : float;
+}
+
+type report = {
+  rows : row list; (* experiments first, then micro, in baseline order *)
+  only_baseline : string list; (* rows the current report no longer has *)
+  only_current : string list; (* rows the baseline predates *)
+  threshold_pct : float;
+  baseline_rev : string;
+  current_rev : string;
+}
+
+let schema_version = "hypartition-bench-compare/1"
+
+(* speedup > 1: the current run is faster. *)
+let speedup r = if r.current > 0.0 then r.baseline /. r.current else infinity
+
+let regressed ~threshold_pct r =
+  r.kind = Experiment
+  && r.current > r.baseline *. (1.0 +. (threshold_pct /. 100.0))
+
+let regressions t = List.filter (regressed ~threshold_pct:t.threshold_pct) t.rows
+let ok t = regressions t = []
+
+(* ---- extraction ---------------------------------------------------------- *)
+
+let ( let* ) r f = match r with Error _ as e -> e | Ok v -> f v
+
+let str_field name json =
+  match Option.bind (Obs.Json.member name json) Obs.Json.get_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing string field %S" name)
+
+let num_field name json =
+  match Option.bind (Obs.Json.member name json) Obs.Json.get_float with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "missing numeric field %S" name)
+
+let arr_field name json =
+  match Obs.Json.member name json with
+  | Some (Obs.Json.Arr l) -> Ok l
+  | Some _ -> Error (Printf.sprintf "field %S is not an array" name)
+  | None -> Ok [] (* micro-only and experiments-only reports are both fine *)
+
+(* (name, kind, value) rows of one report, in file order. *)
+let rows_of_report doc =
+  let* experiments = arr_field "experiments" doc in
+  let* exp_rows =
+    List.fold_left
+      (fun acc e ->
+        let* rows = acc in
+        let* id = str_field "id" e in
+        let* wall = num_field "wall_s" e in
+        Ok ((id, Experiment, wall) :: rows))
+      (Ok []) experiments
+  in
+  let* micro = arr_field "micro" doc in
+  let* all_rows =
+    List.fold_left
+      (fun acc m ->
+        let* rows = acc in
+        let* name = str_field "name" m in
+        let* ns = num_field "ns_per_run" m in
+        Ok ((name, Micro, ns) :: rows))
+      (Ok exp_rows) micro
+  in
+  Ok (List.rev all_rows)
+
+let rev_of_report doc =
+  match Obs.Json.member "git_rev" doc with
+  | Some (Obs.Json.Str s) -> s
+  | _ -> "unknown"
+
+let compare_json ?(threshold_pct = 25.0) ~baseline ~current () =
+  let* () =
+    if threshold_pct <= 0.0 then Error "threshold must be positive" else Ok ()
+  in
+  let* base_rows = Result.map_error (fun e -> "baseline: " ^ e) (rows_of_report baseline) in
+  let* cur_rows = Result.map_error (fun e -> "current: " ^ e) (rows_of_report current) in
+  let find rows name kind =
+    List.find_map
+      (fun (n, k, v) -> if n = name && k = kind then Some v else None)
+      rows
+  in
+  let matched =
+    List.filter_map
+      (fun (name, kind, base_v) ->
+        match find cur_rows name kind with
+        | Some cur_v -> Some { name; kind; baseline = base_v; current = cur_v }
+        | None -> None)
+      base_rows
+  in
+  let only_baseline =
+    List.filter_map
+      (fun (name, kind, _) ->
+        if find cur_rows name kind = None then Some name else None)
+      base_rows
+  in
+  let only_current =
+    List.filter_map
+      (fun (name, kind, _) ->
+        if find base_rows name kind = None then Some name else None)
+      cur_rows
+  in
+  Ok
+    {
+      rows = matched;
+      only_baseline;
+      only_current;
+      threshold_pct;
+      baseline_rev = rev_of_report baseline;
+      current_rev = rev_of_report current;
+    }
+
+let load path =
+  let* text =
+    try Ok (In_channel.with_open_text path In_channel.input_all)
+    with Sys_error msg -> Error msg
+  in
+  Result.map_error (fun e -> path ^ ": " ^ e) (Obs.Json.parse text)
+
+let compare_files ?threshold_pct ~baseline ~current () =
+  let* base = load baseline in
+  let* cur = load current in
+  compare_json ?threshold_pct ~baseline:base ~current:cur ()
+
+(* ---- rendering ----------------------------------------------------------- *)
+
+let to_json t =
+  let open Obs.Json in
+  let row r =
+    Obj
+      [
+        ("name", Str r.name);
+        ("kind", Str (match r.kind with Experiment -> "experiment" | Micro -> "micro"));
+        ("baseline", Float r.baseline);
+        ("current", Float r.current);
+        ("speedup", Float (speedup r));
+        ("regressed", Bool (regressed ~threshold_pct:t.threshold_pct r));
+      ]
+  in
+  Obj
+    [
+      ("schema", Str schema_version);
+      ("baseline_rev", Str t.baseline_rev);
+      ("current_rev", Str t.current_rev);
+      ("threshold_pct", Float t.threshold_pct);
+      ("ok", Bool (ok t));
+      ("rows", Arr (List.map row t.rows));
+      ("only_baseline", Arr (List.map (fun s -> Str s) t.only_baseline));
+      ("only_current", Arr (List.map (fun s -> Str s) t.only_current));
+    ]
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "bench compare: baseline %s -> current %s (gate: experiments, +%.0f%% wall time)\n"
+    t.baseline_rev t.current_rev t.threshold_pct;
+  let value r v =
+    match r.kind with
+    | Experiment -> Printf.sprintf "%10.3f s " v
+    | Micro ->
+        if v >= 1e9 then Printf.sprintf "%9.2f s  " (v /. 1e9)
+        else if v >= 1e6 then Printf.sprintf "%9.2f ms " (v /. 1e6)
+        else Printf.sprintf "%9.2f us " (v /. 1e3)
+  in
+  List.iter
+    (fun r ->
+      add "  %-52s %s-> %s %6.2fx%s\n" r.name (value r r.baseline)
+        (value r r.current) (speedup r)
+        (if regressed ~threshold_pct:t.threshold_pct r then "  REGRESSION"
+         else if r.kind = Micro then "  (informational)"
+         else ""))
+    t.rows;
+  List.iter (fun n -> add "  %-52s only in baseline\n" n) t.only_baseline;
+  List.iter (fun n -> add "  %-52s only in current\n" n) t.only_current;
+  (match regressions t with
+  | [] -> add "ok: no experiment regressed beyond %.0f%%\n" t.threshold_pct
+  | rs ->
+      add "FAIL: %d experiment(s) regressed beyond %.0f%%\n" (List.length rs)
+        t.threshold_pct);
+  Buffer.contents buf

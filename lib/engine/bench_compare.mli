@@ -1,0 +1,62 @@
+(** Speedup / regression comparison of two bench reports (schema
+    {!Obs.bench_schema_version}), the engine behind
+    [hypartition bench --compare] and the CI perf-smoke gate.
+
+    Rows are matched by name across the two reports: experiments by [id]
+    (compared on engine wall seconds), micro-benchmarks by [name]
+    (compared on ns/run).  Rows present on only one side never gate, so an
+    old committed baseline stays usable as benchmarks are added or
+    retired.  Only experiment rows gate — micro rows are single-kernel
+    timings that swing with machine load and are reported as
+    informational. *)
+
+type kind = Experiment | Micro
+
+type row = {
+  name : string;
+  kind : kind;
+  baseline : float;  (** wall seconds (experiments) or ns/run (micro) *)
+  current : float;
+}
+
+type report = {
+  rows : row list;  (** matched rows, experiments first, baseline order *)
+  only_baseline : string list;  (** rows the current report no longer has *)
+  only_current : string list;  (** rows the baseline predates *)
+  threshold_pct : float;
+  baseline_rev : string;
+  current_rev : string;
+}
+
+val schema_version : string
+(** ["hypartition-bench-compare/1"], the [--format json] output schema. *)
+
+val speedup : row -> float
+(** [baseline / current]: above 1 means the current run is faster. *)
+
+val regressed : threshold_pct:float -> row -> bool
+(** True on experiment rows whose wall time exceeds
+    [baseline * (1 + threshold_pct / 100)]; always false on micro rows. *)
+
+val regressions : report -> row list
+val ok : report -> bool
+(** No experiment row regressed beyond the threshold. *)
+
+val compare_json :
+  ?threshold_pct:float ->
+  baseline:Obs.Json.t ->
+  current:Obs.Json.t ->
+  unit ->
+  (report, string) result
+(** Compare two parsed bench reports; [threshold_pct] defaults to 25. *)
+
+val compare_files :
+  ?threshold_pct:float ->
+  baseline:string ->
+  current:string ->
+  unit ->
+  (report, string) result
+
+val to_json : report -> Obs.Json.t
+val render : report -> string
+(** Human-readable table with per-row speedups and the gate verdict. *)

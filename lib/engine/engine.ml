@@ -8,3 +8,4 @@ module Manifest = Manifest
 module Pool = Pool
 module Runner = Runner
 module Batch = Batch
+module Bench_compare = Bench_compare

@@ -79,6 +79,16 @@ let total_edge_weight t = Support.Util.sum_array t.edge_weight
 
 let edges t = Array.init (num_edges t) (fun e -> edge_pins t e)
 
+(* Zero-copy CSR views: the refinement and coarsening hot paths iterate
+   pins millions of times, and every [iter_pins]/[iter_incident] call site
+   whose closure captures per-move state costs one allocation per call.
+   Handing out the live arrays lets those loops run allocation-free;
+   callers must treat them as read-only. *)
+let csr_pins t = t.pins
+let csr_edge_offsets t = t.edge_offsets
+let csr_incidence t = t.incidence
+let csr_node_offsets t = t.node_offsets
+
 (* Construction ----------------------------------------------------------- *)
 
 let of_edges ?node_weights ?edge_weights ~n edge_list =
@@ -236,43 +246,96 @@ let contract ?(drop_singletons = true) ?(merge_identical = true) t label count =
     if l < 0 || l >= count then invalid_arg "Hg.contract: label out of range";
     node_weights.(l) <- node_weights.(l) + t.node_weight.(v)
   done;
+  (* Mapped pin lists collapse into one flat buffer (each edge a sorted
+     slice), and identical edges merge by sorting edge indices with a
+     slice-lexicographic comparator and summing weights along equal runs —
+     no per-edge arrays, no hashing of structured keys.  The final edge
+     order (pins lexicographic, then weight) matches the old
+     list-and-table construction. *)
+  let m = num_edges t in
   let mark = Array.make count (-1) in
-  let scratch = Support.Int_vec.create () in
-  let mapped = ref [] in
-  for e = num_edges t - 1 downto 0 do
-    Support.Int_vec.clear scratch;
+  let flat = Array.make (num_pins t) 0 in
+  let starts = Array.make m 0 in
+  let lens = Array.make m 0 in
+  let kept_weight = Array.make m 0 in
+  let kept = ref 0 in
+  let cursor = ref 0 in
+  for e = 0 to m - 1 do
+    let start = !cursor in
     iter_pins t e (fun v ->
         let l = label.(v) in
         if mark.(l) <> e then begin
           mark.(l) <- e;
-          Support.Int_vec.push scratch l
+          flat.(!cursor) <- l;
+          incr cursor
         end);
-    let pins = Support.Int_vec.to_array scratch in
-    if (not drop_singletons) || Array.length pins > 1 then begin
-      Array.sort Int.compare pins;
-      mapped := (pins, t.edge_weight.(e)) :: !mapped
+    let len = !cursor - start in
+    if (not drop_singletons) || len > 1 then begin
+      Support.Util.sort_int_range flat start len;
+      starts.(!kept) <- start;
+      lens.(!kept) <- len;
+      kept_weight.(!kept) <- t.edge_weight.(e);
+      incr kept
+    end
+    else cursor := start
+  done;
+  let kept = !kept in
+  (* Lexicographic slice order with length as the tie-break prefix rule
+     (as Support.Order.int_array), then weight. *)
+  let compare_kept a b =
+    let sa = starts.(a) and sb = starts.(b) in
+    let la = lens.(a) and lb = lens.(b) in
+    let shared = if la < lb then la else lb in
+    let rec go i =
+      if i = shared then Int.compare la lb
+      else
+        let c = Int.compare flat.(sa + i) flat.(sb + i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    let c = go 0 in
+    if c <> 0 then c else Int.compare kept_weight.(a) kept_weight.(b)
+  in
+  let idx = Array.init kept (fun i -> i) in
+  Array.sort compare_kept idx;
+  let equal_pins a b =
+    lens.(a) = lens.(b)
+    &&
+    let sa = starts.(a) and sb = starts.(b) in
+    let rec go i =
+      i = lens.(a) || (flat.(sa + i) = flat.(sb + i) && go (i + 1))
+    in
+    go 0
+  in
+  let out_pins = ref [] and out_weights = ref [] and out = ref 0 in
+  let emit i w =
+    out_pins := Array.sub flat starts.(i) lens.(i) :: !out_pins;
+    out_weights := w :: !out_weights;
+    incr out
+  in
+  let i = ref 0 in
+  while !i < kept do
+    let first = idx.(!i) in
+    if merge_identical then begin
+      let w = ref kept_weight.(first) in
+      incr i;
+      while !i < kept && equal_pins first idx.(!i) do
+        w := !w + kept_weight.(idx.(!i));
+        incr i
+      done;
+      emit first !w
+    end
+    else begin
+      emit first kept_weight.(first);
+      incr i
     end
   done;
-  let combined =
-    if not merge_identical then !mapped
-    else begin
-      let table = Hashtbl.create 64 in
-      List.iter
-        (fun (pins, w) ->
-          match Hashtbl.find_opt table pins with
-          | Some total -> Hashtbl.replace table pins (total + w)
-          | None -> Hashtbl.add table pins w)
-        !mapped;
-      Hashtbl.fold (fun pins w acc -> (pins, w) :: acc) table []
-    end
-  in
-  let combined =
-    List.sort Support.Order.(pair int_array Int.compare) combined
-  in
-  let arr = Array.of_list combined in
-  of_edges ~n:count ~node_weights
-    ~edge_weights:(Array.map snd arr)
-    (Array.map fst arr)
+  let edge_weights = Array.make !out 0 in
+  let edge_pins = Array.make !out [||] in
+  List.iteri
+    (fun j w -> edge_weights.(!out - 1 - j) <- w)
+    !out_weights;
+  List.iteri (fun j p -> edge_pins.(!out - 1 - j) <- p) !out_pins;
+  of_edges ~n:count ~node_weights ~edge_weights edge_pins
 
 let connected_components t =
   let dsu = Support.Dsu.create t.n in

@@ -1,6 +1,6 @@
 (* Library root: hyplint, the AST-level source linter.
 
-   Rules (stable ids SRC00..SRC07) live in Rules, suppression parsing in
+   Rules (stable ids SRC00..SRC09) live in Rules, suppression parsing in
    Suppress, and the tree walk / reporting in Engine.  The CLI surface
    is `hypartition lint`. *)
 

@@ -2,7 +2,7 @@
 
     A compiler-libs pass ([Parse] + [Ast_iterator]) over every [.ml] /
     [.mli] under [lib/], [bin/], [bench/] and [test/], with repo-specific
-    rules (stable ids [SRC01]..[SRC07], catalogued in DESIGN.md), inline
+    rules (stable ids [SRC01]..[SRC09], catalogued in DESIGN.md), inline
     [(* hyplint: allow ... — reason *)] suppressions and a [lint.config]
     allowlist.  The repo gates on zero unsuppressed findings. *)
 

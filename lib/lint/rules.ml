@@ -46,6 +46,12 @@ let catalogue =
       "Unix.fork / Unix.waitpid / Unix.kill outside lib/engine: process \
        management is centralized in the engine's worker pool, which owns \
        crash isolation, reaping and timeout kills" );
+    ( "SRC09",
+      "polymorphic Hashtbl in a hot-path module (lib/solvers, \
+       lib/hypergraph): generic hashing walks structured keys (int arrays, \
+       tuples) at runtime and allocates per operation — use a flat \
+       scratch array with a touched-list or stamp reset (Workspace), \
+       sort-based dedup, or a specialized Hashtbl.Make" );
   ]
 
 let rule_ids = List.map fst catalogue
@@ -94,6 +100,17 @@ let is_src08 (lid : Longident.t) =
   match lid with
   | Ldot (Lident ("Unix" | "UnixLabels"), ("fork" | "waitpid" | "kill")) ->
       true
+  | _ -> false
+
+(* Any value of the polymorphic [Hashtbl] module.  [hash]/[seeded_hash]
+   are SRC01's everywhere and excluded here to avoid double reports;
+   functorial [Hashtbl.Make(..)] tables never appear as [Hashtbl.*] value
+   identifiers, so they pass (their hash function is monomorphic). *)
+let is_src09 (lid : Longident.t) =
+  match lid with
+  | Ldot (Lident "Hashtbl", ("hash" | "seeded_hash")) -> false
+  | Ldot (Lident "Hashtbl", _) -> true
+  | Ldot (Ldot (Lident "Stdlib", "Hashtbl"), _) -> true
   | _ -> false
 
 (* Callback-taking functions whose function-literal arguments run once per
@@ -193,6 +210,10 @@ let reexport_only (str : Parsetree.structure) =
 let scan ~path (str : Parsetree.structure) =
   let in_library = String.starts_with ~prefix:"lib/" path in
   let in_engine = String.starts_with ~prefix:"lib/engine/" path in
+  let in_hot_path =
+    String.starts_with ~prefix:"lib/solvers/" path
+    || String.starts_with ~prefix:"lib/hypergraph/" path
+  in
   let acc = ref [] in
   let add ~rule ~loc message =
     acc :=
@@ -250,6 +271,13 @@ let scan ~path (str : Parsetree.structure) =
             (Printf.sprintf
                "Unix.%s outside lib/engine; process management belongs to \
                 the engine's worker pool"
+               (last_component txt));
+        if in_hot_path && is_src09 txt then
+          add ~rule:"SRC09" ~loc
+            (Printf.sprintf
+               "Hashtbl.%s in a hot-path module: polymorphic hashing of \
+                structured keys; use a Workspace scratch array, sort-based \
+                dedup or Hashtbl.Make"
                (last_component txt))
     | Pexp_apply
         ( { pexp_desc = Pexp_ident { txt = Lident ("failwith" | "invalid_arg"); loc };

@@ -1,6 +1,6 @@
 (** The hyplint rule set: syntactic checks over the OCaml Parsetree.
 
-    Each rule id is stable ([SRC01]..[SRC08], with [SRC00] reserved for
+    Each rule id is stable ([SRC01]..[SRC09], with [SRC00] reserved for
     lint hygiene itself) and documented in the {!catalogue}; findings
     carry the exact [file:line] so suppression markers and fixture tests
     can target them. *)
@@ -15,16 +15,17 @@ type finding = {
 }
 
 val catalogue : (string * string) list
-(** [rule id, one-line rationale] for every rule, [SRC00]..[SRC08]. *)
+(** [rule id, one-line rationale] for every rule, [SRC00]..[SRC09]. *)
 
 val rule_ids : string list
 
 val scan : path:string -> Parsetree.structure -> finding list
-(** Run the expression-level rules (SRC01..SRC06, SRC08) over one parsed
-    implementation.  [path] is root-relative and decides whether SRC03
-    applies (it only covers [lib/]) and whether SRC08 is exempt (only
-    [lib/engine/] may manage processes).  Findings come back in source
-    order. *)
+(** Run the expression-level rules (SRC01..SRC06, SRC08, SRC09) over one
+    parsed implementation.  [path] is root-relative and decides whether
+    SRC03 applies (it only covers [lib/]), whether SRC08 is exempt (only
+    [lib/engine/] may manage processes) and whether SRC09 applies (the
+    hot-path modules under [lib/solvers/] and [lib/hypergraph/]).
+    Findings come back in source order. *)
 
 val reexport_only : Parsetree.structure -> bool
 (** Whether a compilation unit consists solely of [module X = Path] /

@@ -12,7 +12,25 @@ type level = {
   label : int array; (* fine node -> coarse node *)
 }
 
-let cluster ?within rng hg ~max_cluster_weight =
+(* Iterative leader lookup with full path compression: after a call every
+   node on the chain points directly at the root, so adversarial merge
+   orders cannot grow chains (the recursive find they replace both risked
+   deep recursion and paid O(chain) per lookup). *)
+let find leader v =
+  let root = ref v in
+  while leader.(!root) <> !root do
+    root := leader.(!root)
+  done;
+  let root = !root in
+  let c = ref v in
+  while leader.(!c) <> root do
+    let next = leader.(!c) in
+    leader.(!c) <- root;
+    c := next
+  done;
+  root
+
+let cluster ?workspace ?within rng hg ~max_cluster_weight =
   let n = Hypergraph.num_nodes hg in
   let same_side u v =
     match within with None -> true | Some part -> part.(u) = part.(v)
@@ -20,13 +38,20 @@ let cluster ?within rng hg ~max_cluster_weight =
   let leader = Array.init n (fun v -> v) in
   (* cluster weight, indexed by current leader *)
   let weight = Array.init n (fun v -> Hypergraph.node_weight hg v) in
-  let rec find v = if leader.(v) = v then v else find leader.(v) in
   let order = Support.Rng.permutation rng n in
-  let rating = Hashtbl.create 64 in
+  (* Candidate ratings live in a flat score array, reset through the
+     touched-candidate list — no per-node hash table, no clearing of
+     untouched entries. *)
+  let ws = match workspace with Some ws -> ws | None -> Workspace.create () in
+  Workspace.ensure ws ~n ~k:1;
+  let score = ws.Workspace.score in
+  let seen = ws.Workspace.seen in
+  let cand = ws.Workspace.cand in
   Array.iter
     (fun v ->
       if leader.(v) = v then begin
-        Hashtbl.reset rating;
+        let stamp = Workspace.next_stamp ws in
+        Support.Int_vec.clear cand;
         Hypergraph.iter_incident hg v (fun e ->
             let size = Hypergraph.edge_size hg e in
             if size > 1 && size <= 64 then begin
@@ -35,53 +60,57 @@ let cluster ?within rng hg ~max_cluster_weight =
                 /. float_of_int (size - 1)
               in
               Hypergraph.iter_pins hg e (fun u ->
-                  let lu = find u in
-                  if lu <> v && same_side u v then
-                    Hashtbl.replace rating lu
-                      (r
-                      +.
-                      match Hashtbl.find_opt rating lu with
-                      | Some x -> x
-                      | None -> 0.0))
+                  let lu = find leader u in
+                  if lu <> v && same_side u v then begin
+                    if seen.(lu) <> stamp then begin
+                      seen.(lu) <- stamp;
+                      score.(lu) <- 0.0;
+                      Support.Int_vec.push cand lu
+                    end;
+                    score.(lu) <- score.(lu) +. r
+                  end)
             end);
-        let best = ref None in
-        Hashtbl.iter
-          (fun u r ->
-            if weight.(u) + weight.(v) <= max_cluster_weight then
-              match !best with
-              | Some (_, br) when br >= r -> ()
-              | _ -> best := Some (u, r))
-          rating;
-        match !best with
-        | Some (u, _) ->
-            leader.(v) <- u;
-            weight.(u) <- weight.(u) + weight.(v)
-        | None -> ()
+        let best = ref (-1) and best_r = ref 0.0 in
+        Support.Int_vec.iter
+          (fun u ->
+            if
+              weight.(u) + weight.(v) <= max_cluster_weight
+              && (!best < 0 || score.(u) > !best_r)
+            then begin
+              best := u;
+              best_r := score.(u)
+            end)
+          cand;
+        if !best >= 0 then begin
+          let u = !best in
+          leader.(v) <- u;
+          weight.(u) <- weight.(u) + weight.(v)
+        end
       end)
     order;
   (* Compact leaders to consecutive labels. *)
   let label = Array.make n (-1) in
   let next = ref 0 in
   for v = 0 to n - 1 do
-    let r = find v in
+    let r = find leader v in
     if label.(r) < 0 then begin
       label.(r) <- !next;
       incr next
     end
   done;
   for v = 0 to n - 1 do
-    label.(v) <- label.(find v)
+    label.(v) <- label.(find leader v)
   done;
   (label, !next)
 
 let c_levels = Obs.Counter.make "coarsen.levels"
 let h_shrink = Obs.Histogram.make "coarsen.shrink"
 
-let one_level ?within rng hg ~max_cluster_weight =
+let one_level ?workspace ?within rng hg ~max_cluster_weight =
   Obs.Span.with_ "coarsen.level"
     ~attrs:[ ("nodes_in", Obs.Int (Hypergraph.num_nodes hg)) ]
     (fun () ->
-      let label, count = cluster ?within rng hg ~max_cluster_weight in
+      let label, count = cluster ?workspace ?within rng hg ~max_cluster_weight in
       if count = Hypergraph.num_nodes hg then None
       else begin
         let coarse = Hypergraph.contract hg label count in
@@ -95,7 +124,7 @@ let one_level ?within rng hg ~max_cluster_weight =
 (* Full coarsening hierarchy down to [stop_nodes] nodes (or until clustering
    stalls).  The max cluster weight keeps every coarse node small enough for
    an eps-balanced k-way split to remain possible. *)
-let hierarchy rng hg ~k ~stop_nodes =
+let hierarchy ?workspace rng hg ~k ~stop_nodes =
   Obs.Span.with_ "coarsen"
     ~attrs:
       [
@@ -109,7 +138,7 @@ let hierarchy rng hg ~k ~stop_nodes =
       let rec go acc current =
         if Hypergraph.num_nodes current <= stop_nodes then (current, List.rev acc)
         else
-          match one_level rng current ~max_cluster_weight with
+          match one_level ?workspace rng current ~max_cluster_weight with
           | None -> (current, List.rev acc)
           | Some level ->
               let shrink =

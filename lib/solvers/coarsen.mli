@@ -6,6 +6,7 @@ type level = {
 }
 
 val cluster :
+  ?workspace:Workspace.t ->
   ?within:int array ->
   Support.Rng.t ->
   Hypergraph.t ->
@@ -13,9 +14,12 @@ val cluster :
   int array * int
 (** One clustering pass; [(label, cluster_count)].  With [within], nodes
     merge only when they share the given label (used by v-cycles to keep
-    clusters inside partition classes). *)
+    clusters inside partition classes).  Ratings accumulate in the
+    [workspace]'s flat score array with a touched-list reset; a private
+    workspace is used when none is given. *)
 
 val one_level :
+  ?workspace:Workspace.t ->
   ?within:int array ->
   Support.Rng.t ->
   Hypergraph.t ->
@@ -24,6 +28,7 @@ val one_level :
 (** [None] when clustering made no progress. *)
 
 val hierarchy :
+  ?workspace:Workspace.t ->
   Support.Rng.t ->
   Hypergraph.t ->
   k:int ->

@@ -44,7 +44,14 @@ let random_balanced ?variant ~eps rng hg ~k =
   Audit_gate.checked hg (Partition.create ~k colors)
 
 (* BFS growth: grow part after part from random seeds, following hyperedge
-   adjacency, stopping each part near the ideal weight W/k. *)
+   adjacency, stopping each part near the ideal weight W/k.
+
+   Stamp arrays keep the frontier duplicate-free: a node enters the queue
+   at most once per part, so one part costs O(n + pins) instead of the
+   O(pins^2) blowups dense instances used to hit when every placement
+   re-enqueued whole pin lists.  The visit order is unchanged — duplicate
+   entries were always dead on arrival (already colored, or blocked for
+   this part), so popping only first occurrences is the same sequence. *)
 let bfs_growth ?variant ~eps rng hg ~k =
  Obs.Span.with_ "initial.bfs_growth" @@ fun () ->
   let n = Hypergraph.num_nodes hg in
@@ -54,14 +61,16 @@ let bfs_growth ?variant ~eps rng hg ~k =
   let order = Support.Rng.permutation rng n in
   let queue = Queue.create () in
   let next_seed = ref 0 in
-  (* [blocked] marks nodes that failed to fit in the current part, so an
-     unplaceable seed is never re-picked (with weighted nodes it otherwise
-     would be, forever). *)
-  let blocked = Array.make n false in
-  let pick_seed () =
+  (* Per-part stamps (the part index): [blocked] marks nodes that failed
+     to fit in the current part, so an unplaceable seed is never re-picked
+     (with weighted nodes it otherwise would be, forever); [queued] marks
+     frontier membership. *)
+  let blocked = Array.make n (-1) in
+  let queued = Array.make n (-1) in
+  let pick_seed c =
     while
       !next_seed < n
-      && (colors.(order.(!next_seed)) >= 0 || blocked.(order.(!next_seed)))
+      && (colors.(order.(!next_seed)) >= 0 || blocked.(order.(!next_seed)) = c)
     do
       incr next_seed
     done;
@@ -69,33 +78,41 @@ let bfs_growth ?variant ~eps rng hg ~k =
   in
   let weights = Array.make k 0 in
   for c = 0 to k - 1 do
-    Array.fill blocked 0 n false;
     (* Target: leave enough weight for the remaining parts. *)
     let target = min cap (Support.Util.ceil_div total k) in
-    (match pick_seed () with Some s -> Queue.add s queue | None -> ());
+    (match pick_seed c with
+    | Some s ->
+        queued.(s) <- c;
+        Queue.add s queue
+    | None -> ());
     let continue = ref true in
     while !continue do
       if Queue.is_empty queue then begin
         (* Disconnected remainder: re-seed if the part is still light. *)
         if weights.(c) < target then
-          match pick_seed () with
-          | Some s -> Queue.add s queue
+          match pick_seed c with
+          | Some s ->
+              queued.(s) <- c;
+              Queue.add s queue
           | None -> continue := false
         else continue := false
       end
       else begin
         let v = Queue.pop queue in
-        if colors.(v) < 0 && not blocked.(v) then begin
+        if colors.(v) < 0 && blocked.(v) <> c then begin
           let w = Hypergraph.node_weight hg v in
           if weights.(c) + w <= cap && weights.(c) < target then begin
             colors.(v) <- c;
             weights.(c) <- weights.(c) + w;
             Hypergraph.iter_incident hg v (fun e ->
                 Hypergraph.iter_pins hg e (fun u ->
-                    if colors.(u) < 0 then Queue.add u queue))
+                    if colors.(u) < 0 && queued.(u) <> c then begin
+                      queued.(u) <- c;
+                      Queue.add u queue
+                    end))
           end
           else if weights.(c) >= target then continue := false
-          else blocked.(v) <- true
+          else blocked.(v) <- c
         end
       end
     done;

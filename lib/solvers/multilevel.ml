@@ -31,11 +31,12 @@ let refine_config (c : config) : Refine.config =
     variant = c.variant;
     metric = c.metric;
     max_passes = c.refine_passes;
+    max_fruitless = Refine.default_config.Refine.max_fruitless;
   }
 
 (* Portfolio at the coarsest level: several random-balanced and BFS-growth
    starts, each FM-refined; keep the best, preferring feasible ones. *)
-let initial_partition cfg rng hg ~k =
+let initial_partition cfg ws rng hg ~k =
   Obs.Span.with_ "multilevel.initial"
     ~attrs:
       [
@@ -55,7 +56,7 @@ let initial_partition cfg rng hg ~k =
           ]
       in
       let score part =
-        let cost = Refine.refine ~config:(refine_config cfg) hg part in
+        let cost = Refine.refine ~config:(refine_config cfg) ~workspace:ws hg part in
         let feasible =
           Partition.is_balanced ~variant:cfg.variant ~eps:cfg.eps hg part
         in
@@ -92,8 +93,12 @@ let partition ?(config = default_config) rng hg ~k =
         ]
       (fun () ->
         Obs.Histogram.observe_int h_instance_nodes (Hypergraph.num_nodes hg);
+        (* One workspace for the whole solve: scratch arrays, gain rows and
+           the bucket queue are shared by every clustering level, initial
+           candidate and uncoarsening refinement below. *)
+        let ws = Workspace.create () in
         let coarsest, levels =
-          Coarsen.hierarchy rng hg ~k
+          Coarsen.hierarchy ~workspace:ws rng hg ~k
             ~stop_nodes:(max config.stop_nodes (4 * k))
         in
         let levels = Array.of_list levels in
@@ -106,15 +111,15 @@ let partition ?(config = default_config) rng hg ~k =
         let hypergraph_at d =
           if d = 0 then hg else levels.(d - 1).Coarsen.coarse
         in
-        let part = ref (initial_partition config rng coarsest ~k) in
+        let part = ref (initial_partition config ws rng coarsest ~k) in
         Obs.Span.with_ "multilevel.uncoarsen"
           ~attrs:[ ("levels", Obs.Int (Array.length levels)) ]
           (fun () ->
             for d = Array.length levels - 1 downto 0 do
               part := Coarsen.project levels.(d) !part;
               ignore
-                (Refine.refine ~config:(refine_config config) (hypergraph_at d)
-                   !part)
+                (Refine.refine ~config:(refine_config config) ~workspace:ws
+                   (hypergraph_at d) !part)
             done);
         Audit_gate.checked hg !part)
 
@@ -143,6 +148,7 @@ let vcycle ?(config = default_config) ?(cycles = 1) rng hg part =
   let k = Partition.k part in
   let total = Hypergraph.total_node_weight hg in
   let max_cluster_weight = max 1 (Support.Util.ceil_div total (4 * k)) in
+  let ws = Workspace.create () in
   for _ = 1 to max 1 cycles do
     (* Build a within-part hierarchy. *)
     let rec coarsen_stack acc current current_part =
@@ -150,8 +156,9 @@ let vcycle ?(config = default_config) ?(cycles = 1) rng hg part =
         (acc, current, current_part)
       else
         match
-          Coarsen.one_level ~within:(Partition.assignment current_part) rng
-            current ~max_cluster_weight
+          Coarsen.one_level ~workspace:ws
+            ~within:(Partition.assignment current_part) rng current
+            ~max_cluster_weight
         with
         | None -> (acc, current, current_part)
         | Some level ->
@@ -175,11 +182,15 @@ let vcycle ?(config = default_config) ?(cycles = 1) rng hg part =
     ignore coarsest;
     (* Refine bottom-up. *)
     let current_part = ref coarsest_part in
-    ignore (Refine.refine ~config:(refine_config config) coarsest !current_part);
+    ignore
+      (Refine.refine ~config:(refine_config config) ~workspace:ws coarsest
+         !current_part);
     List.iter
       (fun (fine_hg, level) ->
         current_part := Coarsen.project level !current_part;
-        ignore (Refine.refine ~config:(refine_config config) fine_hg !current_part))
+        ignore
+          (Refine.refine ~config:(refine_config config) ~workspace:ws fine_hg
+             !current_part))
       stack;
     (* Copy the improved assignment back into [part] (same domain). *)
     Array.blit

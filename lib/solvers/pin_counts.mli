@@ -2,6 +2,15 @@
 
 type t
 
+type transition =
+  | Src_gone  (** count(e, src) reached 0: the edge left part src, λ fell. *)
+  | Src_lone  (** count(e, src) reached 1: one pin of e remains in src. *)
+  | Dst_first  (** count(e, dst) left 0: the edge entered part dst, λ rose. *)
+  | Dst_paired  (** count(e, dst) left 1: the lone dst pin got company. *)
+(** Pin-count boundary crossings of one incident edge during {!move} —
+    exactly the events that can change another pin's gain under either
+    metric, so a gain cache driven by them stays exact. *)
+
 val create : Hypergraph.t -> Partition.t -> t
 val count : t -> int -> int -> int
 (** [count t e c]: pins of edge [e] in part [c]. *)
@@ -9,8 +18,18 @@ val count : t -> int -> int -> int
 val lambda : t -> int -> int
 (** Maintained λ_e. *)
 
-val move : t -> int -> src:int -> dst:int -> unit
-(** Update counts for a node move (the partition itself is the caller's). *)
+val raw_counts : t -> int array
+(** The live m×k count matrix (edge [e]'s row starts at [e * k]); a
+    read-only view for allocation-free hot loops. *)
+
+val raw_lambdas : t -> int array
+(** The live λ array, same read-only contract as {!raw_counts}. *)
+
+val move : ?on_transition:(int -> transition -> unit) -> t -> int -> src:int -> dst:int -> unit
+(** Update counts for a node move (the partition itself is the caller's;
+    hooks that inspect pin colors expect it updated {e before} the call).
+    [on_transition e tr] fires after edge [e]'s counts and λ are fully
+    updated — at most one src-side and one dst-side transition per edge. *)
 
 val move_delta :
   ?metric:Partition.metric -> t -> int -> src:int -> dst:int -> int

@@ -2,22 +2,47 @@
    to the best prefix of the move sequence.  Works for any k >= 2 and both
    cost metrics; for k = 2 it is classic Fiduccia-Mattheyses.
 
-   Stale bucket priorities are revalidated lazily at pop time instead of
-   updating all neighbours after every move: a popped node whose recorded
-   gain no longer matches its recomputed gain is re-inserted with the fresh
-   value.  Between two applied moves every node is corrected at most once,
-   so a pass terminates. *)
+   The hot path is boundary-driven with an incrementally maintained gain
+   cache (the design of production multilevel partitioners, see
+   arXiv:2106.08696):
+
+   - Only nodes incident to a cut edge (λ_e >= 2) are seeded into the
+     bucket queue; interior nodes cannot improve the cost and join the
+     queue lazily when a neighbouring move makes them boundary.
+   - Each node carries a cached gain row.  Under the connectivity metric
+     the row is the exact decomposition  delta(v -> q) = penalty(v, q) -
+     benefit(v)  with  benefit(v) = Σ_{e ∋ v} w_e·[count(e, part v) = 1]
+     and  penalty(v, q) = Σ_{e ∋ v} w_e·[count(e, q) = 0],  updated in
+     place by the four Pin_counts transitions of every applied move
+     (count(e, src) hitting 1/0, count(e, dst) leaving 0/1 — exactly the
+     events that can flip one of the indicator terms).  Under cut-net the
+     same row caches the raw delta vector and transitions invalidate it,
+     so touched neighbours recompute once instead of at every pop.
+   - Selecting the best move of a cached node is O(k); the per-move accept
+     check is O(1) against an incrementally maintained overweight-part
+     count; the per-pass max-node-weight / max-gain scans are hoisted
+     into the workspace and run once per [refine] call.
+
+   Queue priorities are deliberately lazy: a transition patches the gain
+   rows but does not reposition live queue entries — a popped node whose
+   recorded gain no longer matches its cached best is re-inserted with the
+   fresh value, which now costs O(k) from the row instead of a full
+   O(deg·k) recompute.  Between two applied moves every node is corrected
+   at most once, so a pass terminates.  The one eager queue operation is
+   activation: pins of an edge whose λ just left 1 (a Dst_first transition)
+   are newly boundary and enter the queue at their cached best gain. *)
 
 type config = {
   eps : float;
   variant : Partition.balance;
   metric : Partition.metric;
   max_passes : int;
+  max_fruitless : int;
 }
 
 let default_config =
   { eps = 0.0; variant = Partition.Strict; metric = Partition.Connectivity;
-    max_passes = 8 }
+    max_passes = 8; max_fruitless = 350 }
 
 (* Hot-path instrumentation: pre-interned counters only — each update is a
    branch and an int store, and a no-op allocation-free branch when obs is
@@ -28,31 +53,304 @@ let c_applied = Obs.Counter.make "fm.moves_applied"
 let c_accepted = Obs.Counter.make "fm.moves_accepted"
 let c_rolled_back = Obs.Counter.make "fm.moves_rolled_back"
 let c_rebalance = Obs.Counter.make "fm.rebalance_moves"
+let c_cache_hits = Obs.Counter.make "fm.gain_cache.hits"
+let c_cache_misses = Obs.Counter.make "fm.gain_cache.misses"
+let c_delta_updates = Obs.Counter.make "fm.gain_cache.delta_updates"
 let h_pass_gain = Obs.Histogram.make "fm.pass_gain"
 let h_final_cost = Obs.Histogram.make "fm.final_cost"
+let h_boundary = Obs.Histogram.make "fm.boundary_size"
 
-(* Best move of node v: (dst, delta) minimizing cost delta among parts with
-   capacity room, or None. *)
-let best_move cfg hg counts part weights cap v =
-  let src = Partition.color part v in
-  let w = Hypergraph.node_weight hg v in
-  let best = ref None in
-  for dst = 0 to Partition.k part - 1 do
-    if dst <> src && weights.(dst) + w <= cap then begin
-      let delta = Pin_counts.move_delta ~metric:cfg.metric counts v ~src ~dst in
-      match !best with
-      | Some (_, d) when d <= delta -> ()
-      | _ -> best := Some (dst, delta)
+(* Mutable refinement state for one [refine] call.  [cache_stamp] marks
+   valid gain rows; it starts fresh per call (rows from a previous
+   hypergraph / partition can never leak in) and is bumped again after a
+   non-empty rollback, which bulk-invalidates every row in O(1) — cheaper
+   than patching rows along the rolled-back suffix, since a pass moves
+   essentially every boundary node and thereby invalidates its own row
+   anyway.  [lock_stamp] is refreshed per pass, and the current move's
+   endpoints live in [mv_*] so the Pin_counts hook is allocated once per
+   call, not once per move. *)
+type ctx = {
+  cfg : config;
+  hg : Hypergraph.t;
+  counts : Pin_counts.t;
+  part : int array;
+  k : int;
+  weights : int array;
+  cap : int;
+  ws : Workspace.t;
+  (* Flat CSR / count views for closure-free hot loops. *)
+  pins : int array;
+  pin_offs : int array;
+  inc : int array;
+  inc_offs : int array;
+  pcounts : int array;
+  plambdas : int array;
+  edge_w : int array; (* dense copies: an accessor call per read is *)
+  node_w : int array; (* measurable at hook frequencies *)
+  mutable cache_stamp : int;
+  mutable lock_stamp : int;
+  mutable overweight : int; (* #parts with weight > cap, kept incrementally *)
+  mutable cap_limit : int; (* feasibility bound of the current phase *)
+  mutable track_touch : bool; (* collect activation candidates? *)
+  mutable mv_v : int;
+  mutable mv_src : int;
+  mutable mv_dst : int;
+  (* Hot-loop counter shadows, flushed to the Obs counters once per pass:
+     an [Obs.Counter.incr] is cheap but not free, and the patch loops run
+     millions of times per solve. *)
+  mutable n_pops : int;
+  mutable n_stale : int;
+  mutable n_applied : int;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_patches : int;
+}
+
+let flush_counters ctx =
+  Obs.Counter.add c_pops ctx.n_pops;
+  Obs.Counter.add c_stale ctx.n_stale;
+  Obs.Counter.add c_applied ctx.n_applied;
+  Obs.Counter.add c_cache_hits ctx.n_hits;
+  Obs.Counter.add c_cache_misses ctx.n_misses;
+  Obs.Counter.add c_delta_updates ctx.n_patches;
+  ctx.n_pops <- 0;
+  ctx.n_stale <- 0;
+  ctx.n_applied <- 0;
+  ctx.n_hits <- 0;
+  ctx.n_misses <- 0;
+  ctx.n_patches <- 0
+
+let locked ctx v = ctx.ws.Workspace.locked.(v) = ctx.lock_stamp
+
+(* Build node v's gain row if its stamp is stale.  Connectivity fills the
+   benefit/penalty decomposition in one incident sweep; cut-net caches the
+   raw delta vector (k move_delta evaluations).  Either way the row then
+   answers best-move queries in O(k) until a transition invalidates it. *)
+let ensure_row ctx v =
+  let ws = ctx.ws in
+  if ws.Workspace.cache_stamp.(v) = ctx.cache_stamp then
+    ctx.n_hits <- ctx.n_hits + 1
+  else begin
+    ctx.n_misses <- ctx.n_misses + 1;
+    let k = ctx.k in
+    let base = v * k in
+    let penalty = ws.Workspace.penalty in
+    let src = ctx.part.(v) in
+    (match ctx.cfg.metric with
+    | Partition.Connectivity ->
+        for q = 0 to k - 1 do
+          penalty.(base + q) <- 0
+        done;
+        let benefit = ref 0 in
+        for i = ctx.inc_offs.(v) to ctx.inc_offs.(v + 1) - 1 do
+          let e = ctx.inc.(i) in
+          let w = ctx.edge_w.(e) in
+          let row = e * k in
+          if ctx.pcounts.(row + src) = 1 then benefit := !benefit + w;
+          for q = 0 to k - 1 do
+            if q <> src && ctx.pcounts.(row + q) = 0 then
+              penalty.(base + q) <- penalty.(base + q) + w
+          done
+        done;
+        ws.Workspace.benefit.(v) <- !benefit
+    | Partition.Cut_net ->
+        for q = 0 to k - 1 do
+          if q <> src then
+            penalty.(base + q) <-
+              Pin_counts.move_delta ~metric:Partition.Cut_net ctx.counts v
+                ~src ~dst:q
+        done;
+        ws.Workspace.benefit.(v) <- 0);
+    ws.Workspace.cache_stamp.(v) <- ctx.cache_stamp
+  end
+
+(* Best feasible move of node v from its cached row: the destination of
+   minimal delta among parts with room under [ctx.cap_limit] (first such
+   part wins ties, matching the pre-cache scan order).  Returns the packed
+   destination or -1, with the delta in [best_delta_out]. *)
+let best_delta_out = ref 0
+
+let best_move ctx v =
+  ensure_row ctx v;
+  let ws = ctx.ws in
+  let src = ctx.part.(v) in
+  let w = ctx.node_w.(v) in
+  let base = v * ctx.k in
+  let benefit = ws.Workspace.benefit.(v) in
+  let best = ref (-1) and best_delta = ref max_int in
+  for q = 0 to ctx.k - 1 do
+    if q <> src && ctx.weights.(q) + w <= ctx.cap_limit then begin
+      let delta = ws.Workspace.penalty.(base + q) - benefit in
+      if delta < !best_delta then begin
+        best := q;
+        best_delta := delta
+      end
     end
   done;
+  best_delta_out := !best_delta;
   !best
 
-let apply_move hg counts part weights v ~src ~dst =
-  Pin_counts.move counts v ~src ~dst;
-  (Partition.assignment part).(v) <- dst;
-  let w = Hypergraph.node_weight hg v in
-  weights.(src) <- weights.(src) - w;
-  weights.(dst) <- weights.(dst) + w
+(* The Pin_counts transition hook: push exact delta-gain updates (or, for
+   cut-net, invalidations) to the moved node's neighbours.  Runs after the
+   edge's counts and λ are updated and after the partition places mv_v in
+   mv_dst.  Pins of a Dst_first edge are additionally collected as
+   activation candidates when [track_touch] is on: that edge's λ just left
+   1, so every pin of it is now boundary. *)
+let touch ctx u =
+  let ws = ctx.ws in
+  if ctx.track_touch && ws.Workspace.touch.(u) <> ws.Workspace.stamp
+  then begin
+    ws.Workspace.touch.(u) <- ws.Workspace.stamp;
+    Support.Int_vec.push ws.Workspace.touched u
+  end
+
+let on_transition ctx e tr =
+  let ws = ctx.ws in
+  let v = ctx.mv_v in
+  let stamp = ctx.cache_stamp in
+  let cache_stamp = ws.Workspace.cache_stamp in
+  let pins = ctx.pins in
+  let lo = ctx.pin_offs.(e) and hi = ctx.pin_offs.(e + 1) - 1 in
+  match ctx.cfg.metric with
+  | Partition.Cut_net ->
+      (* Any fired transition can change a pin's cached delta vector:
+         invalidate, and recompute lazily at the next pop. *)
+      for i = lo to hi do
+        let u = pins.(i) in
+        if u <> v then begin
+          if cache_stamp.(u) = stamp then begin
+            cache_stamp.(u) <- 0;
+            ctx.n_patches <- ctx.n_patches + 1
+          end;
+          if tr = Pin_counts.Dst_first then touch ctx u
+        end
+      done
+  | Partition.Connectivity -> (
+      let w = ctx.edge_w.(e) in
+      let k = ctx.k in
+      let penalty = ws.Workspace.penalty in
+      let benefit = ws.Workspace.benefit in
+      match tr with
+      | Pin_counts.Src_gone ->
+          (* No pin of e remains in src: src stopped costing anyone. *)
+          for i = lo to hi do
+            let u = pins.(i) in
+            if u <> v && cache_stamp.(u) = stamp then begin
+              let j = (u * k) + ctx.mv_src in
+              penalty.(j) <- penalty.(j) + w;
+              ctx.n_patches <- ctx.n_patches + 1
+            end
+          done
+      | Pin_counts.Src_lone ->
+          (* Exactly one pin of e is left in src: e is now lone for it. *)
+          for i = lo to hi do
+            let u = pins.(i) in
+            if u <> v && ctx.part.(u) = ctx.mv_src && cache_stamp.(u) = stamp
+            then begin
+              benefit.(u) <- benefit.(u) + w;
+              ctx.n_patches <- ctx.n_patches + 1
+            end
+          done
+      | Pin_counts.Dst_first ->
+          (* e reached dst: moving there no longer costs its pins. *)
+          for i = lo to hi do
+            let u = pins.(i) in
+            if u <> v then begin
+              if cache_stamp.(u) = stamp then begin
+                let j = (u * k) + ctx.mv_dst in
+                penalty.(j) <- penalty.(j) - w;
+                ctx.n_patches <- ctx.n_patches + 1
+              end;
+              touch ctx u
+            end
+          done
+      | Pin_counts.Dst_paired ->
+          (* The formerly lone dst pin of e got company. *)
+          for i = lo to hi do
+            let u = pins.(i) in
+            if u <> v && ctx.part.(u) = ctx.mv_dst && cache_stamp.(u) = stamp
+            then begin
+              benefit.(u) <- benefit.(u) - w;
+              ctx.n_patches <- ctx.n_patches + 1
+            end
+          done)
+
+(* Re-color v to dst and maintain weights plus the O(1) overweight count
+   (shared by applied moves and the hook-free rollback). *)
+let shift_node ctx v ~src ~dst =
+  ctx.part.(v) <- dst;
+  let w = ctx.node_w.(v) in
+  let was_over = ctx.weights.(src) > ctx.cap in
+  ctx.weights.(src) <- ctx.weights.(src) - w;
+  if was_over && ctx.weights.(src) <= ctx.cap then
+    ctx.overweight <- ctx.overweight - 1;
+  let was_over = ctx.weights.(dst) > ctx.cap in
+  ctx.weights.(dst) <- ctx.weights.(dst) + w;
+  if (not was_over) && ctx.weights.(dst) > ctx.cap then
+    ctx.overweight <- ctx.overweight + 1
+
+(* Apply the move v: src -> dst — partition first (the hook reads pin
+   colors), then weights + the O(1) overweight count, then Pin_counts with
+   the delta-update hook.  With [activate] the newly-boundary neighbours
+   collected by the hook enter the queue at their cached best gain;
+   rebalancing skips that (its eligible set only shrinks) but still routes
+   through the hook so the gain cache stays exact. *)
+let apply_move ctx queue hook v ~src ~dst ~activate =
+  let ws = ctx.ws in
+  shift_node ctx v ~src ~dst;
+  ws.Workspace.cache_stamp.(v) <- 0;
+  ctx.mv_v <- v;
+  ctx.mv_src <- src;
+  ctx.mv_dst <- dst;
+  ctx.track_touch <- activate;
+  if activate then begin
+    ignore (Workspace.next_stamp ws) (* touch-dedup stamp for this move *);
+    Support.Int_vec.clear ws.Workspace.touched
+  end;
+  Pin_counts.move ~on_transition:hook ctx.counts v ~src ~dst;
+  if activate then
+    Support.Int_vec.iter
+      (fun u ->
+        if (not (locked ctx u)) && not (Support.Bucket_queue.mem queue u)
+        then begin
+          let dst = best_move ctx u in
+          if dst >= 0 then
+            Support.Bucket_queue.insert queue u (- !best_delta_out)
+        end)
+      ws.Workspace.touched
+
+(* Seed the queue with the boundary: pins of edges with λ >= 2, each at
+   its cached best gain.  One sweep over the edges, stamp-deduplicated. *)
+let seed_boundary ctx queue =
+  let ws = ctx.ws in
+  let stamp = Workspace.next_stamp ws in
+  let seen = ws.Workspace.seen in
+  let boundary_size = ref 0 in
+  for e = 0 to Hypergraph.num_edges ctx.hg - 1 do
+    if ctx.plambdas.(e) >= 2 then
+      for i = ctx.pin_offs.(e) to ctx.pin_offs.(e + 1) - 1 do
+        let v = ctx.pins.(i) in
+        if seen.(v) <> stamp then begin
+          seen.(v) <- stamp;
+          incr boundary_size;
+          let dst = best_move ctx v in
+          if dst >= 0 then
+            Support.Bucket_queue.insert queue v (- !best_delta_out)
+        end
+      done
+  done;
+  Obs.Histogram.observe_int h_boundary !boundary_size
+
+(* Full seeding: every node with a feasible move, as the pre-cache refiner
+   did.  Used as a stall fallback — interior nodes only ever have
+   non-negative deltas, but chains of such moves (classic FM hill
+   climbing) sometimes reach strictly better valleys that boundary-only
+   passes cannot, e.g. when whole clusters must migrate together. *)
+let seed_all ctx queue =
+  for v = 0 to Array.length ctx.node_w - 1 do
+    let dst = best_move ctx v in
+    if dst >= 0 then Support.Bucket_queue.insert queue v (- !best_delta_out)
+  done
 
 (* One FM pass; returns the (non-negative) total gain realized.
 
@@ -60,116 +358,128 @@ let apply_move hg counts part weights v ~src ~dst =
    slack that lets a perfectly balanced bisection trade nodes); the
    rollback then only accepts prefixes whose imbalance is no worse than the
    starting one, so a feasible partition never degrades. *)
-let fm_pass cfg hg counts part weights cap =
-  let n = Hypergraph.num_nodes hg in
-  let max_node_weight = ref 0 in
-  for v = 0 to n - 1 do
-    if Hypergraph.node_weight hg v > !max_node_weight then
-      max_node_weight := Hypergraph.node_weight hg v
-  done;
-  let cap_pass = cap + !max_node_weight in
-  (* Maximum absolute gain: the largest total incident edge weight. *)
-  let max_gain = ref 1 in
-  for v = 0 to n - 1 do
-    let s = Hypergraph.fold_incident hg v
-        (fun acc e -> acc + Hypergraph.edge_weight hg e) 0
-    in
-    if s > !max_gain then max_gain := s
-  done;
-  let queue =
-    Support.Bucket_queue.create ~min_priority:(- !max_gain)
-      ~max_priority:!max_gain n
-  in
-  let locked = Array.make n false in
-  for v = 0 to n - 1 do
-    match best_move cfg hg counts part weights cap_pass v with
-    | Some (_, delta) -> Support.Bucket_queue.insert queue v (-delta)
-    | None -> ()
-  done;
-  let overweight () =
-    Support.Util.array_count (fun w -> w > cap) weights
-  in
-  let start_overweight = overweight () in
-  (* Move log for rollback. *)
-  let moves = ref [] in
+let fm_pass ctx queue hook ~full =
+  let ws = ctx.ws in
+  ctx.lock_stamp <- Workspace.next_stamp ws;
+  ctx.cap_limit <- ctx.cap + ws.Workspace.max_node_weight;
+  Support.Bucket_queue.clear queue;
+  if full then seed_all ctx queue else seed_boundary ctx queue;
+  let start_overweight = ctx.overweight in
+  let moves = ws.Workspace.moves in
+  Support.Int_vec.clear moves;
   let cum = ref 0 and best_cum = ref 0 and best_len = ref 0 and len = ref 0 in
+  let fruitless = ref 0 in
   let continue = ref true in
   while !continue do
     match Support.Bucket_queue.pop_max queue with
     | None -> continue := false
     | Some (v, prio) ->
-        Obs.Counter.incr c_pops;
-        if not locked.(v) then begin
-          match best_move cfg hg counts part weights cap_pass v with
-          | None -> () (* no feasible move anymore: drop *)
-          | Some (dst, delta) ->
+        ctx.n_pops <- ctx.n_pops + 1;
+        if not (locked ctx v) then begin
+          let dst = best_move ctx v in
+          if dst >= 0 then begin
+            let delta = !best_delta_out in
+            if -delta <> prio then begin
+              (* Stale priority: correct and retry later. *)
+              ctx.n_stale <- ctx.n_stale + 1;
+              Support.Bucket_queue.insert queue v (-delta)
+            end
+            else begin
+              let src = ctx.part.(v) in
+              ctx.n_applied <- ctx.n_applied + 1;
+              apply_move ctx queue hook v ~src ~dst ~activate:true;
+              ws.Workspace.locked.(v) <- ctx.lock_stamp;
+              Support.Int_vec.push moves v;
+              Support.Int_vec.push moves src;
+              Support.Int_vec.push moves dst;
+              incr len;
+              cum := !cum + (-delta);
+              if !cum > !best_cum && ctx.overweight <= start_overweight
+              then begin
+                best_cum := !cum;
+                best_len := !len;
+                fruitless := 0
+              end
+              else begin
+                incr fruitless;
+                (* Deep in a plateau or valley with no new best in sight:
+                   cut the pass short, everything past [best_len] is rolled
+                   back anyway. *)
+                if !fruitless >= ctx.cfg.max_fruitless then continue := false
+              end
+            end
+          end
+        end
+  done;
+  (* Roll back the moves after the best (balance-acceptable) prefix with
+     plain (hook-free) count updates, then bulk-invalidate the gain cache
+     by bumping the call's stamp: a pass moves nearly every boundary node,
+     and a node's own move already invalidates its row, so patching rows
+     along the rolled-back suffix would mostly groom rows that are stale
+     regardless.  An empty rollback keeps every row valid. *)
+  if !len > !best_len then begin
+    for i = !len - 1 downto !best_len do
+      let v = Support.Int_vec.get moves (3 * i) in
+      let src = Support.Int_vec.get moves ((3 * i) + 1) in
+      let dst = Support.Int_vec.get moves ((3 * i) + 2) in
+      shift_node ctx v ~src:dst ~dst:src;
+      Pin_counts.move ctx.counts v ~src:dst ~dst:src
+    done;
+    ctx.cache_stamp <- Workspace.next_stamp ws
+  end;
+  Obs.Counter.add c_accepted !best_len;
+  Obs.Counter.add c_rolled_back (!len - !best_len);
+  flush_counters ctx;
+  !best_cum
+
+(* Push overweight parts under capacity with cheapest-delta moves; used when
+   coarse-level solutions project to an infeasible partition.  The bucket
+   queue holds exactly the nodes of overweight parts; each applied move
+   strictly shrinks the total excess, dst parts only grow (so a node whose
+   destinations are full never becomes movable again and is dropped), and
+   stale priorities are corrected at pop time as in the FM pass. *)
+let rebalance ctx queue hook =
+  if ctx.overweight > 0 then begin
+    let ws = ctx.ws in
+    ctx.lock_stamp <- Workspace.next_stamp ws (* nothing is locked *);
+    ctx.cap_limit <- ctx.cap;
+    Support.Bucket_queue.clear queue;
+    let n = Hypergraph.num_nodes ctx.hg in
+    for v = 0 to n - 1 do
+      if ctx.weights.(ctx.part.(v)) > ctx.cap then begin
+        let dst = best_move ctx v in
+        if dst >= 0 then
+          Support.Bucket_queue.insert queue v (- !best_delta_out)
+      end
+    done;
+    let continue = ref true in
+    while !continue do
+      match Support.Bucket_queue.pop_max queue with
+      | None -> continue := false
+      | Some (v, prio) ->
+          if ctx.weights.(ctx.part.(v)) > ctx.cap then begin
+            let dst = best_move ctx v in
+            if dst >= 0 then begin
+              let delta = !best_delta_out in
               if -delta <> prio then begin
-                (* Stale priority: correct and retry later. *)
                 Obs.Counter.incr c_stale;
                 Support.Bucket_queue.insert queue v (-delta)
               end
               else begin
-                let src = Partition.color part v in
-                Obs.Counter.incr c_applied;
-                apply_move hg counts part weights v ~src ~dst;
-                locked.(v) <- true;
-                moves := (v, src, dst) :: !moves;
-                incr len;
-                cum := !cum + (-delta);
-                if !cum > !best_cum && overweight () <= start_overweight
-                then begin
-                  best_cum := !cum;
-                  best_len := !len
-                end
+                Obs.Counter.incr c_rebalance;
+                apply_move ctx queue hook v ~src:(ctx.part.(v)) ~dst
+                  ~activate:false
               end
-        end
-  done;
-  (* Roll back the moves after the best (balance-acceptable) prefix. *)
-  let rec undo ms i =
-    if i > !best_len then
-      match ms with
-      | (v, src, dst) :: rest ->
-          apply_move hg counts part weights v ~src:dst ~dst:src;
-          undo rest (i - 1)
-      | [] -> assert false
-  in
-  undo !moves !len;
-  Obs.Counter.add c_accepted !best_len;
-  Obs.Counter.add c_rolled_back (!len - !best_len);
-  !best_cum
+            end
+          end
+    done
+  end
 
-(* Push overweight parts under capacity with cheapest-delta moves; used when
-   coarse-level solutions project to an infeasible partition. *)
-let rebalance cfg hg counts part weights cap =
-  let n = Hypergraph.num_nodes hg in
-  let progress = ref true in
-  while
-    !progress
-    && Array.exists (fun w -> w > cap) weights
-  do
-    progress := false;
-    (* Pick the cheapest move out of any overweight part. *)
-    let best = ref None in
-    for v = 0 to n - 1 do
-      let src = Partition.color part v in
-      if weights.(src) > cap then
-        match best_move cfg hg counts part weights cap v with
-        | Some (dst, delta) -> (
-            match !best with
-            | Some (_, _, _, d) when d <= delta -> ()
-            | _ -> best := Some (v, src, dst, delta))
-        | None -> ()
-    done;
-    match !best with
-    | Some (v, src, dst, _) ->
-        Obs.Counter.incr c_rebalance;
-        apply_move hg counts part weights v ~src ~dst;
-        progress := true
-    | None -> ()
-  done
-
-(* Refine [part] in place; returns the final cost. *)
-let refine ?(config = default_config) hg part =
+(* Refine [part] in place; returns the final cost.  An optional
+   [workspace] lets callers (the multilevel driver) reuse scratch arrays,
+   gain rows and the bucket queue across passes and levels; results are
+   identical with or without one. *)
+let refine ?(config = default_config) ?workspace hg part =
   Obs.Span.with_ "refine"
     ~attrs:
       [
@@ -177,22 +487,85 @@ let refine ?(config = default_config) hg part =
         ("k", Obs.Int (Partition.k part));
       ]
     (fun () ->
+      let n = Hypergraph.num_nodes hg in
+      let k = Partition.k part in
+      let ws =
+        match workspace with Some ws -> ws | None -> Workspace.create ()
+      in
+      Workspace.ensure ws ~n ~k;
       let counts = Pin_counts.create hg part in
       let weights = Partition.part_weights hg part in
       let cap =
         Partition.capacity ~variant:config.variant ~eps:config.eps
           ~total_weight:(Hypergraph.total_node_weight hg)
-          ~k:(Partition.k part) ()
+          ~k ()
       in
-      rebalance config hg counts part weights cap;
-      let passes = ref 0 and improving = ref true in
+      (* Hoisted per-instance scans (formerly per pass). *)
+      let max_node_weight = ref 0 and max_gain = ref 1 in
+      for v = 0 to n - 1 do
+        if Hypergraph.node_weight hg v > !max_node_weight then
+          max_node_weight := Hypergraph.node_weight hg v;
+        let s =
+          Hypergraph.fold_incident hg v
+            (fun acc e -> acc + Hypergraph.edge_weight hg e)
+            0
+        in
+        if s > !max_gain then max_gain := s
+      done;
+      ws.Workspace.max_node_weight <- !max_node_weight;
+      ws.Workspace.max_gain <- !max_gain;
+      let queue = Workspace.queue ws ~n ~range:!max_gain in
+      let ctx =
+        {
+          cfg = config;
+          hg;
+          counts;
+          part = Partition.assignment part;
+          k;
+          weights;
+          cap;
+          ws;
+          pins = Hypergraph.csr_pins hg;
+          pin_offs = Hypergraph.csr_edge_offsets hg;
+          inc = Hypergraph.csr_incidence hg;
+          inc_offs = Hypergraph.csr_node_offsets hg;
+          pcounts = Pin_counts.raw_counts counts;
+          plambdas = Pin_counts.raw_lambdas counts;
+          edge_w =
+            Array.init (Hypergraph.num_edges hg) (Hypergraph.edge_weight hg);
+          node_w = Array.init n (Hypergraph.node_weight hg);
+          cache_stamp = Workspace.next_stamp ws;
+          lock_stamp = Workspace.next_stamp ws;
+          overweight = Support.Util.array_count (fun w -> w > cap) weights;
+          cap_limit = cap;
+          track_touch = false;
+          mv_v = -1;
+          mv_src = -1;
+          mv_dst = -1;
+          n_pops = 0;
+          n_stale = 0;
+          n_applied = 0;
+          n_hits = 0;
+          n_misses = 0;
+          n_patches = 0;
+        }
+      in
+      let hook = on_transition ctx in
+      rebalance ctx queue hook;
+      (* Boundary-seeded passes until they stall, then one full-seeded
+         fallback pass (interior hill-climb chains); stop when that stalls
+         too.  A productive fallback hands control back to the cheap
+         boundary passes. *)
+      let passes = ref 0 and improving = ref true and full = ref false in
       while !improving && !passes < config.max_passes do
         incr passes;
+        let was_full = !full in
         let gain =
           Obs.Span.with_ "refine.pass"
-            ~attrs:[ ("pass", Obs.Int !passes) ]
+            ~attrs:
+              [ ("pass", Obs.Int !passes); ("full", Obs.Bool was_full) ]
             (fun () ->
-              let gain = fm_pass config hg counts part weights cap in
+              let gain = fm_pass ctx queue hook ~full:was_full in
               (* Per-pass cost trajectory, only evaluated when observing. *)
               if Obs.enabled () then begin
                 Obs.Span.attr "gain" (Obs.Int gain);
@@ -202,7 +575,9 @@ let refine ?(config = default_config) hg part =
               gain)
         in
         Obs.Histogram.observe_int h_pass_gain gain;
-        if gain <= 0 then improving := false
+        if gain > 0 then full := false
+        else if was_full then improving := false
+        else full := true
       done;
       let cost = Pin_counts.cost ~metric:config.metric counts in
       Obs.Span.attr "passes" (Obs.Int !passes);

@@ -6,11 +6,23 @@ type config = {
   variant : Partition.balance;
   metric : Partition.metric;
   max_passes : int;
+  max_fruitless : int;
+      (** A pass gives up after this many consecutive applied moves without
+          a new best prefix (the classic FM cutoff bounding how far a pass
+          hill-climbs into a plateau); [max_int] disables the cutoff. *)
 }
 
 val default_config : config
-(** ε = 0, strict balance, connectivity metric, 8 passes. *)
+(** ε = 0, strict balance, connectivity metric, 8 passes, cutoff 350. *)
 
-val refine : ?config:config -> Hypergraph.t -> Partition.t -> int
+val refine :
+  ?config:config -> ?workspace:Workspace.t -> Hypergraph.t -> Partition.t -> int
 (** Refines the partition in place (first rebalancing if some part exceeds
-    capacity) and returns the final cost under the configured metric. *)
+    capacity) and returns the final cost under the configured metric.
+
+    The pass is boundary-driven: only nodes incident to cut edges enter
+    the gain queue, gains come from a per-node cache kept exact by
+    {!Pin_counts} transition hooks, and the balance check is O(1) against
+    an incrementally maintained overweight-part count.  A shared
+    [workspace] (as threaded by {!Multilevel}) reuses scratch arrays and
+    the bucket queue across calls; results are identical either way. *)

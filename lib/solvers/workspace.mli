@@ -1,0 +1,44 @@
+(** Reusable scratch state for the refinement/coarsening hot path: gain
+    cache rows, stamped mark arrays, move log, and the FM bucket queue,
+    allocated once per multilevel solve and shared across passes and
+    levels.
+
+    A workspace is owned by exactly one solver call tree at a time (the
+    solvers are single-threaded); arrays only grow, and per-use validity
+    is stamp-based so nothing is cleared between passes.  Sharing one
+    workspace across successive solves is safe and is what
+    {!Multilevel.partition} does internally; results are identical to
+    using a fresh workspace per call. *)
+
+type t = {
+  mutable benefit : int array;
+  mutable penalty : int array;
+  mutable cache_stamp : int array;
+  mutable locked : int array;
+  mutable touch : int array;
+  mutable seen : int array;
+  mutable score : float array;
+  mutable stamp : int;
+  touched : Support.Int_vec.t;
+  moves : Support.Int_vec.t;
+  cand : Support.Int_vec.t;
+  mutable queue : Support.Bucket_queue.t option;
+  mutable max_node_weight : int;
+  mutable max_gain : int;
+}
+
+val create : unit -> t
+(** An empty workspace; arrays grow on first {!ensure}. *)
+
+val ensure : t -> n:int -> k:int -> unit
+(** Grow every per-node (and the [n * k] gain-row) array to hold [n]
+    nodes and [k] parts.  Existing contents are preserved or replaced by
+    zeroes; stamp discipline makes stale contents harmless. *)
+
+val next_stamp : t -> int
+(** A fresh stamp, distinct from every value currently stored in the
+    stamped arrays — an O(1) bulk invalidation. *)
+
+val queue : t -> n:int -> range:int -> Support.Bucket_queue.t
+(** A cleared bucket queue over items [0, n) with priorities in
+    [-range, range], reusing the cached one when it is large enough. *)

@@ -94,3 +94,19 @@ let pop_max t =
       let p = t.priority.(item) in
       remove t item;
       Some (item, p)
+
+(* Empty the queue in O(size + buckets scanned) without allocating: pop
+   present items from the cached maximum downward.  Leaves every [heads]
+   slot at -1 and every [present] flag false, so the queue is reusable
+   (the workspace keeps one alive across FM passes and levels). *)
+let clear t =
+  while t.size > 0 do
+    settle_max t;
+    remove t t.heads.(t.max_bucket)
+  done;
+  t.max_bucket <- -1
+
+let capacity t = Array.length t.present
+
+let priority_range t =
+  (-t.offset, Array.length t.heads - 1 - t.offset)

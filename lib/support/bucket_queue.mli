@@ -29,3 +29,13 @@ val max_item : t -> int option
 
 val pop_max : t -> (int * int) option
 (** Removes and returns a maximal item with its priority. *)
+
+val clear : t -> unit
+(** Remove every item, leaving the queue reusable; O(size) plus the bucket
+    scan, no allocation. *)
+
+val capacity : t -> int
+(** The item-universe size [n] the queue was created with. *)
+
+val priority_range : t -> int * int
+(** The inclusive [(min_priority, max_priority)] range. *)

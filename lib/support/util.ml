@@ -78,6 +78,57 @@ let iter_tuples ~base ~len f =
   in
   go 0
 
+(* In-place ascending sort of the slice [pos, pos+len) of an int array,
+   allocation-free (the CSR contraction kernel sorts every coarse edge's
+   pin slice in one flat buffer): insertion sort for short slices, else
+   sift-down heapsort — deterministic and O(len log len) worst case. *)
+let sort_int_range a pos len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Util.sort_int_range: slice out of bounds";
+  if len > 16 then begin
+    let sift_down root size =
+      let r = ref root in
+      let continue = ref true in
+      while !continue do
+        let child = (2 * !r) + 1 in
+        if child >= size then continue := false
+        else begin
+          let child =
+            if child + 1 < size && a.(pos + child + 1) > a.(pos + child) then
+              child + 1
+            else child
+          in
+          if a.(pos + child) > a.(pos + !r) then begin
+            let tmp = a.(pos + !r) in
+            a.(pos + !r) <- a.(pos + child);
+            a.(pos + child) <- tmp;
+            r := child
+          end
+          else continue := false
+        end
+      done
+    in
+    for root = (len / 2) - 1 downto 0 do
+      sift_down root len
+    done;
+    for last = len - 1 downto 1 do
+      let tmp = a.(pos) in
+      a.(pos) <- a.(pos + last);
+      a.(pos + last) <- tmp;
+      sift_down 0 last
+    done
+  end
+  else
+    for i = pos + 1 to pos + len - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= pos && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+
 let list_init n f = List.init n f
 
 let array_count p a =

@@ -31,5 +31,9 @@ val iter_tuples : base:int -> len:int -> (int array -> unit) -> unit
 (** Calls the function on every tuple in [\[0, base)^len]. The array is
     reused between calls and must not be retained. *)
 
+val sort_int_range : int array -> int -> int -> unit
+(** [sort_int_range a pos len] sorts the slice [\[pos, pos+len)] of [a]
+    ascending, in place and without allocating. *)
+
 val list_init : int -> (int -> 'a) -> 'a list
 val array_count : ('a -> bool) -> 'a array -> int

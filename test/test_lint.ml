@@ -52,7 +52,7 @@ let test_catalogue () =
     "stable rule ids"
     [
       "SRC00"; "SRC01"; "SRC02"; "SRC03"; "SRC04"; "SRC05"; "SRC06"; "SRC07";
-      "SRC08";
+      "SRC08"; "SRC09";
     ]
     ids;
   List.iter
@@ -188,6 +188,51 @@ let test_src08 () =
   in
   check_silent "other Unix calls are fine" ~rule:"SRC08" r
 
+(* ---- SRC09: polymorphic Hashtbl in hot-path modules --------------------- *)
+
+let test_src09 () =
+  let source =
+    "let dedup keys =\n\
+     \  let seen = Hashtbl.create 16 in\n\
+     \  List.filter\n\
+     \    (fun k ->\n\
+     \      if Hashtbl.mem seen k then false\n\
+     \      else begin\n\
+     \        Hashtbl.add seen k ();\n\
+     \        true\n\
+     \      end)\n\
+     \    keys\n"
+  in
+  let r = lint (sealed "lib/solvers/fix.ml" source) in
+  check_fires "create in lib/solvers" ~rule:"SRC09" ~file:"lib/solvers/fix.ml"
+    ~line:2 r;
+  check_fires "mem in lib/solvers" ~rule:"SRC09" ~file:"lib/solvers/fix.ml"
+    ~line:5 r;
+  check_fires "add in lib/solvers" ~rule:"SRC09" ~file:"lib/solvers/fix.ml"
+    ~line:7 r;
+  let r = lint (sealed "lib/hypergraph/fix.ml" source) in
+  check_fires "lib/hypergraph is hot path too" ~rule:"SRC09"
+    ~file:"lib/hypergraph/fix.ml" ~line:2 r;
+  (* Cold-path code may keep its polymorphic tables. *)
+  let r = lint (sealed "lib/workloads/fix.ml" source) in
+  check_silent "other libraries are exempt" ~rule:"SRC09" r;
+  let r = lint [ ("bench/fix.ml", source) ] in
+  check_silent "bench code is exempt" ~rule:"SRC09" r;
+  (* Hashtbl.hash is SRC01's finding, not a duplicate SRC09. *)
+  let r =
+    lint (sealed "lib/solvers/fix.ml" "let h x = Hashtbl.hash x\n")
+  in
+  check_silent "Hashtbl.hash stays SRC01-only" ~rule:"SRC09" r;
+  check_fires "Hashtbl.hash still fires SRC01" ~rule:"SRC01"
+    ~file:"lib/solvers/fix.ml" ~line:1 r;
+  (* A suppression with a written reason still works in the hot path. *)
+  let src =
+    marker ("allow SRC09 " ^ em_dash ^ " cold init path, not per-move")
+    ^ "\nlet tbl () = Hashtbl.create 16\n"
+  in
+  let r = lint (sealed "lib/solvers/fix.ml" src) in
+  check_silent "suppression with reason" ~rule:"SRC09" r
+
 (* ---- SRC00: parse errors ------------------------------------------------ *)
 
 let test_parse_error () =
@@ -309,6 +354,7 @@ let suite =
     Alcotest.test_case "SRC06 Obj.magic" `Quick test_src06;
     Alcotest.test_case "SRC07 missing interface" `Quick test_src07;
     Alcotest.test_case "SRC08 process management" `Quick test_src08;
+    Alcotest.test_case "SRC09 hot-path Hashtbl" `Quick test_src09;
     Alcotest.test_case "SRC00 parse error" `Quick test_parse_error;
     Alcotest.test_case "inline suppression" `Quick test_inline_suppression;
     Alcotest.test_case "marker hygiene" `Quick test_marker_hygiene;

@@ -17,6 +17,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
+      ("corpus", Test_corpus.suite);
       ("experiments", Test_experiments.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("coverage", Test_coverage.suite);

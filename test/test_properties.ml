@@ -175,11 +175,83 @@ let prop_hierarchical_cost_bounds =
       let c = Hierarchy.Hier_cost.cost topo h p in
       c >= lo -. 1e-9 && c <= hi +. 1e-9)
 
+(* Gain-cache soundness: the cached-gain machinery in Refine is built on
+   Pin_counts.move_delta being the exact cost difference, so pin it down
+   under both metrics along random move sequences (each move also shifts
+   the counts the next delta is computed from). *)
+let prop_move_delta_exact =
+  QCheck.Test.make
+    ~name:"move_delta = recomputed cost difference (both metrics)" ~count:100
+    QCheck.(pair (arb_hypergraph ~max_n:14 ~max_m:12) small_int)
+    (fun (h, seed) ->
+      let rng = Support.Rng.create seed in
+      let n = H.num_nodes h in
+      let k = 2 + Support.Rng.int rng 3 in
+      let p = P.random rng ~k ~n in
+      let pc = Solvers.Pin_counts.create h p in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        let v = Support.Rng.int rng n in
+        let src = P.color p v in
+        let dst = Support.Rng.int rng k in
+        if src <> dst then begin
+          let conn0 = P.connectivity_cost h p in
+          let cut0 = P.cutnet_cost h p in
+          let dconn = Solvers.Pin_counts.move_delta pc v ~src ~dst in
+          let dcut =
+            Solvers.Pin_counts.move_delta ~metric:P.Cut_net pc v ~src ~dst
+          in
+          (P.assignment p).(v) <- dst;
+          Solvers.Pin_counts.move pc v ~src ~dst;
+          if P.connectivity_cost h p - conn0 <> dconn then ok := false;
+          if P.cutnet_cost h p - cut0 <> dcut then ok := false
+        end
+      done;
+      !ok)
+
+(* Workspace reuse is pure recycling: refining through a workspace dirtied
+   by an unrelated solve must produce the same partition and cost as a
+   fresh workspace (and as the internally allocated one). *)
+let prop_workspace_reuse_deterministic =
+  QCheck.Test.make ~name:"refine: dirty shared workspace = fresh workspace"
+    ~count:50
+    QCheck.(pair (arb_hypergraph ~max_n:16 ~max_m:14) small_int)
+    (fun (h, seed) ->
+      let rng = Support.Rng.create seed in
+      let k = 2 + Support.Rng.int rng 2 in
+      let base = P.random rng ~k ~n:(H.num_nodes h) in
+      let config = { Solvers.Refine.default_config with eps = 0.2 } in
+      let ws = Solvers.Workspace.create () in
+      (* Dirty the workspace on an unrelated instance first. *)
+      let other =
+        let r2 = Support.Rng.create (seed + 17) in
+        H.of_edges ~n:10
+          (Array.init 8 (fun _ ->
+               Support.Rng.sample_distinct r2 ~n:10
+                 ~k:(2 + Support.Rng.int r2 3)))
+      in
+      ignore
+        (Solvers.Refine.refine ~config ~workspace:ws other
+           (P.random rng ~k ~n:(H.num_nodes other)));
+      let p1 = P.copy base and p2 = P.copy base and p3 = P.copy base in
+      let c1 = Solvers.Refine.refine ~config ~workspace:ws h p1 in
+      let c2 =
+        Solvers.Refine.refine ~config
+          ~workspace:(Solvers.Workspace.create ())
+          h p2
+      in
+      let c3 = Solvers.Refine.refine ~config h p3 in
+      c1 = c2 && c2 = c3
+      && P.assignment p1 = P.assignment p2
+      && P.assignment p2 = P.assignment p3)
+
 let suite =
   List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_metric_sandwich;
       prop_lambda_range;
+      prop_move_delta_exact;
+      prop_workspace_reuse_deterministic;
       prop_contraction_preserves_cost;
       prop_exact_below_heuristics;
       prop_optimum_monotone_in_eps;

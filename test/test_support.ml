@@ -93,6 +93,30 @@ let test_bucket_queue_basic () =
   Bucket_queue.update q 1 4;
   Alcotest.(check int) "updated priority" 4 (Bucket_queue.priority q 1)
 
+(* clear + the capacity/priority_range accessors back the workspace's
+   queue-reuse decision (Workspace.queue recycles iff both suffice). *)
+let test_bucket_queue_clear () =
+  let q = Bucket_queue.create ~min_priority:(-5) ~max_priority:5 10 in
+  Alcotest.(check int) "capacity" 10 (Bucket_queue.capacity q);
+  Alcotest.(check (pair int int)) "priority range" (-5, 5)
+    (Bucket_queue.priority_range q);
+  Bucket_queue.insert q 0 3;
+  Bucket_queue.insert q 7 (-5);
+  Bucket_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Bucket_queue.is_empty q);
+  Alcotest.(check int) "size 0" 0 (Bucket_queue.size q);
+  Alcotest.(check bool) "cleared items are absent" false
+    (Bucket_queue.mem q 0);
+  (* The cleared queue is fully reusable, including for old items. *)
+  Bucket_queue.insert q 0 (-1);
+  Bucket_queue.insert q 9 4;
+  (match Bucket_queue.pop_max q with
+  | Some (9, 4) -> ()
+  | _ -> Alcotest.fail "expected (9, 4)");
+  match Bucket_queue.pop_max q with
+  | Some (0, -1) -> ()
+  | _ -> Alcotest.fail "expected (0, -1)"
+
 let test_bucket_queue_random_vs_reference () =
   (* Compare against a naive reference implementation. *)
   let rng = Rng.create 99 in
@@ -194,6 +218,8 @@ let suite =
     Alcotest.test_case "int_vec" `Quick test_int_vec;
     Alcotest.test_case "dsu" `Quick test_dsu;
     Alcotest.test_case "bucket queue basics" `Quick test_bucket_queue_basic;
+    Alcotest.test_case "bucket queue clear and reuse" `Quick
+      test_bucket_queue_clear;
     Alcotest.test_case "bucket queue vs reference" `Quick
       test_bucket_queue_random_vs_reference;
     Alcotest.test_case "bitset" `Quick test_bitset;
