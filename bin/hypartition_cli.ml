@@ -791,9 +791,7 @@ let run_trace_validate path =
 
 let run_lint root config_path rules format =
   if rules then begin
-    List.iter
-      (fun (id, what) -> Printf.printf "%-8s %s\n" id what)
-      Lint.catalogue;
+    print_string (Lint.Rules.render_catalogue Lint.catalogue);
     0
   end
   else
@@ -841,6 +839,93 @@ let lint_cmd =
   in
   Cmd.v info
     Term.(const run_lint $ root_arg $ config_arg $ rules_flag $ format_arg)
+
+(* analyze: the typed-AST domain-safety analyzer of lib/analysis_dom —
+   mutable-state inventory, hot-path reachability from the solver entry
+   points, and the Workspace/Rng ownership checks, as rules
+   DOM01..DOM06.  Shares hyplint's suppression machinery (inline
+   `hyplint: allow DOM01 — reason` markers and lint.config), and gates
+   identically: zero unsuppressed findings or non-zero exit. *)
+
+let run_analyze root config_path build_dir rules format inventory_out =
+  if rules then begin
+    print_string (Lint.Rules.render_catalogue Analysis_dom.Dom_rules.catalogue);
+    0
+  end
+  else
+    match Analysis_dom.Driver.run ?config_path ?build_dir ~root () with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        2
+    | Ok result ->
+        let report = Analysis_dom.Driver.report result in
+        (match format with
+        | `Text ->
+            print_endline (Analysis.Check.to_string report);
+            Printf.printf "suppressed findings : %d (all with written reasons)\n"
+              (List.length result.Analysis_dom.Driver.suppressed)
+        | `Json ->
+            print_endline
+              (Obs.Json.to_string (Analysis_dom.Driver.to_json result)));
+        (match inventory_out with
+        | None -> ()
+        | Some path ->
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc
+                  (Analysis_dom.Inventory.render
+                     result.Analysis_dom.Driver.inventory)));
+        Analysis.Check.exit_code report
+
+let analyze_cmd =
+  let root_arg =
+    let doc = "Repository root to analyze (walks lib/, bin/, bench/)." in
+    Arg.(value & pos 0 dir "." & info [] ~docv:"ROOT" ~doc)
+  in
+  let config_arg =
+    let doc = "Allowlist file (default: ROOT/lint.config when present)." in
+    Arg.(value & opt (some file) None & info [ "config" ] ~docv:"CONF" ~doc)
+  in
+  let build_arg =
+    let doc =
+      "Build directory holding the .cmt files (default: \
+       ROOT/_build/default).  Sources without .cmt coverage are analyzed \
+       via a Parsetree fallback at reduced precision."
+    in
+    Arg.(value & opt (some dir) None & info [ "build" ] ~docv:"DIR" ~doc)
+  in
+  let rules_flag =
+    let doc = "Print the rule catalogue (DOM00..DOM06) and exit." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let format_arg =
+    let doc =
+      "Output format: text (Check-report rendering) or json (schema \
+       hypartition-analysis/1)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let inventory_arg =
+    let doc =
+      "Also write the mutable-state inventory (pretty JSON) to $(docv) — \
+       the committed analysis/inventory.json artifact."
+    in
+    Arg.(value & opt (some string) None & info [ "inventory" ] ~docv:"PATH" ~doc)
+  in
+  let info =
+    Cmd.info "analyze"
+      ~doc:
+        "Run the typed-AST domain-safety analyzer (rules DOM01..DOM06: \
+         mutable-state inventory, hot-path reachability, Workspace/Rng \
+         ownership) over the repository; non-zero exit on any unsuppressed \
+         finding."
+  in
+  Cmd.v info
+    Term.(
+      const run_analyze $ root_arg $ config_arg $ build_arg $ rules_flag
+      $ format_arg $ inventory_arg)
 
 (* bench: compare a fresh bench report against a committed baseline and
    gate on experiment wall-time regressions (the CI perf-smoke check).
@@ -1127,7 +1212,7 @@ let main =
     [
       partition_cmd; stats_cmd; recognize_cmd; hierarchical_cmd;
       schedule_cmd; convert_cmd; evaluate_cmd; generate_cmd; check_cmd;
-      lint_cmd; bench_cmd; trace_cmd; batch_cmd;
+      lint_cmd; analyze_cmd; bench_cmd; trace_cmd; batch_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

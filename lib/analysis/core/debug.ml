@@ -1,20 +1,27 @@
-(* ANALYSIS_DEBUG gate.  The environment is read lazily so that a test
-   harness can also flip the switch programmatically via [force]. *)
+(* ANALYSIS_DEBUG gate.
+
+   Domain-safety (the analyzer's DOM01, and the worked example in
+   DESIGN.md's domain-safety contract): the environment is read eagerly
+   at module initialization — before any domain can be spawned — into an
+   immutable bool, and the test-harness override lives in an [Atomic.t]
+   so concurrent solves read a consistent value without locking.  The
+   previous shape (a [lazy] env read plus a plain [ref] override) raced
+   under domains: [Lazy.force] from two domains is undefined on an
+   unforced suspension, and the ref had no ordering at all. *)
 
 exception Audit_failure of string
 
 let from_env =
-  lazy
-    (match Sys.getenv_opt "ANALYSIS_DEBUG" with
-    | None | Some "" | Some "0" -> false
-    | Some _ -> true)
+  match Sys.getenv_opt "ANALYSIS_DEBUG" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
 
-let override = ref None
+let override : bool option Atomic.t = Atomic.make None
 
 let enabled () =
-  match !override with Some b -> b | None -> Lazy.force from_env
+  match Atomic.get override with Some b -> b | None -> from_env
 
-let force b = override := Some b
+let force b = Atomic.set override (Some b)
 
 let audit f =
   if enabled () then begin

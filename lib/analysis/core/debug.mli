@@ -10,10 +10,12 @@
 exception Audit_failure of string
 
 val enabled : unit -> bool
-(** Whether [ANALYSIS_DEBUG] is on (read once, at first use). *)
+(** Whether [ANALYSIS_DEBUG] is on (the environment is read once, at
+    module initialization; {!force} takes precedence). *)
 
 val force : bool -> unit
-(** Override the environment (used by the test-suite). *)
+(** Override the environment (used by the test-suite).  The override is
+    an [Atomic.t], safe to read from concurrent solves. *)
 
 val audit : (unit -> Check.report) -> unit
 (** Run the audit when enabled; raise {!Audit_failure} unless

@@ -1,0 +1,9 @@
+(* Root module of the domain-safety analyzer: pure re-exports. *)
+
+module Ir = Ir
+module Front_typed = Front_typed
+module Front_parse = Front_parse
+module Callgraph = Callgraph
+module Dom_rules = Dom_rules
+module Inventory = Inventory
+module Driver = Driver

@@ -1,0 +1,91 @@
+(* Reachability over the lowered units: a breadth-first walk of the
+   function-reference graph from the solver entry points, then the set
+   of module globals referenced by any reachable function.
+
+   Resolution is name-based on purpose.  The typed front emits
+   compiler-resolved references normalized to ["Module.func"], so the
+   only ambiguity left is within-unit bare calls, which it already
+   qualifies; the Parsetree front emits best-effort names and the same
+   candidate scheme keeps it usable.  Over-approximation (a cold helper
+   sharing a dotted name with a hot one) errs toward flagging, which is
+   the right direction for a safety gate. *)
+
+module I = Ir
+
+type t = {
+  reachable : (string, unit) Hashtbl.t;  (* "Module.func" *)
+  hot_globals : (string, unit) Hashtbl.t;  (* "Module.binding" *)
+}
+
+(* Solver entry points, as (module, function) pairs; ["*"] means every
+   toplevel function of the module.  The defaults mirror the hot path
+   named by the domain-safety contract: the multilevel driver, both
+   refinement passes, coarsening, and the batch-engine runner. *)
+let default_entries =
+  [
+    ("Multilevel", "*");
+    ("Refine", "*");
+    ("Coarsen", "*");
+    ("Kl_swap", "*");
+    ("Runner", "*");
+  ]
+
+let func_key f = f.I.f_module ^ "." ^ f.I.f_name
+
+let compute ?(entries = default_entries) (units : I.unit_ir list) : t =
+  let funcs : (string, I.func) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun u ->
+      List.iter (fun f -> Hashtbl.replace funcs (func_key f) f) u.I.u_funcs)
+    units;
+  let reachable = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let enqueue key =
+    if Hashtbl.mem funcs key && not (Hashtbl.mem reachable key) then begin
+      Hashtbl.replace reachable key ();
+      Queue.add key queue
+    end
+  in
+  List.iter
+    (fun (m, fn) ->
+      if fn = "*" then
+        List.iter
+          (fun u ->
+            if u.I.u_module = m then
+              List.iter (fun f -> enqueue (func_key f)) u.I.u_funcs)
+          units
+      else enqueue (m ^ "." ^ fn))
+    entries;
+  while not (Queue.is_empty queue) do
+    let key = Queue.pop queue in
+    match Hashtbl.find_opt funcs key with
+    | None -> ()
+    | Some f ->
+        List.iter
+          (fun r ->
+            (* a reference is either already qualified or bare within
+               the calling module *)
+            enqueue r;
+            enqueue (f.I.f_module ^ "." ^ r))
+          f.I.f_refs
+  done;
+  (* A global is hot when any reachable function references it. *)
+  let hot_globals = Hashtbl.create 64 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun f ->
+          if Hashtbl.mem reachable (func_key f) then
+            List.iter
+              (fun r -> Hashtbl.replace hot_globals r ())
+              f.I.f_refs)
+        u.I.u_funcs)
+    units;
+  { reachable; hot_globals }
+
+let is_reachable t ~module_ ~func = Hashtbl.mem t.reachable (module_ ^ "." ^ func)
+
+let global_is_hot t (g : I.global) =
+  Hashtbl.mem t.hot_globals (g.I.g_module ^ "." ^ g.I.g_name)
+
+let n_reachable t = Hashtbl.length t.reachable

@@ -1,0 +1,21 @@
+(** Hot-path reachability: a breadth-first walk of the function-reference
+    graph from the solver entry points, and the set of module globals any
+    reachable function touches.
+
+    Name-based and over-approximate by design — a safety gate should err
+    toward flagging. *)
+
+type t
+
+val default_entries : (string * string) list
+(** The solver hot path: [("Multilevel", "*")], [("Refine", "*")],
+    [("Coarsen", "*")], [("Kl_swap", "*")], [("Runner", "*")] — ["*"]
+    meaning every toplevel function of the module. *)
+
+val compute : ?entries:(string * string) list -> Ir.unit_ir list -> t
+
+val is_reachable : t -> module_:string -> func:string -> bool
+val global_is_hot : t -> Ir.global -> bool
+
+val n_reachable : t -> int
+(** Number of reachable functions, for the report summary. *)

@@ -1,0 +1,56 @@
+(** The analyzer driver behind [hypartition analyze]: pair sources with
+    the [.cmt]s a prior [dune build] produced, lower each unit (typed
+    front, Parsetree fallback), run the call-graph pass and the DOM
+    rules, apply hyplint's suppression machinery, and report through the
+    same {!Check} vocabulary as [lint] / [check]. *)
+
+val schema_version : string
+(** Schema tag of the [--format json] output, ["hypartition-analysis/1"]. *)
+
+val default_subdirs : string list
+(** Directories analyzed under the root: [lib], [bin], [bench].  [test]
+    is excluded on purpose — the DOM fixtures there violate the contract
+    deliberately. *)
+
+type result = {
+  root : string;
+  units : Ir.unit_ir list;  (** sorted by file *)
+  n_typed : int;  (** units lowered from [.cmt] *)
+  n_parse : int;  (** units lowered from source text only *)
+  n_reachable : int;  (** hot-path functions found by the call graph *)
+  findings : Lint.Rules.finding list;  (** live (unsuppressed), sorted *)
+  suppressed : (Lint.Rules.finding * string) list;
+      (** finding, written reason *)
+  inventory : Obs.Json.t;  (** {!Inventory.to_json} of the same run *)
+}
+
+val analyze_sources :
+  ?config:Lint.Suppress.config ->
+  ?entries:(string * string) list ->
+  root:string ->
+  (string * string) list ->
+  result
+(** The filesystem-free pipeline over (root-relative path, content)
+    pairs, all lowered through the Parsetree front — what the fixture
+    tests drive.  [entries] defaults to {!Callgraph.default_entries}. *)
+
+val run :
+  ?config_path:string ->
+  ?entries:(string * string) list ->
+  ?build_dir:string ->
+  root:string ->
+  unit ->
+  (result, string) Stdlib.result
+(** Walk [root]'s {!default_subdirs}, read suppressions from
+    [lint.config], harvest and lower every unit ([build_dir] defaults to
+    [root/_build/default]), and analyze.  Sources without [.cmt]
+    coverage fall back to the Parsetree front and carry a DOM00 warning
+    noting the reduced precision. *)
+
+val report : result -> Analysis_core.Check.report
+(** One evaluation per catalogue rule plus one violation per live
+    finding; [Check.exit_code] of this report is the analyze gate. *)
+
+val to_json : result -> Obs.Json.t
+(** The versioned machine-readable report ({!schema_version}),
+    inventory included. *)

@@ -1,0 +1,491 @@
+(* The Parsetree fallback front: lower raw source text to {!Ir.unit_ir}
+   without a type environment.
+
+   Used for sources the build did not produce a (readable) [.cmt] for —
+   a unit excluded from the current dune profile, or a fixture analyzed
+   standalone in tests.  Everything here is a syntactic approximation of
+   what the typed front proves:
+
+   - a module-level binding is classified by the shape of its
+     initializer ([ref e], [Hashtbl.create n], [Array.make ...],
+     [lazy e], an explicit [: Workspace.t] constraint, ...) and by
+     record types with [mutable] fields declared in the same file;
+   - identifier references are longident text, so bare names are
+     resolved against the file's own toplevel bindings and dotted names
+     are taken at face value;
+   - escape checks look for ownership-constructor calls
+     ([Workspace.create ...], [Rng.create ...]) in the stored
+     expression, since no types exist to consult.
+
+   The driver records which front produced each unit so reports can say
+   when a unit was only syntactically covered. *)
+
+module I = Ir
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+let col_of (loc : Location.t) = loc.loc_start.pos_cnum - loc.loc_start.pos_bol
+
+let lid_to_string lid = String.concat "." (Longident.flatten lid)
+
+(* Module name from a source filename, the way dune derives it. *)
+let module_of_filename file =
+  let base = Filename.remove_extension (Filename.basename file) in
+  String.capitalize_ascii base
+
+(* ---- classification by initializer shape -------------------------------- *)
+
+(* Constructor functions that pin down the kind of the bound value. *)
+let kind_of_construction name : I.kind option =
+  match name with
+  | "ref" -> Some I.Ref
+  | "Hashtbl.create" -> Some I.Hashtbl_poly
+  | "Array.make" | "Array.create" | "Array.init" | "Array.copy"
+  | "Array.of_list" | "Array.append" | "Array.make_matrix" ->
+      Some I.Array
+  | "Bytes.create" | "Bytes.make" | "Bytes.init" | "Bytes.of_string" ->
+      Some I.Bytes
+  | "Atomic.make" -> Some I.Atomic
+  | "Mutex.create" -> Some I.Mutex
+  | "Queue.create" | "Stack.create" | "Buffer.create" -> Some I.Container
+  | _ ->
+      if I.ends_with_path ~suffix:"Workspace.create" name then Some I.Workspace
+      else if
+        I.ends_with_path ~suffix:"Rng.create" name
+        || I.ends_with_path ~suffix:"Rng.split" name
+        || name = "Random.State.make" || name = "Random.State.make_self_init"
+        || name = "Random.get_state"
+      then Some I.Rng
+      else if
+        I.ends_with_path ~suffix:"Counter.make" name
+        || I.ends_with_path ~suffix:"Gauge.make" name
+        || I.ends_with_path ~suffix:"Histogram.make" name
+      then Some I.Obs_handle
+      else None
+
+let rec classify_expr ~local_mutable (e : Parsetree.expression) :
+    (I.kind * string) option =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      let name = lid_to_string txt in
+      match kind_of_construction name with
+      | Some k -> Some (k, name ^ " ...")
+      | None ->
+          (* a record literal of a locally-declared mutable record *)
+          None)
+  | Pexp_record (fields, _) ->
+      let field_names =
+        List.filter_map
+          (fun ((lid : Longident.t Asttypes.loc), _) ->
+            match Longident.flatten lid.txt with
+            | [ f ] -> Some f
+            | parts -> (
+                match List.rev parts with f :: _ -> Some f | [] -> None))
+          (List.map (fun (l, e) -> (l, e)) fields)
+      in
+      if
+        List.exists
+          (fun (_, muts) -> List.exists (fun f -> List.mem f muts) field_names)
+          local_mutable
+      then Some (I.Mutable_record, "{ ... } (mutable record literal)")
+      else None
+  | Pexp_lazy _ -> Some (I.Lazy, "lazy ...")
+  | Pexp_array _ -> Some (I.Array, "[| ... |]")
+  | Pexp_constraint (inner, ct) -> (
+      match kind_of_core_type ct with
+      | Some k -> Some (k, core_type_hint ct)
+      | None -> classify_expr ~local_mutable inner)
+  | Pexp_tuple es ->
+      List.find_map (fun e -> classify_expr ~local_mutable e) es
+      |> Option.map (fun (k, hint) -> (I.container_of k, hint))
+  | Pexp_fun _ | Pexp_function _ -> None
+  | _ -> None
+
+and kind_of_core_type (ct : Parsetree.core_type) : I.kind option =
+  match ct.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, args) -> (
+      let name = I.normalize_path (lid_to_string txt) in
+      match I.classify_name name with
+      | Some k -> Some k
+      | None -> (
+          match List.filter_map kind_of_core_type args with
+          | [] -> None
+          | k :: _ -> Some (I.container_of k)))
+  | Ptyp_tuple ts -> (
+      match List.filter_map kind_of_core_type ts with
+      | [] -> None
+      | k :: _ -> Some (I.container_of k))
+  | _ -> None
+
+and core_type_hint (ct : Parsetree.core_type) =
+  match ct.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, _) -> lid_to_string txt
+  | _ -> "(constraint)"
+
+let is_function_binding (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_newtype _ -> true
+  | _ -> false
+
+(* ---- shared name predicates (mirroring the typed front) ----------------- *)
+
+let obs_emit_name name =
+  I.ends_with_path ~suffix:"Counter.incr" name
+  || I.ends_with_path ~suffix:"Histogram.observe" name
+  || I.ends_with_path ~suffix:"Histogram.observe_int" name
+  || I.ends_with_path ~suffix:"Gauge.set" name
+
+let random_global_name name =
+  match name with
+  | "Random.bits" | "Random.int" | "Random.int32" | "Random.int64"
+  | "Random.nativeint" | "Random.float" | "Random.bool" | "Random.full_int"
+  | "Random.self_init" | "Random.init" | "Random.full_init"
+  | "Random.set_state" | "Random.get_state" ->
+      true
+  | _ -> false
+
+let is_iterish name =
+  let last =
+    match List.rev (String.split_on_char '.' name) with
+    | last :: _ -> last
+    | [] -> name
+  in
+  List.mem last
+    [
+      "iter"; "iteri"; "iter2"; "map"; "mapi"; "map2"; "rev_map";
+      "concat_map"; "filter_map"; "filter"; "find"; "find_opt"; "find_map";
+      "exists"; "for_all"; "partition"; "fold_left"; "fold_right"; "fold";
+      "init"; "sort"; "sort_uniq"; "stable_sort";
+    ]
+  || String.starts_with ~prefix:"iter_" last
+  || String.starts_with ~prefix:"fold_" last
+
+let is_store_fn name =
+  I.ends_with_path ~suffix:"Hashtbl.add" name
+  || I.ends_with_path ~suffix:"Hashtbl.replace" name
+  || I.ends_with_path ~suffix:"Queue.add" name
+  || I.ends_with_path ~suffix:"Queue.push" name
+  || I.ends_with_path ~suffix:"Stack.push" name
+
+(* Ownership-valued expressions, syntactically: a call to a constructor
+   of an ownership type somewhere in the stored subtree. *)
+let owned_mentions_in (e : Parsetree.expression) =
+  let acc = ref [] in
+  let expr (self : Ast_iterator.iterator) (ex : Parsetree.expression) =
+    (match ex.pexp_desc with
+    | Pexp_ident { txt; _ } | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+      -> (
+        let name = lid_to_string txt in
+        match kind_of_construction name with
+        | Some I.Workspace -> acc := "Workspace.t" :: !acc
+        | Some I.Rng -> acc := "Rng.t" :: !acc
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr self ex
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  List.sort_uniq String.compare !acc
+
+(* ---- extraction --------------------------------------------------------- *)
+
+let rec pat_vars (p : Parsetree.pattern) : (string * Location.t) list =
+  match p.ppat_desc with
+  | Ppat_var { txt; loc } -> [ (txt, loc) ]
+  | Ppat_alias (sub, { txt; loc }) -> (txt, loc) :: pat_vars sub
+  | Ppat_tuple ps -> List.concat_map pat_vars ps
+  | Ppat_constraint (sub, _) -> pat_vars sub
+  | Ppat_construct (_, Some (_, sub)) -> pat_vars sub
+  | Ppat_or (a, b) -> pat_vars a @ pat_vars b
+  | _ -> []
+
+(* Constraint attached to a binding pattern, if any. *)
+let rec pat_constraint (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_constraint (_, ct) -> Some ct
+  | Ppat_alias (sub, _) -> pat_constraint sub
+  | _ -> None
+
+let extract ~file ~has_mli (str : Parsetree.structure) : I.unit_ir =
+  let unit_mod = module_of_filename file in
+  (* Locally-declared record types with mutable fields:
+     (type_name, mutable_field_names). *)
+  let local_mutable = ref [] in
+  let rec scan_types prefix (items : Parsetree.structure_item list) =
+    List.iter
+      (fun (it : Parsetree.structure_item) ->
+        match it.pstr_desc with
+        | Pstr_type (_, decls) ->
+            List.iter
+              (fun (d : Parsetree.type_declaration) ->
+                match d.ptype_kind with
+                | Ptype_record lbls ->
+                    let muts =
+                      List.filter_map
+                        (fun (l : Parsetree.label_declaration) ->
+                          if l.pld_mutable = Asttypes.Mutable then
+                            Some l.pld_name.txt
+                          else None)
+                        lbls
+                    in
+                    if muts <> [] then
+                      local_mutable :=
+                        (prefix ^ d.ptype_name.txt, muts) :: !local_mutable
+                | _ -> ())
+              decls
+        | Pstr_module mb -> scan_mb prefix mb
+        | Pstr_recmodule mbs -> List.iter (scan_mb prefix) mbs
+        | _ -> ())
+      items
+  and scan_mb prefix (mb : Parsetree.module_binding) =
+    match mb.pmb_name.txt with
+    | Some name -> scan_me (prefix ^ name ^ ".") mb.pmb_expr
+    | None -> ()
+  and scan_me prefix (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure items -> scan_types prefix items
+    | Pmod_constraint (inner, _) -> scan_me prefix inner
+    | _ -> ()
+  in
+  scan_types "" str;
+  let local_mutable = !local_mutable in
+  (* Pass A: the file's own toplevel binding names, for bare-ident
+     resolution inside function bodies. *)
+  let toplevel = ref [] in
+  let rec names prefix (items : Parsetree.structure_item list) =
+    List.iter
+      (fun (it : Parsetree.structure_item) ->
+        match it.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Parsetree.value_binding) ->
+                List.iter
+                  (fun (n, _) -> toplevel := (prefix ^ n) :: !toplevel)
+                  (pat_vars vb.pvb_pat))
+              vbs
+        | Pstr_module mb -> names_mb prefix mb
+        | Pstr_recmodule mbs -> List.iter (names_mb prefix) mbs
+        | _ -> ())
+      items
+  and names_mb prefix (mb : Parsetree.module_binding) =
+    match mb.pmb_name.txt with
+    | Some name -> names_me (prefix ^ name ^ ".") mb.pmb_expr
+    | None -> ()
+  and names_me prefix (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure items -> names prefix items
+    | Pmod_constraint (inner, _) -> names_me prefix inner
+    | _ -> ()
+  in
+  names "" str;
+  let toplevel = !toplevel in
+  let globals = ref []
+  and funcs = ref []
+  and escapes = ref []
+  and emits = ref []
+  and randoms = ref [] in
+  let is_module_global (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        match Longident.flatten txt with
+        | [ name ] -> List.mem name toplevel
+        | _ :: _ :: _ -> true
+        | [] -> false)
+    | _ -> false
+  in
+  let walk_body ~fname (body : Parsetree.expression) =
+    let refs = ref [] in
+    let loop_depth = ref 0 in
+    let in_loop f =
+      incr loop_depth;
+      Fun.protect ~finally:(fun () -> decr loop_depth) f
+    in
+    let record_name name loc =
+      (match String.split_on_char '.' name with
+      | [ bare ] ->
+          if List.mem bare toplevel then refs := (unit_mod ^ "." ^ bare) :: !refs
+      | _ -> refs := I.normalize_path name :: !refs);
+      let name = I.normalize_path name in
+      if random_global_name name then
+        randoms :=
+          {
+            I.ru_fun = fname;
+            ru_name = name;
+            ru_line = line_of loc;
+            ru_col = col_of loc;
+          }
+          :: !randoms;
+      if obs_emit_name name && !loop_depth > 0 then
+        emits :=
+          {
+            I.oe_fun = fname;
+            oe_name = name;
+            oe_line = line_of loc;
+            oe_col = col_of loc;
+          }
+          :: !emits
+    in
+    let record_escape ~loc ~desc mentions =
+      List.iter
+        (fun what ->
+          escapes :=
+            {
+              I.esc_fun = fname;
+              esc_what = what;
+              esc_line = line_of loc;
+              esc_col = col_of loc;
+              esc_desc = desc;
+            }
+            :: !escapes)
+        mentions
+    in
+    let rec expr (self : Ast_iterator.iterator) (e : Parsetree.expression) =
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } -> record_name (lid_to_string txt) loc
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+          let name = lid_to_string txt in
+          record_name name loc;
+          let plain () = List.iter (fun (_, a) -> expr self a) args in
+          (match (name, args) with
+          | ":=", [ (_, lhs); (_, rhs) ] ->
+              if is_module_global lhs then
+                record_escape ~loc:e.pexp_loc
+                  ~desc:"stored through := into a module-global ref"
+                  (owned_mentions_in rhs);
+              plain ()
+          | _ when is_store_fn name ->
+              (match args with
+              | (_, subject) :: rest when is_module_global subject ->
+                  List.iter
+                    (fun (_, a) ->
+                      record_escape ~loc:e.pexp_loc
+                        ~desc:
+                          (Printf.sprintf "stored via %s into module state" name)
+                        (owned_mentions_in a))
+                    rest
+              | _ -> ());
+              plain ()
+          | _ when is_iterish name ->
+              List.iter
+                (fun (_, a) ->
+                  match a.Parsetree.pexp_desc with
+                  | Pexp_fun _ | Pexp_function _ ->
+                      in_loop (fun () -> expr self a)
+                  | _ -> expr self a)
+                args
+          | _ -> plain ())
+      | Pexp_setfield (obj, _, rhs) ->
+          if is_module_global obj then
+            record_escape ~loc:e.pexp_loc
+              ~desc:"stored via <- into a module-global record"
+              (owned_mentions_in rhs);
+          Ast_iterator.default_iterator.expr self e
+      | Pexp_for (_, lo, hi, _, body) ->
+          expr self lo;
+          expr self hi;
+          in_loop (fun () -> expr self body)
+      | Pexp_while (cond, body) ->
+          expr self cond;
+          in_loop (fun () -> expr self body)
+      | _ -> Ast_iterator.default_iterator.expr self e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.expr it body;
+    List.sort_uniq String.compare !refs
+  in
+  (* Pass B: classify bindings, lower functions. *)
+  let rec items prefix (list : Parsetree.structure_item list) =
+    List.iter (item prefix) list
+  and item prefix (it : Parsetree.structure_item) =
+    match it.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            let vars = pat_vars vb.pvb_pat in
+            let classified =
+              if is_function_binding vb.pvb_expr then None
+              else
+                match pat_constraint vb.pvb_pat with
+                | Some ct -> (
+                    match kind_of_core_type ct with
+                    | Some k -> Some (k, core_type_hint ct)
+                    | None -> classify_expr ~local_mutable vb.pvb_expr)
+                | None -> classify_expr ~local_mutable vb.pvb_expr
+            in
+            (match (classified, vars) with
+            | Some (kind, hint), (name, loc) :: _ ->
+                globals :=
+                  {
+                    I.g_module = unit_mod;
+                    g_name = prefix ^ name;
+                    g_file = file;
+                    g_line = line_of loc;
+                    g_col = col_of loc;
+                    g_type = hint;
+                    g_kind = kind;
+                    g_safe = I.kind_is_safe kind;
+                  }
+                  :: !globals
+            | _ -> ());
+            if is_function_binding vb.pvb_expr then
+              List.iter
+                (fun (name, loc) ->
+                  let fname = prefix ^ name in
+                  let refs = walk_body ~fname vb.pvb_expr in
+                  funcs :=
+                    {
+                      I.f_module = unit_mod;
+                      f_name = fname;
+                      f_line = line_of loc;
+                      f_refs = refs;
+                      (* no types: result-type ownership mentions are
+                         typed-front-only *)
+                      f_ret_mentions = [];
+                    }
+                    :: !funcs)
+                vars)
+          vbs
+    | Pstr_module mb -> item_mb prefix mb
+    | Pstr_recmodule mbs -> List.iter (item_mb prefix) mbs
+    | _ -> ()
+  and item_mb prefix (mb : Parsetree.module_binding) =
+    match mb.pmb_name.txt with
+    | Some name -> item_me (prefix ^ name ^ ".") mb.pmb_expr
+    | None -> ()
+  and item_me prefix (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure sub -> items prefix sub
+    | Pmod_constraint (inner, _) -> item_me prefix inner
+    | _ -> ()
+  in
+  items "" str;
+  {
+    I.u_module = unit_mod;
+    u_file = file;
+    u_front = I.Parsetree_only;
+    u_has_mli = has_mli;
+    u_globals = List.rev !globals;
+    u_funcs = List.rev !funcs;
+    u_escapes = List.rev !escapes;
+    u_obs_emits = List.rev !emits;
+    u_random_uses = List.rev !randoms;
+  }
+
+(* Parse a source string; [Error] is a syntax error rendered as one line
+   (the DOM00 fallback-parse diagnostic). *)
+let parse_string ~file contents =
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | str -> Ok str
+  | exception exn -> (
+      match Location.error_of_exn exn with
+      | Some (`Ok err) ->
+          let rendered = Format.asprintf "%a" Location.print_report err in
+          let first_line =
+            match String.split_on_char '\n' (String.trim rendered) with
+            | l :: _ -> l
+            | [] -> rendered
+          in
+          Error first_line
+      | _ -> Error (Printexc.to_string exn))

@@ -1,0 +1,19 @@
+(** The Parsetree fallback front: lower raw source to {!Ir.unit_ir}
+    without a type environment.
+
+    A syntactic approximation of the typed front, used when the build
+    produced no readable [.cmt] for a source file and for self-contained
+    fixture tests.  Bindings are classified by initializer shape
+    ([ref e], [Hashtbl.create n], [lazy e], explicit type constraints)
+    and by same-file [mutable]-record declarations; references resolve
+    bare names against the file's own toplevel bindings only. *)
+
+val parse_string :
+  file:string -> string -> (Parsetree.structure, string) result
+(** Parse source text.  [Error line] carries a one-line rendering of the
+    syntax error; never raises. *)
+
+val extract :
+  file:string -> has_mli:bool -> Parsetree.structure -> Ir.unit_ir
+(** Lower one parsed unit.  [file] is the root-relative path; the unit's
+    module name is derived from it the way dune does. *)

@@ -1,0 +1,11 @@
+(** The machine-readable mutable-state inventory committed under
+    [analysis/]: every module-level mutable binding with kind,
+    domain-safety and hot-path reachability, plus per-unit coverage.
+    Deterministic — sorted, no timestamps — so diffs show state growth. *)
+
+val to_json : cg:Callgraph.t -> Ir.unit_ir list -> Obs.Json.t
+
+val render : Obs.Json.t -> string
+(** Pretty, line-oriented rendering (one field per line, trailing
+    newline) for the committed artifact; parses back with
+    {!Obs.Json.parse}. *)

@@ -1,0 +1,96 @@
+(** The front-end-neutral IR of the domain-safety analyzer.
+
+    Both the typed ([.cmt]) front and the Parsetree fallback lower a
+    compilation unit to a {!unit_ir}; the DOM rules and the call-graph
+    pass consume only this representation, so every rule works — with
+    stated precision differences — from either front. *)
+
+type front = Typed | Parsetree_only
+
+type kind =
+  | Ref
+  | Array
+  | Bytes
+  | Hashtbl_poly
+  | Lazy
+  | Container
+  | Mutable_record
+  | Atomic
+  | Mutex
+  | Workspace
+  | Rng
+  | Obs_handle
+
+type global = {
+  g_module : string;
+  g_name : string;
+  g_file : string;
+  g_line : int;
+  g_col : int;
+  g_type : string;
+  g_kind : kind;
+  g_safe : bool;
+}
+
+type obs_emit = { oe_fun : string; oe_name : string; oe_line : int; oe_col : int }
+type random_use = { ru_fun : string; ru_name : string; ru_line : int; ru_col : int }
+
+type escape = {
+  esc_fun : string;
+  esc_what : string;
+  esc_line : int;
+  esc_col : int;
+  esc_desc : string;
+}
+
+type func = {
+  f_module : string;
+  f_name : string;
+  f_line : int;
+  f_refs : string list;
+  f_ret_mentions : string list;
+}
+
+type unit_ir = {
+  u_module : string;
+  u_file : string;
+  u_front : front;
+  u_has_mli : bool;
+  u_globals : global list;
+  u_funcs : func list;
+  u_escapes : escape list;
+  u_obs_emits : obs_emit list;
+  u_random_uses : random_use list;
+}
+
+val normalize_path : string -> string
+(** Make compiler paths comparable across units: ["Solvers__.Pin_counts.t"]
+    and ["Solvers__Workspace.t"] become ["Pin_counts.t"] /
+    ["Workspace.t"]; a leading ["Stdlib."] is stripped. *)
+
+val module_of_unit : string -> string
+(** ["Solvers__Refine"] -> ["Refine"]; ["Dune__exe__Main"] -> ["Main"]. *)
+
+val ends_with_path : suffix:string -> string -> bool
+(** Dotted-path suffix match: ["Workspace.t"] accepts
+    ["Solvers.Workspace.t"] but not ["Xworkspace.t"]. *)
+
+val classify_name : string -> kind option
+(** Kind of a normalized type-constructor path, when recognizable without
+    a type environment: builtin mutable constructors ([ref], [array],
+    [Hashtbl.t], ...), the domain-safe wrappers ([Atomic.t], [Mutex.t]),
+    and the ownership types matched by dotted suffix ([Workspace.t],
+    [Rng.t]/[Random.State.t], obs [Counter.t]/[Gauge.t]/[Histogram.t]).
+    Repo-defined mutable records need the typed front's harvest pass. *)
+
+val container_of : kind -> kind
+(** The kind of an immutable shell (tuple/option/list/...) holding a
+    value of the given kind: ownership and safe kinds survive, everything
+    else becomes [Container]. *)
+
+val kind_is_safe : kind -> bool
+(** [Atomic] and [Mutex] — mutable but domain-safe by construction. *)
+
+val kind_to_string : kind -> string
+val front_to_string : front -> string
+val compare_units : unit_ir -> unit_ir -> int

@@ -142,7 +142,13 @@ let hygiene_findings ~scans =
       (fun (path, scan) ->
         List.filter_map
           (fun (m : Suppress.inline) ->
-            if m.i_used then None
+            (* markers that mention none of our rule ids belong to
+               another tool sharing the marker syntax (the DOM rules of
+               `hypartition analyze`); staleness is that tool's call *)
+            let ours =
+              List.exists (fun r -> List.mem r Rules.rule_ids) m.i_rules
+            in
+            if m.i_used || not ours then None
             else
               Some
                 {

@@ -56,6 +56,12 @@ let catalogue =
 
 let rule_ids = List.map fst catalogue
 
+(* The one `--rules` renderer shared by `lint` and `analyze`, so a rule
+   catalogue cannot drift from what its tool prints. *)
+let render_catalogue cat =
+  String.concat ""
+    (List.map (fun (id, what) -> Printf.sprintf "%-8s %s\n" id what) cat)
+
 (* ---- identifier classification ----------------------------------------- *)
 
 let rec last_component (lid : Longident.t) =

@@ -19,6 +19,12 @@ val catalogue : (string * string) list
 
 val rule_ids : string list
 
+val render_catalogue : (string * string) list -> string
+(** Render a rule catalogue the way [--rules] prints it — one
+    [id  rationale] line per rule.  Shared by [lint] and [analyze] so
+    the printed catalogue is always generated from the id list the tool
+    actually enforces. *)
+
 val scan : path:string -> Parsetree.structure -> finding list
 (** Run the expression-level rules (SRC01..SRC06, SRC08, SRC09) over one
     parsed implementation.  [path] is root-relative and decides whether

@@ -76,6 +76,10 @@ let kl_pass cfg hg counts part =
   let limit =
     if cfg.max_swaps_per_pass > 0 then cfg.max_swaps_per_pass else len
   in
+  (* Local counter shadows, flushed once per pass — the batched-flush
+     contract (DOM04): no per-event Obs emission inside the O(len^2)
+     evaluation loop. *)
+  let evals = ref 0 in
   let continue = ref true in
   while !continue && !nswaps < limit do
     (* Best swap among unlocked equal-weight cross pairs; ties broken
@@ -91,7 +95,7 @@ let kl_pass cfg hg counts part =
             && assignment.(v) <> assignment.(u)
             && Hypergraph.node_weight hg v = Hypergraph.node_weight hg u
           then begin
-            Obs.Counter.incr c_swap_evals;
+            incr evals;
             let d = swap_delta cfg hg counts assignment v u in
             let key = (d, shared_edges hg v u) in
             match !best with
@@ -103,7 +107,6 @@ let kl_pass cfg hg counts part =
     match !best with
     | None -> continue := false
     | Some (v, u, (d, _)) ->
-        Obs.Counter.incr c_swaps;
         apply_swap counts assignment v u;
         locked.(v) <- true;
         locked.(u) <- true;
@@ -125,6 +128,8 @@ let kl_pass cfg hg counts part =
       | [] -> assert false
   in
   undo !swaps !nswaps;
+  Obs.Counter.add c_swap_evals !evals;
+  Obs.Counter.add c_swaps !nswaps;
   - !best_cum
 
 (* Refine in place by repeated KL passes; returns the final cost.  Part

@@ -95,6 +95,10 @@ type ctx = {
   mutable mv_v : int;
   mutable mv_src : int;
   mutable mv_dst : int;
+  (* Delta of the move [best_move] last computed, read by its callers.
+     Lives in the ctx (one per solve) rather than at module level so
+     concurrent solves cannot race on it. *)
+  mutable best_delta : int;
   (* Hot-loop counter shadows, flushed to the Obs counters once per pass:
      an [Obs.Counter.incr] is cheap but not free, and the patch loops run
      millions of times per solve. *)
@@ -167,9 +171,7 @@ let ensure_row ctx v =
 (* Best feasible move of node v from its cached row: the destination of
    minimal delta among parts with room under [ctx.cap_limit] (first such
    part wins ties, matching the pre-cache scan order).  Returns the packed
-   destination or -1, with the delta in [best_delta_out]. *)
-let best_delta_out = ref 0
-
+   destination or -1, with the delta in [ctx.best_delta]. *)
 let best_move ctx v =
   ensure_row ctx v;
   let ws = ctx.ws in
@@ -187,7 +189,7 @@ let best_move ctx v =
       end
     end
   done;
-  best_delta_out := !best_delta;
+  ctx.best_delta <- !best_delta;
   !best
 
 (* The Pin_counts transition hook: push exact delta-gain updates (or, for
@@ -315,7 +317,7 @@ let apply_move ctx queue hook v ~src ~dst ~activate =
         then begin
           let dst = best_move ctx u in
           if dst >= 0 then
-            Support.Bucket_queue.insert queue u (- !best_delta_out)
+            Support.Bucket_queue.insert queue u (-ctx.best_delta)
         end)
       ws.Workspace.touched
 
@@ -335,7 +337,7 @@ let seed_boundary ctx queue =
           incr boundary_size;
           let dst = best_move ctx v in
           if dst >= 0 then
-            Support.Bucket_queue.insert queue v (- !best_delta_out)
+            Support.Bucket_queue.insert queue v (-ctx.best_delta)
         end
       done
   done;
@@ -349,7 +351,7 @@ let seed_boundary ctx queue =
 let seed_all ctx queue =
   for v = 0 to Array.length ctx.node_w - 1 do
     let dst = best_move ctx v in
-    if dst >= 0 then Support.Bucket_queue.insert queue v (- !best_delta_out)
+    if dst >= 0 then Support.Bucket_queue.insert queue v (-ctx.best_delta)
   done
 
 (* One FM pass; returns the (non-negative) total gain realized.
@@ -378,7 +380,7 @@ let fm_pass ctx queue hook ~full =
         if not (locked ctx v) then begin
           let dst = best_move ctx v in
           if dst >= 0 then begin
-            let delta = !best_delta_out in
+            let delta = ctx.best_delta in
             if -delta <> prio then begin
               (* Stale priority: correct and retry later. *)
               ctx.n_stale <- ctx.n_stale + 1;
@@ -449,9 +451,12 @@ let rebalance ctx queue hook =
       if ctx.weights.(ctx.part.(v)) > ctx.cap then begin
         let dst = best_move ctx v in
         if dst >= 0 then
-          Support.Bucket_queue.insert queue v (- !best_delta_out)
+          Support.Bucket_queue.insert queue v (-ctx.best_delta)
       end
     done;
+    (* Local shadows, flushed once after the loop — the batched-flush
+       contract (DOM04): no per-event Obs emission on the hot path. *)
+    let stale = ref 0 and moved = ref 0 in
     let continue = ref true in
     while !continue do
       match Support.Bucket_queue.pop_max queue with
@@ -460,19 +465,21 @@ let rebalance ctx queue hook =
           if ctx.weights.(ctx.part.(v)) > ctx.cap then begin
             let dst = best_move ctx v in
             if dst >= 0 then begin
-              let delta = !best_delta_out in
+              let delta = ctx.best_delta in
               if -delta <> prio then begin
-                Obs.Counter.incr c_stale;
+                incr stale;
                 Support.Bucket_queue.insert queue v (-delta)
               end
               else begin
-                Obs.Counter.incr c_rebalance;
+                incr moved;
                 apply_move ctx queue hook v ~src:(ctx.part.(v)) ~dst
                   ~activate:false
               end
             end
           end
-    done
+    done;
+    Obs.Counter.add c_stale !stale;
+    Obs.Counter.add c_rebalance !moved
   end
 
 (* Refine [part] in place; returns the final cost.  An optional
@@ -542,6 +549,7 @@ let refine ?(config = default_config) ?workspace hg part =
           mv_v = -1;
           mv_src = -1;
           mv_dst = -1;
+          best_delta = 0;
           n_pops = 0;
           n_stale = 0;
           n_applied = 0;
@@ -574,6 +582,7 @@ let refine ?(config = default_config) ?workspace hg part =
               end;
               gain)
         in
+        (* hyplint: allow DOM04 — one observation per FM pass, bounded by config.max_passes, not per-event; batching would lose the gain trajectory *)
         Obs.Histogram.observe_int h_pass_gain gain;
         if gain > 0 then full := false
         else if was_full then improving := false

@@ -1,0 +1,8 @@
+(* DOM01 fixture: a module-global ref referenced from a hot-path
+   function.  The compliant variant (Atomic.make) lives in
+   test_analyze.ml as the mutation pair. *)
+let hits = ref 0
+
+let solve x =
+  hits := !hits + 1;
+  x + !hits

@@ -1,0 +1,13 @@
+(* DOM02 fixture: a Workspace value stored into module state — the
+   escape the ownership check exists to catch. *)
+module Workspace = struct
+  type t = { mutable marks : int array }
+
+  let create n = { marks = Array.make n 0 }
+end
+
+let stash = ref None
+
+let leak n =
+  stash := Some (Workspace.create n);
+  n

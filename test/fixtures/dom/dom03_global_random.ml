@@ -1,0 +1,3 @@
+(* DOM03 fixture: the stdlib's implicit global PRNG in library code
+   breaks the jobs-1-vs-N determinism guarantee. *)
+let jitter n = n + Random.int 3

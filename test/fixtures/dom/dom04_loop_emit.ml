@@ -1,0 +1,15 @@
+(* DOM04 fixture: per-event counter emission inside a hot-path loop.
+   The compliant variant accumulates locally and flushes once with
+   Counter.add (see test_analyze.ml). *)
+module Counter = struct
+  let incr _ = ()
+
+  let add _ _ = ()
+end
+
+let c_steps = 0
+
+let walk n =
+  for _ = 1 to n do
+    Counter.incr c_steps
+  done

@@ -1,0 +1,6 @@
+(* DOM05 fixture: a toplevel Hashtbl in a hot-path module (the test
+   feeds this file in under lib/solvers/).  SRC09 catches the
+   expression-level uses; DOM05 is its module-scope promotion. *)
+let cache : (int, int) Hashtbl.t = Hashtbl.create 64
+
+let lookup k = Hashtbl.find_opt cache k

@@ -1,0 +1,3 @@
+(* DOM06 fixture: an unsafe mutable global in a lib module without a
+   sealing .mli — nothing states the mutation contract. *)
+let total = ref 0

@@ -23,5 +23,6 @@ let () =
       ("coverage", Test_coverage.suite);
       ("analysis", Test_analysis.suite);
       ("lint", Test_lint.suite);
+      ("analyze", Test_analyze.suite);
       ("engine", Test_engine.suite);
     ]
