@@ -162,17 +162,6 @@ let micro_benchmarks () =
 (* ------------------------------------------------------------------ *)
 (* JSON report (schema Obs.bench_schema_version) *)
 
-let git_rev () =
-  try
-    let ic =
-      Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
-    in
-    let line = try input_line ic with End_of_file -> "" in
-    match Unix.close_process_in ic with
-    | Unix.WEXITED 0 when line <> "" -> line
-    | _ -> "unknown"
-  with _ -> "unknown"
-
 (* One report section per experiment outcome: id, engine timing and the
    worker's observability snapshot (counters, gauges, histograms, span
    rollup), lifted to the top level of the section as in bench/1. *)
@@ -232,6 +221,10 @@ let write_report ~out ~rev ~jobs ~report ~micro =
         ("schema", Str Obs.bench_schema_version);
         ("git_rev", Str rev);
         ("ocaml_version", Str Sys.ocaml_version);
+        (* Full provenance object (hostname, word size, ...) — git_rev and
+           ocaml_version stay at the top level too so bench/2 consumers
+           keep working unchanged. *)
+        ("provenance", Obj (Engine.Provenance.collect ~jobs ()));
         ("unix_time", Float (Unix.time ()));
         ("engine", engine_section);
         ("experiments", Arr experiments);
@@ -388,7 +381,7 @@ let () =
     end
   in
   let micro_rows = if run_micro then micro_benchmarks () else [] in
-  let rev = git_rev () in
+  let rev = Engine.Provenance.git_rev () in
   let out =
     match !out with
     | Some file -> file

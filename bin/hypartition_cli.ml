@@ -38,7 +38,8 @@ let seed_arg =
 let trace_arg =
   let doc =
     Printf.sprintf
-      "Append a JSONL span trace (schema %s) of the run to $(docv)."
+      "Write a JSONL span trace (schema %s) of the run to $(docv), \
+       truncating any existing file."
       Obs.trace_schema_version
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"TRACE" ~doc)
@@ -50,7 +51,14 @@ let stats_flag =
   Arg.(value & flag & info [ "stats" ] ~doc)
 
 let setup_obs trace stats =
-  (match trace with Some path -> Obs.enable_trace path | None -> ());
+  (match trace with
+  | Some path ->
+      Obs.enable_trace path;
+      (* Stamp the header before any spans: the trace should identify its
+         machine and revision even for subcommands that never reach the
+         batch engine (which stamps its own richer record). *)
+      Obs.emit_provenance (Engine.Provenance.collect ())
+  | None -> ());
   if stats then Obs.enable_summary ()
 
 let algorithm_arg =
@@ -660,8 +668,11 @@ let run_trace_validate path =
   in
   let validate_trace lines =
     (* First line is the meta record; span records follow, each child
-       emitted before its parent (spans are written as they end). *)
-    let* () =
+       emitted before its parent (spans are written as they end).  Both
+       trace schema generations validate: /1 traces predate the merged
+       multi-process timeline, /2 adds provenance records and per-span
+       trace ids. *)
+    let* schema =
       match lines with
       | meta :: _ -> (
           let* doc =
@@ -670,11 +681,14 @@ let run_trace_validate path =
           let* ty = str_field "type" doc in
           let* schema = str_field "schema" doc in
           if ty <> "meta" then Error "first line is not a meta record"
-          else if schema <> Obs.trace_schema_version then
+          else if
+            schema <> Obs.trace_schema_version
+            && schema <> Obs.trace_schema_v1
+          then
             Error
-              (Printf.sprintf "unsupported trace schema %S (expected %S)"
-                 schema Obs.trace_schema_version)
-          else Ok ())
+              (Printf.sprintf "unsupported trace schema %S (expected %S or %S)"
+                 schema Obs.trace_schema_v1 Obs.trace_schema_version)
+          else Ok schema)
       | [] -> Error "empty trace"
     in
     let spans = Hashtbl.create 64 in
@@ -713,7 +727,7 @@ let run_trace_validate path =
                 Hashtbl.replace spans id (parent, int_of_float depth, path);
                 Ok ()
               end
-          | "meta" | "counter" | "gauge" | "histogram" -> Ok ()
+          | "meta" | "counter" | "gauge" | "histogram" | "provenance" -> Ok ()
           | other -> Error (Printf.sprintf "line %d: unknown record type %S" lineno other))
         (Ok ())
         (List.mapi (fun i l -> (i + 2, l)) (List.tl lines))
@@ -746,7 +760,7 @@ let run_trace_validate path =
     in
     Printf.printf
       "valid trace (schema %s): %d spans (%d roots), %d counters, %d gauges, %d histograms\n"
-      Obs.trace_schema_version (n "span") roots (n "counter") (n "gauge")
+      schema (n "span") roots (n "counter") (n "gauge")
       (n "histogram");
     Ok ()
   in
@@ -773,7 +787,9 @@ let run_trace_validate path =
         | Some s when s = Engine.Batch.schema_version ->
             let* doc = Obs.Json.parse (String.trim content) in
             validate_batch doc
-        | Some s when s = Obs.trace_schema_version -> validate_trace lines
+        | Some s
+          when s = Obs.trace_schema_version || s = Obs.trace_schema_v1 ->
+            validate_trace lines
         | Some other -> Error (Printf.sprintf "unknown schema %S" other)
         | None -> Error "first line has no schema tag")
   in
@@ -820,7 +836,7 @@ let lint_cmd =
     Arg.(value & opt (some file) None & info [ "config" ] ~docv:"CONF" ~doc)
   in
   let rules_flag =
-    let doc = "Print the rule catalogue (SRC00..SRC09) and exit." in
+    let doc = "Print the rule catalogue (SRC00..SRC10) and exit." in
     Arg.(value & flag & info [ "rules" ] ~doc)
   in
   let format_arg =
@@ -834,7 +850,7 @@ let lint_cmd =
   let info =
     Cmd.info "lint"
       ~doc:
-        "Run the AST-level source linter (rules SRC01..SRC09) over the \
+        "Run the AST-level source linter (rules SRC01..SRC10) over the \
          repository; non-zero exit on any unsuppressed finding."
   in
   Cmd.v info
@@ -999,6 +1015,52 @@ let trace_cmd =
          malformed."
   in
   Cmd.v info Term.(const run_trace_validate $ file_arg)
+
+(* report: the analytics layer over the same artifacts `trace` validates.
+   Where `trace` answers "is this file well-formed", `report` answers
+   "where did the time go": per-phase wall/self-time tables, the critical
+   path under each engine.job span, top spans, GC gauge summaries — or,
+   with --folded, flamegraph-ready folded stacks on stdout. *)
+
+let run_report path folded top =
+  match Obs.Report.load path with
+  | Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      1
+  | Ok data ->
+      if folded then print_string (Obs.Report.folded data)
+      else Obs.Report.render ~top Format.std_formatter data;
+      0
+
+let report_cmd =
+  let file_arg =
+    let doc =
+      Printf.sprintf
+        "Span trace (JSONL, schema %s or %s) or bench report (JSON, schema \
+         %s) to analyze."
+        Obs.trace_schema_v1 Obs.trace_schema_version Obs.bench_schema_version
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let folded_flag =
+    let doc =
+      "Emit folded stacks (`a;b;c self-ns`) instead of the tables — pipe \
+       into standard flamegraph tooling."
+    in
+    Arg.(value & flag & info [ "folded" ] ~doc)
+  in
+  let top_arg =
+    let doc = "Number of slowest spans to list in the top-spans table." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let info =
+    Cmd.info "report"
+      ~doc:
+        "Analyze an observability artifact: per-phase wall/self time, \
+         per-job critical paths, top spans and GC summaries from a span \
+         trace or bench report; --folded writes flamegraph input."
+  in
+  Cmd.v info Term.(const run_report $ file_arg $ folded_flag $ top_arg)
 
 (* ---- batch: the parallel execution engine -------------------------------- *)
 
@@ -1212,7 +1274,7 @@ let main =
     [
       partition_cmd; stats_cmd; recognize_cmd; hierarchical_cmd;
       schedule_cmd; convert_cmd; evaluate_cmd; generate_cmd; check_cmd;
-      lint_cmd; analyze_cmd; bench_cmd; trace_cmd; batch_cmd;
+      lint_cmd; analyze_cmd; bench_cmd; trace_cmd; report_cmd; batch_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -89,8 +89,13 @@ let run ?(on_event = fun (_ : event) -> ()) config jobs =
   | Ok cache ->
       Obs.Span.with_
         ~attrs:[ ("jobs", Obs.Int (List.length jobs)) ]
-        "engine/batch"
+        "engine.batch"
       @@ fun () ->
+      (* Stamp the trace with where it came from, while the batch span is
+         open — cross-machine comparisons need the header, not a guess. *)
+      if Obs.enabled () then
+        Obs.emit_provenance
+          (Provenance.collect ~jobs:config.pool.Pool.jobs ());
       let t0 = Support.Util.monotonic_ns () in
       let n = List.length jobs in
       let results : outcome option array = Array.make (max 1 n) None in

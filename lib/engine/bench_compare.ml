@@ -22,6 +22,15 @@ type row = {
   current : float;
 }
 
+(* Where a regression came from: one span phase of the regressed
+   experiment, with its wall seconds on each side.  Sorted by absolute
+   slowdown, so the first row names the guilty phase. *)
+type phase_delta = {
+  pd_path : string;
+  pd_baseline_s : float;
+  pd_current_s : float;
+}
+
 type report = {
   rows : row list; (* experiments first, then micro, in baseline order *)
   only_baseline : string list; (* rows the current report no longer has *)
@@ -29,6 +38,8 @@ type report = {
   threshold_pct : float;
   baseline_rev : string;
   current_rev : string;
+  attribution : (string * phase_delta list) list;
+      (* per regressed experiment: phases ranked by slowdown *)
 }
 
 let schema_version = "hypartition-bench-compare/1"
@@ -92,6 +103,63 @@ let rev_of_report doc =
   | Some (Obs.Json.Str s) -> s
   | _ -> "unknown"
 
+(* The span rollup an experiment row carries (bench/2 lifts the worker's
+   observed snapshot into the row): path -> total wall seconds.  Rows
+   without one — older reports, failed jobs — yield []. *)
+let phases_of_experiment e =
+  match Obs.Json.member "spans" e with
+  | Some (Obs.Json.Arr spans) ->
+      List.filter_map
+        (fun s ->
+          match
+            ( Option.bind (Obs.Json.member "path" s) Obs.Json.get_str,
+              Option.bind (Obs.Json.member "total_s" s) Obs.Json.get_float )
+          with
+          | Some path, Some total -> Some (path, total)
+          | _ -> None)
+        spans
+  | _ -> []
+
+let experiment_phases doc id =
+  match Obs.Json.member "experiments" doc with
+  | Some (Obs.Json.Arr experiments) -> (
+      match
+        List.find_opt
+          (fun e ->
+            Option.bind (Obs.Json.member "id" e) Obs.Json.get_str = Some id)
+          experiments
+      with
+      | Some e -> phases_of_experiment e
+      | None -> [])
+  | _ -> []
+
+(* Per-phase wall-time deltas for one regressed experiment, worst
+   slowdown first.  Phases present on only one side still rank (a brand
+   new phase IS the likely culprit), with 0 on the missing side. *)
+let attribute ~baseline ~current id =
+  let base = experiment_phases baseline id in
+  let cur = experiment_phases current id in
+  let paths =
+    List.sort_uniq String.compare (List.map fst base @ List.map fst cur)
+  in
+  let total phases path = Option.value ~default:0.0 (List.assoc_opt path phases) in
+  let deltas =
+    List.map
+      (fun path ->
+        {
+          pd_path = path;
+          pd_baseline_s = total base path;
+          pd_current_s = total cur path;
+        })
+      paths
+  in
+  List.sort
+    (fun a b ->
+      Float.compare
+        (b.pd_current_s -. b.pd_baseline_s)
+        (a.pd_current_s -. a.pd_baseline_s))
+    deltas
+
 let compare_json ?(threshold_pct = 25.0) ~baseline ~current () =
   let* () =
     if threshold_pct <= 0.0 then Error "threshold must be positive" else Ok ()
@@ -123,6 +191,16 @@ let compare_json ?(threshold_pct = 25.0) ~baseline ~current () =
         if find base_rows name kind = None then Some name else None)
       cur_rows
   in
+  let attribution =
+    List.filter_map
+      (fun r ->
+        if regressed ~threshold_pct r then
+          match attribute ~baseline ~current r.name with
+          | [] -> None
+          | deltas -> Some (r.name, deltas)
+        else None)
+      matched
+  in
   Ok
     {
       rows = matched;
@@ -131,6 +209,7 @@ let compare_json ?(threshold_pct = 25.0) ~baseline ~current () =
       threshold_pct;
       baseline_rev = rev_of_report baseline;
       current_rev = rev_of_report current;
+      attribution;
     }
 
 let load path =
@@ -170,6 +249,24 @@ let to_json t =
       ("rows", Arr (List.map row t.rows));
       ("only_baseline", Arr (List.map (fun s -> Str s) t.only_baseline));
       ("only_current", Arr (List.map (fun s -> Str s) t.only_current));
+      ( "attribution",
+        Obj
+          (List.map
+             (fun (id, deltas) ->
+               ( id,
+                 Arr
+                   (List.map
+                      (fun d ->
+                        Obj
+                          [
+                            ("path", Str d.pd_path);
+                            ("baseline_s", Float d.pd_baseline_s);
+                            ("current_s", Float d.pd_current_s);
+                            ( "delta_s",
+                              Float (d.pd_current_s -. d.pd_baseline_s) );
+                          ])
+                      deltas) ))
+             t.attribution) );
     ]
 
 let render t =
@@ -195,6 +292,21 @@ let render t =
     t.rows;
   List.iter (fun n -> add "  %-52s only in baseline\n" n) t.only_baseline;
   List.iter (fun n -> add "  %-52s only in current\n" n) t.only_current;
+  (* Regressions carry a phase-level bill: the experiment's span rollup
+     from each side, ranked by how many wall seconds the phase gained. *)
+  List.iter
+    (fun (id, deltas) ->
+      add "  phase attribution for %s (top slowdowns first):\n" id;
+      let shown = List.filteri (fun i _ -> i < 5) deltas in
+      List.iter
+        (fun d ->
+          add "    %-50s %8.3f s -> %8.3f s  (%+.3f s)\n" d.pd_path
+            d.pd_baseline_s d.pd_current_s
+            (d.pd_current_s -. d.pd_baseline_s))
+        shown;
+      let rest = List.length deltas - List.length shown in
+      if rest > 0 then add "    ... and %d more phase(s)\n" rest)
+    t.attribution;
   (match regressions t with
   | [] -> add "ok: no experiment regressed beyond %.0f%%\n" t.threshold_pct
   | rs ->

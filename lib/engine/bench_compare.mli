@@ -19,6 +19,15 @@ type row = {
   current : float;
 }
 
+type phase_delta = {
+  pd_path : string;  (** span rollup path, e.g. ["engine.job/multilevel"] *)
+  pd_baseline_s : float;
+  pd_current_s : float;
+}
+(** One phase of a regressed experiment's span rollup, with its wall
+    seconds on each side.  A phase present on only one side keeps 0 on
+    the missing side — a brand-new phase is the likely culprit. *)
+
 type report = {
   rows : row list;  (** matched rows, experiments first, baseline order *)
   only_baseline : string list;  (** rows the current report no longer has *)
@@ -26,6 +35,10 @@ type report = {
   threshold_pct : float;
   baseline_rev : string;
   current_rev : string;
+  attribution : (string * phase_delta list) list;
+      (** per regressed experiment (by id): its phases ranked worst
+          slowdown first, from the bench/2 embedded span rollups; absent
+          when the rollups are missing (old reports, failed jobs) *)
 }
 
 val schema_version : string

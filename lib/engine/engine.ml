@@ -6,6 +6,7 @@ module Record = Record
 module Cache = Cache
 module Manifest = Manifest
 module Pool = Pool
+module Provenance = Provenance
 module Runner = Runner
 module Batch = Batch
 module Bench_compare = Bench_compare

@@ -76,6 +76,7 @@ type running = {
   r_deadline : int64 option;
   r_slot : int;
   mutable r_killed : bool;
+  r_shard : string option; (* the worker's trace shard, absorbed at drain *)
 }
 
 let ns_of_s s = Int64.of_float (s *. 1e9)
@@ -92,18 +93,32 @@ let write_all fd s =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
+(* The shard path a worker writes, derived from the coordinator's trace
+   path and the worker pid — computed identically on both sides of the
+   fork so the coordinator knows what to absorb. *)
+let shard_path ~base ~pid = Printf.sprintf "%s.worker.%d.jsonl" base pid
+
 (* Runs in the forked child; never returns.  Anything the worker function
    raises becomes a Failed payload (a deterministic job-level failure);
    only dying without completing the protocol counts as a crash. *)
-let child_main ~silence ~worker ~job write_fd =
+let child_main ~silence ~trace_ctx ~worker ~job write_fd =
   if silence then begin
     let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
     Unix.dup2 devnull Unix.stdout;
     Unix.close devnull
   end;
   (* Drop sinks inherited from the coordinator: a worker must never
-     append to the parent's trace file. *)
+     append to the parent's trace file.  When the coordinator is tracing,
+     attach a shard of our own instead — its meta header carries the
+     trace id (the job fingerprint) and the coordinator-side parent span,
+     so the coordinator can merge it back into one timeline. *)
   Obs.reset_for_tests ();
+  (match trace_ctx with
+  | None -> ()
+  | Some (base, trace_id, parent_span) ->
+      let pid = Unix.getpid () in
+      Obs.enable_trace_shard ~trace_id ?parent_span ~pid
+        (shard_path ~base ~pid));
   let payload =
     try worker job
     with e ->
@@ -113,6 +128,9 @@ let child_main ~silence ~worker ~job write_fd =
         p_observed = None;
       }
   in
+  (* Finalize the shard before reporting: a payload on the status pipe
+     promises the shard is complete. *)
+  Obs.close ();
   (match write_all write_fd (Obs.Json.to_string (Record.payload_to_json payload))
    with
   | () -> ()
@@ -131,12 +149,19 @@ let spawn ~config ~worker ~slot (p : pending) =
   (* Flush buffered output so the child does not replay it. *)
   flush stdout;
   flush stderr;
+  (* Capture the trace context before forking: the job fingerprint is the
+     trace id, the innermost open span (engine.batch) the parent. *)
+  let trace_ctx =
+    match Obs.trace_file () with
+    | None -> None
+    | Some base -> Some (base, p.p_fp, Obs.current_span_id ())
+  in
   let read_fd, write_fd = Unix.pipe ~cloexec:false () in
   match Unix.fork () with
   | 0 ->
       (try Unix.close read_fd with Unix.Unix_error _ -> ());
-      child_main ~silence:config.silence_worker_stdout ~worker ~job:p.p_job
-        write_fd
+      child_main ~silence:config.silence_worker_stdout ~trace_ctx ~worker
+        ~job:p.p_job write_fd
   | pid ->
       Unix.close write_fd;
       let now = Support.Util.monotonic_ns () in
@@ -158,6 +183,10 @@ let spawn ~config ~worker ~slot (p : pending) =
         r_deadline = Option.map (fun t -> Int64.add now (ns_of_s t)) timeout;
         r_slot = slot;
         r_killed = false;
+        r_shard =
+          Option.map
+            (fun (base, _, _) -> shard_path ~base ~pid)
+            trace_ctx;
       }
 
 let read_chunk r =
@@ -246,6 +275,7 @@ let run ?(on_event = fun (_ : event) -> ()) config ~worker jobs =
   in
   let running = ref [] in
   let results = ref [] in
+  let shards = ref [] in (* (job index, shard path) of final attempts *)
   let slot_free = Array.make slots true in
   let interrupt_announced = ref false in
   let finish index record =
@@ -283,8 +313,22 @@ let run ?(on_event = fun (_ : event) -> ()) config ~worker jobs =
       read_chunk r
     done;
     let wall = Support.Util.seconds_of_ns (Int64.sub now r.r_started) in
+    (* A final attempt's shard (complete, or partial for a killed worker)
+       is merged at drain; a retried attempt's partial shard is stale —
+       the retry forks a fresh pid, hence a fresh shard path. *)
+    let keep_shard () =
+      match r.r_shard with
+      | Some path -> shards := (r.r_index, path) :: !shards
+      | None -> ()
+    in
+    let drop_shard () =
+      match r.r_shard with
+      | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+      | None -> ()
+    in
     match classify r status with
     | `Payload { Record.p_status = `Done; p_metrics; p_observed } ->
+        keep_shard ();
         let record =
           make_record ~r ~status:Record.Done ~metrics:p_metrics
             ~observed:p_observed ~wall
@@ -292,6 +336,7 @@ let run ?(on_event = fun (_ : event) -> ()) config ~worker jobs =
         on_event (Finished { index = r.r_index; record });
         finish r.r_index record
     | `Payload { Record.p_status = `Failed msg; p_metrics; p_observed } ->
+        keep_shard ();
         let record =
           make_record ~r ~status:(Record.Failed msg) ~metrics:p_metrics
             ~observed:p_observed ~wall
@@ -299,6 +344,7 @@ let run ?(on_event = fun (_ : event) -> ()) config ~worker jobs =
         on_event (Finished { index = r.r_index; record });
         finish r.r_index record
     | `Timeout budget ->
+        keep_shard ();
         let record =
           make_record ~r ~status:(Record.Timed_out budget) ~metrics:[]
             ~observed:None ~wall
@@ -307,6 +353,7 @@ let run ?(on_event = fun (_ : event) -> ()) config ~worker jobs =
         finish r.r_index record
     | `Crash msg ->
         if r.r_attempt <= config.retries && not !interrupted then begin
+          drop_shard ();
           (* Transient-looking death: bounded retry with exponential
              backoff. *)
           let delay =
@@ -330,6 +377,7 @@ let run ?(on_event = fun (_ : event) -> ()) config ~worker jobs =
               ]
         end
         else begin
+          keep_shard ();
           let record =
             make_record ~r ~status:(Record.Crashed msg) ~metrics:[]
               ~observed:None ~wall
@@ -396,6 +444,17 @@ let run ?(on_event = fun (_ : event) -> ()) config ~worker jobs =
       !running;
     running := !still
   done;
+  (* Absorb worker trace shards in job-index order, so merged span ids
+     depend only on the plan — identical for --jobs 1 and --jobs 8.  The
+     coordinator's own engine.batch span is still open here, so absorbed
+     shard roots re-parent under it. *)
+  List.iter
+    (fun (_, path) ->
+      ignore (Obs.absorb_shard path : int);
+      try Sys.remove path with Sys_error _ -> ())
+    (List.sort
+       (fun (a, _) (b, _) -> Int.compare a b)
+       !shards);
   (* Results in input (index) order: callers zip against their job list. *)
   List.map snd
     (List.sort (fun (a, _) (b, _) -> Int.compare a b) !results)

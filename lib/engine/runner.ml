@@ -236,8 +236,20 @@ let execute (job : Spec.job) =
       let result =
         Obs.Span.with_
           ~attrs:[ ("job", Obs.Str (Spec.describe job)) ]
-          "engine/job"
-          (fun () -> run_job job)
+          "engine.job"
+          (fun () ->
+            let alloc0 =
+              if Obs.Prof.enabled () then Obs.Prof.allocated_words () else 0.0
+            in
+            let r = run_job job in
+            if Obs.Prof.enabled () then begin
+              (* Solve end: stamp the job's allocation bill on its span
+                 and record the heap state the solve left behind. *)
+              Obs.Span.attr "gc.alloc_words"
+                (Obs.Float (Obs.Prof.allocated_words () -. alloc0));
+              Obs.Prof.sample ()
+            end;
+            r)
       in
       let observed = Some (snapshot_to_json (Obs.snapshot ())) in
       (match result with

@@ -52,6 +52,10 @@ let catalogue =
        tuples) at runtime and allocates per operation — use a flat \
        scratch array with a touched-list or stamp reset (Workspace), \
        sort-based dedup, or a specialized Hashtbl.Make" );
+    ( "SRC10",
+      "direct Gc.* use outside lib/obs: heap telemetry and allocation \
+       metering go through Obs.Prof (the designated profiling surface), so \
+       GC reads stay one coherent layer instead of ad-hoc Gc.stat calls" );
   ]
 
 let rule_ids = List.map fst catalogue
@@ -106,6 +110,12 @@ let is_src08 (lid : Longident.t) =
   match lid with
   | Ldot (Lident ("Unix" | "UnixLabels"), ("fork" | "waitpid" | "kill")) ->
       true
+  | _ -> false
+
+let is_src10 (lid : Longident.t) =
+  match lid with
+  | Ldot (Lident "Gc", _) -> true
+  | Ldot (Ldot (Lident "Stdlib", "Gc"), _) -> true
   | _ -> false
 
 (* Any value of the polymorphic [Hashtbl] module.  [hash]/[seeded_hash]
@@ -220,6 +230,7 @@ let scan ~path (str : Parsetree.structure) =
     String.starts_with ~prefix:"lib/solvers/" path
     || String.starts_with ~prefix:"lib/hypergraph/" path
   in
+  let in_obs = String.starts_with ~prefix:"lib/obs/" path in
   let acc = ref [] in
   let add ~rule ~loc message =
     acc :=
@@ -284,6 +295,11 @@ let scan ~path (str : Parsetree.structure) =
                "Hashtbl.%s in a hot-path module: polymorphic hashing of \
                 structured keys; use a Workspace scratch array, sort-based \
                 dedup or Hashtbl.Make"
+               (last_component txt));
+        if (not in_obs) && is_src10 txt then
+          add ~rule:"SRC10" ~loc
+            (Printf.sprintf
+               "Gc.%s outside lib/obs; heap telemetry goes through Obs.Prof"
                (last_component txt))
     | Pexp_apply
         ( { pexp_desc = Pexp_ident { txt = Lident ("failwith" | "invalid_arg"); loc };

@@ -1,4 +1,5 @@
-(* Structured observability: monotonic spans, metrics, pluggable sinks.
+(* Structured observability: monotonic spans, metrics, pluggable sinks,
+   and — since trace/2 — cross-process trace context.
 
    Design constraints, in order:
    1. disabled instrumentation must cost ~nothing on the FM hot path — a
@@ -7,265 +8,24 @@
    3. machine-readable output (JSONL trace, metric snapshots) so the bench
       harness and CI can consume what humans see in the summary tree.
 
-   Single-threaded, like the solvers. *)
+   Cross-process model: the coordinator owns the trace file; each forked
+   worker writes its own shard (`<trace>.worker.<pid>.jsonl`) carrying the
+   trace id (the job fingerprint) and the coordinator-side parent span id
+   in its meta header.  The coordinator absorbs shards with
+   {!absorb_shard}, renumbering span ids from its own counter and
+   re-rooting shard roots under the still-open parent span, so the merged
+   file is one consistent timeline.  Within each process the library
+   stays single-threaded, like the solvers. *)
 
 type attr = Str of string | Int of int | Float of float | Bool of bool
 
-let trace_schema_version = "hypartition-trace/1"
-let bench_schema_version = "hypartition-bench/2"
+module Json = Json
+
+let trace_schema_version = Schema.trace_v2
+let trace_schema_v1 = Schema.trace_v1
+let bench_schema_version = Schema.bench_v2
 
 let now_ns = Support.Util.monotonic_ns
-
-(* ------------------------------------------------------------------ *)
-(* JSON *)
-
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  let escape_to buf s =
-    Buffer.add_char buf '"';
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.add_char buf '"'
-
-  let float_to_string f =
-    if Float.is_integer f && Float.abs f < 1e15 then
-      Printf.sprintf "%.1f" f
-    else Printf.sprintf "%.17g" f
-
-  let rec write buf = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f ->
-        if Float.is_finite f then Buffer.add_string buf (float_to_string f)
-        else Buffer.add_string buf "null"
-    | Str s -> escape_to buf s
-    | Arr l ->
-        Buffer.add_char buf '[';
-        List.iteri
-          (fun i v ->
-            if i > 0 then Buffer.add_char buf ',';
-            write buf v)
-          l;
-        Buffer.add_char buf ']'
-    | Obj l ->
-        Buffer.add_char buf '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_char buf ',';
-            escape_to buf k;
-            Buffer.add_char buf ':';
-            write buf v)
-          l;
-        Buffer.add_char buf '}'
-
-  let to_string v =
-    let buf = Buffer.create 256 in
-    write buf v;
-    Buffer.contents buf
-
-  exception Parse_error of string
-
-  (* Recursive-descent parser over the input string. *)
-  let parse s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let skip_ws () =
-      while
-        !pos < n
-        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-      do
-        advance ()
-      done
-    in
-    let expect c =
-      if !pos < n && s.[!pos] = c then advance ()
-      else fail (Printf.sprintf "expected '%c'" c)
-    in
-    let literal word v =
-      let l = String.length word in
-      if !pos + l <= n && String.sub s !pos l = word then begin
-        pos := !pos + l;
-        v
-      end
-      else fail ("expected " ^ word)
-    in
-    let add_utf8 buf code =
-      (* Encode one Unicode scalar value as UTF-8. *)
-      if code < 0x80 then Buffer.add_char buf (Char.chr code)
-      else if code < 0x800 then begin
-        Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-      end
-      else begin
-        Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-      end
-    in
-    let parse_string () =
-      expect '"';
-      let buf = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then fail "unterminated string"
-        else
-          match s.[!pos] with
-          | '"' -> advance ()
-          | '\\' ->
-              advance ();
-              (if !pos >= n then fail "unterminated escape"
-               else
-                 match s.[!pos] with
-                 | '"' -> Buffer.add_char buf '"'; advance ()
-                 | '\\' -> Buffer.add_char buf '\\'; advance ()
-                 | '/' -> Buffer.add_char buf '/'; advance ()
-                 | 'b' -> Buffer.add_char buf '\b'; advance ()
-                 | 'f' -> Buffer.add_char buf '\012'; advance ()
-                 | 'n' -> Buffer.add_char buf '\n'; advance ()
-                 | 'r' -> Buffer.add_char buf '\r'; advance ()
-                 | 't' -> Buffer.add_char buf '\t'; advance ()
-                 | 'u' ->
-                     advance ();
-                     if !pos + 4 > n then fail "truncated \\u escape";
-                     let hex = String.sub s !pos 4 in
-                     (match int_of_string_opt ("0x" ^ hex) with
-                     | Some code -> add_utf8 buf code
-                     | None -> fail "bad \\u escape");
-                     pos := !pos + 4
-                 | _ -> fail "unknown escape");
-              go ()
-          | c -> Buffer.add_char buf c; advance (); go ()
-      in
-      go ();
-      Buffer.contents buf
-    in
-    let parse_number () =
-      let start = !pos in
-      let is_num_char c =
-        match c with
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while !pos < n && is_num_char s.[!pos] do
-        advance ()
-      done;
-      let lexeme = String.sub s start (!pos - start) in
-      let floaty = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lexeme in
-      if floaty then
-        match float_of_string_opt lexeme with
-        | Some f -> Float f
-        | None -> fail "bad number"
-      else
-        match int_of_string_opt lexeme with
-        | Some i -> Int i
-        | None -> (
-            match float_of_string_opt lexeme with
-            | Some f -> Float f
-            | None -> fail "bad number")
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | None -> fail "unexpected end of input"
-      | Some '{' ->
-          advance ();
-          skip_ws ();
-          if peek () = Some '}' then begin
-            advance ();
-            Obj []
-          end
-          else begin
-            let fields = ref [] in
-            let rec fields_loop () =
-              skip_ws ();
-              let key = parse_string () in
-              skip_ws ();
-              expect ':';
-              let v = parse_value () in
-              fields := (key, v) :: !fields;
-              skip_ws ();
-              match peek () with
-              | Some ',' -> advance (); fields_loop ()
-              | Some '}' -> advance ()
-              | _ -> fail "expected ',' or '}'"
-            in
-            fields_loop ();
-            Obj (List.rev !fields)
-          end
-      | Some '[' ->
-          advance ();
-          skip_ws ();
-          if peek () = Some ']' then begin
-            advance ();
-            Arr []
-          end
-          else begin
-            let items = ref [] in
-            let rec items_loop () =
-              let v = parse_value () in
-              items := v :: !items;
-              skip_ws ();
-              match peek () with
-              | Some ',' -> advance (); items_loop ()
-              | Some ']' -> advance ()
-              | _ -> fail "expected ',' or ']'"
-            in
-            items_loop ();
-            Arr (List.rev !items)
-          end
-      | Some '"' -> Str (parse_string ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> parse_number ()
-    in
-    match
-      let v = parse_value () in
-      skip_ws ();
-      if !pos <> n then fail "trailing garbage";
-      v
-    with
-    | v -> Ok v
-    | exception Parse_error msg -> Error msg
-
-  let member key = function
-    | Obj fields -> List.assoc_opt key fields
-    | _ -> None
-
-  let get_int = function
-    | Int i -> Some i
-    | Float f when Float.is_integer f && Float.abs f < 1e15 ->
-        Some (int_of_float f)
-    | _ -> None
-
-  let get_float = function
-    | Int i -> Some (float_of_int i)
-    | Float f -> Some f
-    | _ -> None
-
-  let get_str = function Str s -> Some s | _ -> None
-end
 
 (* ------------------------------------------------------------------ *)
 (* Metrics registries *)
@@ -285,6 +45,32 @@ let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
 let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
+let counter_handle name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_value = 0 } in
+      Hashtbl.add counters_tbl name c;
+      c
+
+let gauge_handle name =
+  match Hashtbl.find_opt gauges_tbl name with
+  | Some g -> g
+  | None ->
+      let g = { g_value = 0.0; g_set = false } in
+      Hashtbl.add gauges_tbl name g;
+      g
+
+let histogram_handle name =
+  match Hashtbl.find_opt histograms_tbl name with
+  | Some h -> h
+  | None ->
+      let h =
+        { hg_count = 0; hg_sum = 0.0; hg_min = 0.0; hg_max = 0.0; hg_last = 0.0 }
+      in
+      Hashtbl.add histograms_tbl name h;
+      h
+
 (* ------------------------------------------------------------------ *)
 (* Span stack and rollup *)
 
@@ -297,6 +83,7 @@ type finished_span = {
   fs_start_ns : int64;
   fs_dur_ns : int64;
   fs_attrs : (string * attr) list; (* in insertion order *)
+  fs_trace : string option; (* trace id — the engine job fingerprint *)
 }
 
 type frame = {
@@ -315,7 +102,11 @@ type agg = {
   mutable a_max_ns : int64;
 }
 
-type sink = { on_span : finished_span -> unit; on_close : unit -> unit }
+type sink = {
+  on_span : finished_span -> unit;
+  on_record : Json.t -> unit; (* raw JSONL records, e.g. provenance *)
+  on_close : unit -> unit;
+}
 
 let enabled_flag = ref false
 let initialized = ref false
@@ -325,6 +116,24 @@ let stack : frame list ref = ref []
 let next_span_id = ref 1
 let rollup : (string, agg) Hashtbl.t = Hashtbl.create 64
 let exit_hook = ref false
+let trace_path : string option ref = ref None
+let current_trace : string option ref = ref None
+
+let trace_file () = !trace_path
+
+let current_span_id () =
+  match !stack with [] -> None | top :: _ -> Some top.f_id
+
+let note_rollup path dur =
+  match Hashtbl.find_opt rollup path with
+  | Some a ->
+      a.a_count <- a.a_count + 1;
+      a.a_total_ns <- Int64.add a.a_total_ns dur;
+      if Int64.compare dur a.a_min_ns < 0 then a.a_min_ns <- dur;
+      if Int64.compare dur a.a_max_ns > 0 then a.a_max_ns <- dur
+  | None ->
+      Hashtbl.add rollup path
+        { a_count = 1; a_total_ns = dur; a_min_ns = dur; a_max_ns = dur }
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots *)
@@ -407,6 +216,62 @@ let reset_stats () =
   Hashtbl.reset rollup
 
 (* ------------------------------------------------------------------ *)
+(* GC profiling *)
+
+(* The whole repo funnels its Gc usage through here (lint rule SRC10):
+   lib/obs is the designated telemetry sink, so profiling stays one
+   coherent surface instead of ad-hoc Gc.stat calls in solvers. *)
+
+let prof_on = ref false
+let prof_alarm : Gc.alarm option ref = ref None
+
+let g_minor_collections = gauge_handle "gc.minor_collections"
+let g_major_collections = gauge_handle "gc.major_collections"
+let g_compactions = gauge_handle "gc.compactions"
+let g_heap_words = gauge_handle "gc.heap_words"
+let g_top_heap_words = gauge_handle "gc.top_heap_words"
+let g_minor_words = gauge_handle "gc.minor_words"
+let g_promoted_words = gauge_handle "gc.promoted_words"
+let g_major_words = gauge_handle "gc.major_words"
+
+let prof_set g v =
+  g.g_value <- v;
+  g.g_set <- true
+
+let prof_sample_now () =
+  let s = Gc.quick_stat () in
+  prof_set g_minor_collections (float_of_int s.Gc.minor_collections);
+  prof_set g_major_collections (float_of_int s.Gc.major_collections);
+  prof_set g_compactions (float_of_int s.Gc.compactions);
+  prof_set g_heap_words (float_of_int s.Gc.heap_words);
+  prof_set g_top_heap_words (float_of_int s.Gc.top_heap_words);
+  prof_set g_minor_words s.Gc.minor_words;
+  prof_set g_promoted_words s.Gc.promoted_words;
+  prof_set g_major_words s.Gc.major_words
+
+let prof_sample () = if !prof_on && !enabled_flag then prof_sample_now ()
+
+let prof_start_alarm () =
+  match !prof_alarm with
+  | Some _ -> ()
+  | None -> prof_alarm := Some (Gc.create_alarm prof_sample)
+
+let prof_stop_alarm () =
+  match !prof_alarm with
+  | Some a ->
+      Gc.delete_alarm a;
+      prof_alarm := None
+  | None -> ()
+
+let init_prof_from_env () =
+  match Sys.getenv_opt "HYPARTITION_PROF" with
+  | Some ("1" | "on" | "sample") -> prof_on := true
+  | Some "alarm" ->
+      prof_on := true;
+      prof_start_alarm ()
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Summary rendering *)
 
 let pp_ns ppf ns =
@@ -465,6 +330,8 @@ let print_summary ppf =
 let close () =
   List.iter (fun s -> s.on_close ()) !sinks;
   sinks := [];
+  trace_path := None;
+  current_trace := None;
   if !summary_at_close then begin
     summary_at_close := false;
     print_summary Fmt.stderr
@@ -482,36 +349,42 @@ let json_of_attr = function
   | Float f -> Json.Float f
   | Bool b -> Json.Bool b
 
-let jsonl_sink oc =
+let jsonl_sink ?(meta_extra = []) oc =
   let line json =
     output_string oc (Json.to_string json);
     output_char oc '\n'
   in
   line
     (Json.Obj
-       [
-         ("type", Json.Str "meta");
-         ("schema", Json.Str trace_schema_version);
-         ("clock", Json.Str "monotonic_ns");
-       ]);
+       ([
+          ("type", Json.Str "meta");
+          ("schema", Json.Str trace_schema_version);
+          ("clock", Json.Str "monotonic_ns");
+        ]
+       @ meta_extra));
   let on_span fs =
     line
       (Json.Obj
-         [
-           ("type", Json.Str "span");
-           ("id", Json.Int fs.fs_id);
-           ( "parent",
-             if fs.fs_parent < 0 then Json.Null else Json.Int fs.fs_parent );
-           ("name", Json.Str fs.fs_name);
-           ("path", Json.Str fs.fs_path);
-           ("depth", Json.Int fs.fs_depth);
-           ("start_ns", Json.Int (Int64.to_int fs.fs_start_ns));
-           ("dur_ns", Json.Int (Int64.to_int fs.fs_dur_ns));
-           ( "attrs",
-             Json.Obj (List.map (fun (k, v) -> (k, json_of_attr v)) fs.fs_attrs)
-           );
-         ])
+         ([
+            ("type", Json.Str "span");
+            ("id", Json.Int fs.fs_id);
+            ( "parent",
+              if fs.fs_parent < 0 then Json.Null else Json.Int fs.fs_parent );
+            ("name", Json.Str fs.fs_name);
+            ("path", Json.Str fs.fs_path);
+            ("depth", Json.Int fs.fs_depth);
+            ("start_ns", Json.Int (Int64.to_int fs.fs_start_ns));
+            ("dur_ns", Json.Int (Int64.to_int fs.fs_dur_ns));
+            ( "attrs",
+              Json.Obj
+                (List.map (fun (k, v) -> (k, json_of_attr v)) fs.fs_attrs) );
+          ]
+         @
+         match fs.fs_trace with
+         | Some t -> [ ("trace", Json.Str t) ]
+         | None -> []))
   in
+  let on_record json = line json in
   let on_close () =
     let snap = snapshot () in
     List.iter
@@ -551,13 +424,31 @@ let jsonl_sink oc =
     flush oc;
     close_out_noerr oc
   in
-  { on_span; on_close }
+  { on_span; on_record; on_close }
 
 let enable_trace path =
   let oc = open_out path in
   sinks := jsonl_sink oc :: !sinks;
+  trace_path := Some path;
   enabled_flag := true;
   register_exit_hook ()
+
+let enable_trace_shard ~trace_id ?parent_span ~pid path =
+  let oc = open_out path in
+  let meta_extra =
+    [ ("trace", Json.Str trace_id) ]
+    @ (match parent_span with
+      | Some id -> [ ("parent_span", Json.Int id) ]
+      | None -> [])
+    @ [ ("pid", Json.Int pid) ]
+  in
+  sinks := jsonl_sink ~meta_extra oc :: !sinks;
+  trace_path := Some path;
+  current_trace := Some trace_id;
+  enabled_flag := true;
+  (* Forked workers reset the registry before attaching their shard, so
+     the lazy env init already ran (and was wiped): re-arm profiling. *)
+  init_prof_from_env ()
 
 let enable_summary () =
   summary_at_close := true;
@@ -568,6 +459,7 @@ let init_from_env () =
   (match Sys.getenv_opt "HYPARTITION_TRACE" with
   | Some path when path <> "" -> enable_trace path
   | _ -> ());
+  init_prof_from_env ();
   match Sys.getenv_opt "HYPARTITION_OBS" with
   | Some ("summary" | "1" | "on") -> enable_summary ()
   | _ -> ()
@@ -590,10 +482,25 @@ let reset_for_tests () =
   summary_at_close := false;
   stack := [];
   next_span_id := 1;
-  Hashtbl.reset counters_tbl;
-  Hashtbl.reset gauges_tbl;
-  Hashtbl.reset histograms_tbl;
-  Hashtbl.reset rollup
+  trace_path := None;
+  current_trace := None;
+  prof_on := false;
+  prof_stop_alarm ();
+  (* Zero the registries rather than dropping them: module-level handles
+     (solver counters, the gc.* gauges) are interned once at program
+     start, and a forked worker resets right after the fork — dropping
+     the tables would orphan every handle and silently discard the
+     worker's metrics. *)
+  reset_stats ()
+
+(* ------------------------------------------------------------------ *)
+(* Provenance *)
+
+let emit_provenance fields =
+  if !sinks <> [] then begin
+    let record = Json.Obj (("type", Json.Str "provenance") :: fields) in
+    List.iter (fun s -> s.on_record record) !sinks
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Spans *)
@@ -625,15 +532,7 @@ module Span = struct
         stack := rest;
         let dur = Int64.sub (now_ns ()) frame.f_start_ns in
         let dur = if Int64.compare dur 0L < 0 then 0L else dur in
-        (match Hashtbl.find_opt rollup frame.f_path with
-        | Some a ->
-            a.a_count <- a.a_count + 1;
-            a.a_total_ns <- Int64.add a.a_total_ns dur;
-            if Int64.compare dur a.a_min_ns < 0 then a.a_min_ns <- dur;
-            if Int64.compare dur a.a_max_ns > 0 then a.a_max_ns <- dur
-        | None ->
-            Hashtbl.add rollup frame.f_path
-              { a_count = 1; a_total_ns = dur; a_min_ns = dur; a_max_ns = dur });
+        note_rollup frame.f_path dur;
         if !sinks <> [] then begin
           let parent =
             match rest with [] -> -1 | top :: _ -> top.f_id
@@ -648,10 +547,14 @@ module Span = struct
               fs_start_ns = frame.f_start_ns;
               fs_dur_ns = dur;
               fs_attrs = List.rev frame.f_attrs;
+              fs_trace = !current_trace;
             }
           in
           List.iter (fun s -> s.on_span fs) !sinks
-        end
+        end;
+        (* Root boundary: a top-level unit of work just finished — record
+           the GC state it left behind (gauges land in the close lines). *)
+        if rest = [] then prof_sample ()
 
   let with_ ?(attrs = []) name f =
     if not (enabled ()) then f ()
@@ -673,19 +576,209 @@ module Span = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Shard absorption *)
+
+let attr_of_json = function
+  | Json.Str s -> Str s
+  | Json.Int i -> Int i
+  | Json.Float f -> Float f
+  | Json.Bool b -> Bool b
+  | v -> Str (Json.to_string v)
+
+type shard_span = {
+  sh_id : int;
+  sh_parent : int option;
+  sh_name : string;
+  sh_path : string;
+  sh_depth : int;
+  sh_start_ns : int64;
+  sh_dur_ns : int64;
+  sh_attrs : (string * attr) list;
+  sh_trace : string option;
+}
+
+let shard_span_of_json j =
+  let field name get = Option.bind (Json.member name j) get in
+  match
+    ( field "id" Json.get_int,
+      field "name" Json.get_str,
+      field "path" Json.get_str,
+      field "depth" Json.get_int,
+      field "start_ns" Json.get_int,
+      field "dur_ns" Json.get_int )
+  with
+  | Some id, Some name, Some path, Some depth, Some start_ns, Some dur_ns ->
+      let parent =
+        match Json.member "parent" j with
+        | Some p -> Json.get_int p
+        | None -> None
+      in
+      let attrs =
+        match Json.member "attrs" j with
+        | Some (Json.Obj kvs) ->
+            List.map (fun (k, v) -> (k, attr_of_json v)) kvs
+        | _ -> []
+      in
+      Some
+        {
+          sh_id = id;
+          sh_parent = parent;
+          sh_name = name;
+          sh_path = path;
+          sh_depth = depth;
+          sh_start_ns = Int64.of_int start_ns;
+          sh_dur_ns = Int64.of_int dur_ns;
+          sh_attrs = attrs;
+          sh_trace = field "trace" Json.get_str;
+        }
+  | _ -> None
+
+let read_lines path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in_noerr ic;
+            List.rev acc
+      in
+      go []
+
+let absorb_shard path =
+  let records =
+    List.filter_map
+      (fun line ->
+        if String.trim line = "" then None
+        else
+          (* Killed workers leave partial shards: a torn final line is
+             expected, not an error. *)
+          match Json.parse line with Ok v -> Some v | Error _ -> None)
+      (read_lines path)
+  in
+  let typ j = Option.bind (Json.member "type" j) Json.get_str in
+  let meta = List.find_opt (fun j -> typ j = Some "meta") records in
+  let meta_field name get =
+    Option.bind meta (fun m -> Option.bind (Json.member name m) get)
+  in
+  let meta_trace = meta_field "trace" Json.get_str in
+  let meta_parent = meta_field "parent_span" Json.get_int in
+  let spans =
+    List.filter_map
+      (fun j -> if typ j = Some "span" then shard_span_of_json j else None)
+      records
+  in
+  (* A span is kept only if its whole parent chain resolves within the
+     shard: enclosing spans of a killed worker never closed, so their
+     descendants are orphans and are dropped rather than re-rooted. *)
+  let by_id : (int, shard_span) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.sh_id s) spans;
+  let resolved : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let rec resolves id =
+    match Hashtbl.find_opt resolved id with
+    | Some r -> r
+    | None ->
+        Hashtbl.replace resolved id false;
+        let r =
+          match Hashtbl.find_opt by_id id with
+          | None -> false
+          | Some s -> (
+              match s.sh_parent with None -> true | Some p -> resolves p)
+        in
+        Hashtbl.replace resolved id r;
+        r
+  in
+  let kept = List.filter (fun s -> resolves s.sh_id) spans in
+  let rb_parent, rb_path, rb_depth =
+    match
+      Option.bind meta_parent (fun pid ->
+          List.find_opt (fun f -> f.f_id = pid) !stack)
+    with
+    | Some f -> (f.f_id, f.f_path ^ "/", f.f_depth + 1)
+    | None -> (-1, "", 0)
+  in
+  let id_map : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace id_map s.sh_id !next_span_id;
+      incr next_span_id)
+    kept;
+  List.iter
+    (fun s ->
+      let fs =
+        {
+          fs_id = Hashtbl.find id_map s.sh_id;
+          fs_parent =
+            (match s.sh_parent with
+            | None -> rb_parent
+            | Some p -> Hashtbl.find id_map p);
+          fs_name = s.sh_name;
+          fs_path = rb_path ^ s.sh_path;
+          fs_depth = s.sh_depth + rb_depth;
+          fs_start_ns = s.sh_start_ns;
+          fs_dur_ns = s.sh_dur_ns;
+          fs_attrs = s.sh_attrs;
+          fs_trace = (match s.sh_trace with Some _ as t -> t | None -> meta_trace);
+        }
+      in
+      note_rollup fs.fs_path fs.fs_dur_ns;
+      List.iter (fun snk -> snk.on_span fs) !sinks)
+    kept;
+  (* Fold the worker's close-time metric lines into the coordinator's
+     registries: counters add, gauges overwrite, histograms merge. *)
+  List.iter
+    (fun j ->
+      let field name get = Option.bind (Json.member name j) get in
+      match typ j with
+      | Some "counter" -> (
+          match (field "name" Json.get_str, field "value" Json.get_int) with
+          | Some name, Some v ->
+              let c = counter_handle name in
+              c.c_value <- c.c_value + v
+          | _ -> ())
+      | Some "gauge" -> (
+          match (field "name" Json.get_str, field "value" Json.get_float) with
+          | Some name, Some v ->
+              let g = gauge_handle name in
+              g.g_value <- v;
+              g.g_set <- true
+          | _ -> ())
+      | Some "histogram" -> (
+          match
+            ( field "name" Json.get_str,
+              field "count" Json.get_int,
+              field "sum" Json.get_float,
+              field "min" Json.get_float,
+              field "max" Json.get_float,
+              field "last" Json.get_float )
+          with
+          | Some name, Some count, Some sum, Some mn, Some mx, Some last
+            when count > 0 ->
+              let h = histogram_handle name in
+              if h.hg_count = 0 then begin
+                h.hg_min <- mn;
+                h.hg_max <- mx
+              end
+              else begin
+                if mn < h.hg_min then h.hg_min <- mn;
+                if mx > h.hg_max then h.hg_max <- mx
+              end;
+              h.hg_count <- h.hg_count + count;
+              h.hg_sum <- h.hg_sum +. sum;
+              h.hg_last <- last
+          | _ -> ())
+      | _ -> ())
+    records;
+  List.length kept
+
+(* ------------------------------------------------------------------ *)
 (* Metrics *)
 
 module Counter = struct
   type t = counter
 
-  let make name =
-    match Hashtbl.find_opt counters_tbl name with
-    | Some c -> c
-    | None ->
-        let c = { c_value = 0 } in
-        Hashtbl.add counters_tbl name c;
-        c
-
+  let make = counter_handle
   let incr c = if enabled () then c.c_value <- c.c_value + 1
   let add c n = if enabled () then c.c_value <- c.c_value + n
   let value c = c.c_value
@@ -694,13 +787,7 @@ end
 module Gauge = struct
   type t = gauge
 
-  let make name =
-    match Hashtbl.find_opt gauges_tbl name with
-    | Some g -> g
-    | None ->
-        let g = { g_value = 0.0; g_set = false } in
-        Hashtbl.add gauges_tbl name g;
-        g
+  let make = gauge_handle
 
   let set g v =
     if enabled () then begin
@@ -712,21 +799,7 @@ end
 module Histogram = struct
   type t = histogram
 
-  let make name =
-    match Hashtbl.find_opt histograms_tbl name with
-    | Some h -> h
-    | None ->
-        let h =
-          {
-            hg_count = 0;
-            hg_sum = 0.0;
-            hg_min = 0.0;
-            hg_max = 0.0;
-            hg_last = 0.0;
-          }
-        in
-        Hashtbl.add histograms_tbl name h;
-        h
+  let make = histogram_handle
 
   let observe h v =
     if enabled () then begin
@@ -745,3 +818,22 @@ module Histogram = struct
 
   let observe_int h v = observe h (float_of_int v)
 end
+
+(* ------------------------------------------------------------------ *)
+(* Profiling surface *)
+
+module Prof = struct
+  let enabled () = !prof_on
+
+  let set_enabled b =
+    prof_on := b;
+    if not b then prof_stop_alarm ()
+
+  let sample () = prof_sample ()
+
+  let allocated_words () =
+    let minor, promoted, major = Gc.counters () in
+    minor +. major -. promoted
+end
+
+module Report = Report

@@ -1,22 +1,31 @@
 (** Structured observability for the solver pipeline: monotonic-clock
-    spans, counters / gauges / histograms, and pluggable sinks.
+    spans, counters / gauges / histograms, pluggable sinks, GC profiling,
+    and — since trace/2 — cross-process trace context.
 
     Everything is a no-op until observability is switched on — either
     programmatically ({!set_enabled}, {!enable_trace}, {!enable_summary})
     or through the environment, read lazily on first use:
 
-    - [HYPARTITION_TRACE=<path>] appends a JSONL span trace (schema
-      {!trace_schema_version}) to [<path>];
+    - [HYPARTITION_TRACE=<path>] writes a JSONL span trace (schema
+      {!trace_schema_version}) to [<path>], truncating any existing file
+      — same semantics as {!enable_trace};
     - [HYPARTITION_OBS=summary] (also ["1"]/["on"]) prints an aggregated
       span tree and metric table to stderr at exit; [off] (the default)
-      disables everything.
+      disables everything;
+    - [HYPARTITION_PROF=on] (also ["1"]/["sample"]) records GC gauges at
+      root-span boundaries; ["alarm"] additionally samples at the end of
+      every major collection.  Takes effect only while collection is
+      enabled.
 
     When disabled, the instrumentation calls compiled into the hot paths
     (counter increments, span entry) reduce to a couple of loads and a
     branch and perform {e no allocation} — the FM inner loop can afford
     them (test: ["obs: disabled instrumentation does not allocate"]).
 
-    The library is single-threaded by design, matching the solvers. *)
+    Within a process the library is single-threaded by design, matching
+    the solvers.  Across processes, forked workers write trace {e
+    shards} ({!enable_trace_shard}) that the coordinator merges back
+    into its own timeline with {!absorb_shard}. *)
 
 (** {1 Attributes} *)
 
@@ -45,8 +54,54 @@ val close : unit -> unit
     Idempotent; registered with [at_exit] as soon as a sink exists. *)
 
 val reset_for_tests : unit -> unit
-(** Drop all state: sinks, metrics, rollups, the span stack, and the
-    enabled flag.  The environment is {e not} re-read. *)
+(** Drop all state: sinks, the span stack, trace context, profiling and
+    the enabled flag; metrics are zeroed (not dropped, so module-level
+    handles stay interned — forked workers reset right after the fork).
+    The environment is {e not} re-read. *)
+
+(** {1 Cross-process trace context}
+
+    The coordinator owns the trace file.  Each forked worker attaches a
+    shard sink ([<trace>.worker.<pid>.jsonl]) whose meta header carries
+    the trace id (the job fingerprint) and the coordinator-side parent
+    span id; after the worker exits, the coordinator absorbs the shard:
+    span ids are renumbered from the coordinator's counter, shard roots
+    are re-parented under the (still open) parent span, and the worker's
+    close-time metrics are folded into the coordinator's registries.
+    Absorbing shards in job-index order makes the merged ids a function
+    of the plan alone, independent of worker count. *)
+
+val trace_file : unit -> string option
+(** The path of the attached trace sink, if any — what a worker's shard
+    path is derived from. *)
+
+val current_span_id : unit -> int option
+(** The id of the innermost open span (the parent to propagate). *)
+
+val enable_trace_shard :
+  trace_id:string -> ?parent_span:int -> pid:int -> string -> unit
+(** [enable_trace_shard ~trace_id ?parent_span ~pid path] attaches a
+    shard sink in a forked worker (truncates [path]) and enables
+    collection.  [trace_id] stamps every span the worker emits;
+    [parent_span] is the coordinator-side span the shard roots re-parent
+    under at absorption.  Re-reads [HYPARTITION_PROF] (the worker reset
+    wiped the lazy env init).  No [at_exit] hook is registered: workers
+    exit with [Unix._exit], so the pool closes the sink explicitly. *)
+
+val absorb_shard : string -> int
+(** Merge one worker shard into the current process: emit its resolvable
+    spans (renumbered, re-rooted, stamped with the shard's trace id) to
+    the attached sinks and the rollup, and fold its counter / gauge /
+    histogram lines into the registries.  Spans whose parent chain does
+    not resolve within the shard — the enclosing spans of a killed
+    worker never closed — are dropped, as are torn trailing lines.
+    Returns the number of spans absorbed; a missing or empty shard
+    absorbs 0. *)
+
+val emit_provenance : (string * Json.t) list -> unit
+(** Write a [{"type":"provenance", ...}] record to every attached trace
+    sink (no-op without sinks) — host, toolchain and revision metadata
+    that makes cross-machine trace comparisons self-describing. *)
 
 (** {1 Spans} *)
 
@@ -95,6 +150,35 @@ module Histogram : sig
   val observe_int : t -> int -> unit
 end
 
+(** {1 GC profiling}
+
+    The repo's only sanctioned [Gc] surface (lint rule SRC10): solvers
+    and the engine read allocation counters and record heap state through
+    here, so profiling stays one coherent layer instead of ad-hoc
+    [Gc.stat] calls.  {!Prof.sample} records the [Gc.quick_stat] fields
+    as gauges ([gc.minor_collections], [gc.major_collections],
+    [gc.compactions], [gc.heap_words], [gc.top_heap_words],
+    [gc.minor_words], [gc.promoted_words], [gc.major_words]); it runs
+    automatically when a root span closes and can be called at any other
+    boundary worth a datapoint. *)
+
+module Prof : sig
+  val enabled : unit -> bool
+  (** Whether profiling is armed ([HYPARTITION_PROF] or {!set_enabled}). *)
+
+  val set_enabled : bool -> unit
+  (** Arm or disarm profiling programmatically.  Disarming also cancels
+      the major-collection alarm if one was installed. *)
+
+  val sample : unit -> unit
+  (** Record the current [Gc.quick_stat] as gauges.  No-op unless both
+      profiling and collection are enabled. *)
+
+  val allocated_words : unit -> float
+  (** Words allocated by this process so far (minor + major - promoted,
+      from [Gc.counters]) — delta two calls to meter a region. *)
+end
+
 (** {1 Snapshots}
 
     The bench harness and the summary sink read collected data through a
@@ -135,7 +219,14 @@ val print_summary : Format.formatter -> unit
 
 val trace_schema_version : string
 (** The schema tag written in the first line of every JSONL trace,
-    ["hypartition-trace/1"]. *)
+    ["hypartition-trace/2"]: span records may carry a ["trace"] id (the
+    engine job fingerprint), the stream may carry ["provenance"]
+    records, and shard meta headers carry ["trace"] / ["parent_span"] /
+    ["pid"]. *)
+
+val trace_schema_v1 : string
+(** The previous trace schema, ["hypartition-trace/1"] — still accepted
+    by the validator and {!Report}. *)
 
 val bench_schema_version : string
 (** The schema tag of the machine-readable bench output
@@ -150,28 +241,11 @@ val bench_schema_version : string
     emit the trace / bench files and to parse them back for validation,
     without an external dependency. *)
 
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
+module Json = Json
 
-  val to_string : t -> string
-  (** Compact one-line rendering (strings escaped, floats round-trip). *)
+(** {1 Analytics}
 
-  val parse : string -> (t, string) result
-  (** Parse one JSON document; trailing garbage is an error. *)
+    Readers for the files this library writes: per-phase tables, critical
+    paths, folded stacks.  See {!Report.load}. *)
 
-  val member : string -> t -> t option
-  (** Field lookup on [Obj]; [None] otherwise. *)
-
-  val get_int : t -> int option
-  (** [Int] directly, or an integral [Float]. *)
-
-  val get_float : t -> float option
-  val get_str : t -> string option
-end
+module Report = Report

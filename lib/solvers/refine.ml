@@ -59,6 +59,7 @@ let c_delta_updates = Obs.Counter.make "fm.gain_cache.delta_updates"
 let h_pass_gain = Obs.Histogram.make "fm.pass_gain"
 let h_final_cost = Obs.Histogram.make "fm.final_cost"
 let h_boundary = Obs.Histogram.make "fm.boundary_size"
+let h_pass_alloc = Obs.Histogram.make "fm.pass_alloc_words"
 
 (* Mutable refinement state for one [refine] call.  [cache_stamp] marks
    valid gain rows; it starts fresh per call (rows from a previous
@@ -573,7 +574,19 @@ let refine ?(config = default_config) ?workspace hg part =
             ~attrs:
               [ ("pass", Obs.Int !passes); ("full", Obs.Bool was_full) ]
             (fun () ->
+              (* Allocation bill per pass, only metered under
+                 HYPARTITION_PROF: the hot path is supposed to run
+                 allocation-free out of the workspace arenas, and this
+                 histogram is how a regression shows up in `report`. *)
+              let alloc0 =
+                if Obs.Prof.enabled () then Obs.Prof.allocated_words ()
+                else 0.0
+              in
               let gain = fm_pass ctx queue hook ~full:was_full in
+              if Obs.Prof.enabled () then
+                (* hyplint: allow DOM04 — one observation per FM pass, profiling-gated, bounded by config.max_passes *)
+                Obs.Histogram.observe_int h_pass_alloc
+                  (int_of_float (Obs.Prof.allocated_words () -. alloc0));
               (* Per-pass cost trajectory, only evaluated when observing. *)
               if Obs.enabled () then begin
                 Obs.Span.attr "gain" (Obs.Int gain);

@@ -470,6 +470,54 @@ let test_batch_determinism_across_parallelism () =
   Alcotest.(check bool) "all ok serial" true (E.Batch.all_ok serial);
   Alcotest.(check bool) "all ok parallel" true (E.Batch.all_ok parallel)
 
+(* The trace-side determinism guarantee: tracing the same manifest at
+   --jobs 1 and --jobs 8 yields the same merged span forest — same
+   names, same parent edges, same per-span trace ids — modulo
+   timestamps.  Shards absorb in job-index order, so even the merged
+   span ids are a function of the plan alone. *)
+let test_trace_structure_across_parallelism () =
+  let manifest =
+    {|{
+  "schema": "hypartition-manifest/1",
+  "defaults": { "eps": 0.2 },
+  "instances": [ { "generate": "uniform", "n": 32 } ],
+  "configs": [ { "k": 2 }, { "k": 4 } ],
+  "seeds": [ 1, 2 ]
+}|}
+  in
+  let plans =
+    match E.Manifest.of_string ~known_experiments:[] manifest with
+    | Ok jobs -> jobs
+    | Error e -> Alcotest.failf "manifest failed: %s" e
+  in
+  let traced jobs =
+    let path = Filename.temp_file "hyp_trace" ".jsonl" in
+    Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+    Obs.reset_for_tests ();
+    Obs.enable_trace path;
+    ignore (run_batch ~jobs ~cache_dir:None plans : E.Batch.report);
+    Obs.close ();
+    Obs.reset_for_tests ();
+    match Obs.Report.load path with
+    | Ok data -> Obs.Report.structure data
+    | Error msg -> Alcotest.failf "report load (--jobs %d): %s" jobs msg
+  in
+  let serial = traced 1 in
+  let parallel = traced 8 in
+  (* engine.job spans carry the job fingerprint as their trace id, and
+     the workers' solver spans (multilevel etc.) sit underneath them. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "job spans carry trace ids" true
+    (contains serial "engine.job[");
+  Alcotest.(check bool) "solver spans merged under the jobs" true
+    (contains serial "multilevel");
+  Alcotest.(check string)
+    "span forest identical across worker counts" serial parallel
+
 (* Bench comparison: the report diffing behind `hypartition bench
    --compare` and the CI perf-smoke gate. *)
 
@@ -587,6 +635,8 @@ let suite =
       test_pool_failed_not_retried;
     Alcotest.test_case "batch cache second pass" `Quick
       test_batch_cache_second_pass;
+    Alcotest.test_case "trace structure across parallelism" `Quick
+      test_trace_structure_across_parallelism;
     Alcotest.test_case "batch determinism across parallelism" `Quick
       test_batch_determinism_across_parallelism;
     Alcotest.test_case "bench compare gate" `Quick test_bench_compare_gate;

@@ -52,7 +52,7 @@ let test_catalogue () =
     "stable rule ids"
     [
       "SRC00"; "SRC01"; "SRC02"; "SRC03"; "SRC04"; "SRC05"; "SRC06"; "SRC07";
-      "SRC08"; "SRC09";
+      "SRC08"; "SRC09"; "SRC10";
     ]
     ids;
   List.iter
@@ -233,6 +233,39 @@ let test_src09 () =
   let r = lint (sealed "lib/solvers/fix.ml" src) in
   check_silent "suppression with reason" ~rule:"SRC09" r
 
+(* ---- SRC10: Gc use outside lib/obs -------------------------------------- *)
+
+let test_src10 () =
+  let source =
+    "let words () = Gc.minor_words ()\n\
+     let stat () = Gc.quick_stat ()\n"
+  in
+  let r = lint (sealed "lib/a/fix.ml" source) in
+  check_fires "Gc in a library" ~rule:"SRC10" ~file:"lib/a/fix.ml" ~line:1 r;
+  check_fires "Gc.quick_stat too" ~rule:"SRC10" ~file:"lib/a/fix.ml" ~line:2 r;
+  let r = lint [ ("bin/fix.ml", source) ] in
+  check_fires "executables are covered too" ~rule:"SRC10" ~file:"bin/fix.ml"
+    ~line:1 r;
+  let r = lint [ ("test/fix.ml", source) ] in
+  check_fires "tests are covered too" ~rule:"SRC10" ~file:"test/fix.ml"
+    ~line:1 r;
+  let r =
+    lint
+      (sealed "lib/a/fix.ml"
+         "let full () = Stdlib.Gc.full_major ()\n")
+  in
+  check_fires "Stdlib.Gc alias is covered" ~rule:"SRC10" ~file:"lib/a/fix.ml"
+    ~line:1 r;
+  let r = lint (sealed "lib/obs/fix.ml" source) in
+  check_silent "lib/obs owns heap telemetry" ~rule:"SRC10" r;
+  (* A suppression with a written reason still works elsewhere. *)
+  let src =
+    marker ("allow SRC10 " ^ em_dash ^ " one-shot heap probe in a fixture")
+    ^ "\nlet words () = Gc.minor_words ()\n"
+  in
+  let r = lint (sealed "lib/a/fix.ml" src) in
+  check_silent "suppression with reason" ~rule:"SRC10" r
+
 (* ---- SRC00: parse errors ------------------------------------------------ *)
 
 let test_parse_error () =
@@ -355,6 +388,7 @@ let suite =
     Alcotest.test_case "SRC07 missing interface" `Quick test_src07;
     Alcotest.test_case "SRC08 process management" `Quick test_src08;
     Alcotest.test_case "SRC09 hot-path Hashtbl" `Quick test_src09;
+    Alcotest.test_case "SRC10 Gc outside lib/obs" `Quick test_src10;
     Alcotest.test_case "SRC00 parse error" `Quick test_parse_error;
     Alcotest.test_case "inline suppression" `Quick test_inline_suppression;
     Alcotest.test_case "marker hygiene" `Quick test_marker_hygiene;

@@ -182,13 +182,13 @@ let test_disabled_no_alloc () =
   let body = fun () -> Obs.Counter.incr c in
   (* Warm up so any one-time lazy initialization is done. *)
   Obs.Span.with_ "noalloc.span" body;
-  let before = Gc.minor_words () in
+  let before = Obs.Prof.allocated_words () in
   for _ = 1 to 100_000 do
     Obs.Counter.incr c;
     Obs.Counter.add c 2;
     Obs.Span.with_ "noalloc.span" body
   done;
-  let delta = Gc.minor_words () -. before in
+  let delta = Obs.Prof.allocated_words () -. before in
   Alcotest.(check bool)
     (Printf.sprintf "minor words (%.0f) within noise" delta)
     true (delta < 1024.0);
@@ -242,6 +242,252 @@ let test_monotonic_clock () =
   Alcotest.(check (float 1e-9)) "seconds_of_ns" 1.5
     (Support.Util.seconds_of_ns 1_500_000_000L)
 
+(* ---- trace/2: shards, absorption, profiling, analytics ------------------ *)
+
+let read_parsed path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l ->
+         match Obs.Json.parse l with
+         | Ok doc -> doc
+         | Error msg -> Alcotest.failf "bad trace line %S: %s" l msg)
+
+let field name doc = Option.get (Obs.Json.member name doc)
+let ty doc = Option.get (Obs.Json.get_str (field "type" doc))
+let get_i name doc = Option.get (Obs.Json.get_int (field name doc))
+let get_s name doc = Option.get (Obs.Json.get_str (field name doc))
+
+(* A worker writes a shard under a trace id; the coordinator absorbs it
+   under its open span: renumbered ids, re-rooted parents, trace-stamped
+   span lines, metrics folded into the coordinator's registries. *)
+let test_shard_absorb () =
+  let path = Filename.temp_file "obs_trace" ".jsonl" in
+  let shard = path ^ ".worker.424242.jsonl" in
+  let finally () =
+    Sys.remove path;
+    if Sys.file_exists shard then Sys.remove shard
+  in
+  Fun.protect ~finally @@ fun () ->
+  (* "Worker": its own process would fork first; a plain sink swap is
+     enough to exercise the shard format in-process. *)
+  Obs.reset_for_tests ();
+  Obs.enable_trace_shard ~trace_id:"fp-123" ~parent_span:7 ~pid:424242 shard;
+  let c = Obs.Counter.make "shard.events" in
+  Obs.Span.with_ "multilevel" (fun () ->
+      Obs.Span.with_ "coarsen" (fun () -> Obs.Counter.add c 5));
+  Obs.close ();
+  let shard_lines = read_parsed shard in
+  let smeta = List.hd shard_lines in
+  Alcotest.(check string) "shard meta first" "meta" (ty smeta);
+  Alcotest.(check string) "shard trace id" "fp-123" (get_s "trace" smeta);
+  Alcotest.(check int) "shard parent span" 7 (get_i "parent_span" smeta);
+  Alcotest.(check int) "shard pid" 424242 (get_i "pid" smeta);
+  (* Probe the id the coordinator's first span will get after a reset
+     (deterministic), then re-write the shard against it: the shard
+     roots must re-parent under a matching open span id. *)
+  Obs.reset_for_tests ();
+  Obs.set_enabled true;
+  let probe = ref None in
+  Obs.Span.with_ "probe" (fun () -> probe := Obs.current_span_id ());
+  let parent = Option.get !probe in
+  Obs.reset_for_tests ();
+  Obs.enable_trace_shard ~trace_id:"fp-123" ~parent_span:parent ~pid:424242
+    shard;
+  let c = Obs.Counter.make "shard.events" in
+  Obs.Span.with_ "multilevel" (fun () ->
+      Obs.Span.with_ "coarsen" (fun () -> Obs.Counter.add c 5));
+  Obs.close ();
+  (* "Coordinator": absorb while the parent span is open. *)
+  Obs.reset_for_tests ();
+  Obs.enable_trace path;
+  let absorbed = ref (-1) in
+  Obs.Span.with_ "engine.batch" (fun () -> absorbed := Obs.absorb_shard shard);
+  Obs.close ();
+  Obs.reset_for_tests ();
+  Alcotest.(check int) "two spans absorbed" 2 !absorbed;
+  let parsed = read_parsed path in
+  let spans = List.filter (fun d -> ty d = "span") parsed in
+  (* coarsen and multilevel from the shard, then the enclosing
+     engine.batch — children flush before parents. *)
+  Alcotest.(check (list string))
+    "merged span names"
+    [ "coarsen"; "multilevel"; "engine.batch" ]
+    (List.map (get_s "name") spans);
+  let by_name n = List.find (fun d -> get_s "name" d = n) spans in
+  let batch = by_name "engine.batch" in
+  let ml = by_name "multilevel" in
+  let co = by_name "coarsen" in
+  Alcotest.(check int)
+    "shard root re-parented under engine.batch" (get_i "id" batch)
+    (get_i "parent" ml);
+  Alcotest.(check int)
+    "shard child follows its root" (get_i "id" ml)
+    (get_i "parent" co);
+  Alcotest.(check string)
+    "paths rebased" "engine.batch/multilevel/coarsen" (get_s "path" co);
+  Alcotest.(check int) "depths rebased" 2 (get_i "depth" co);
+  List.iter
+    (fun d ->
+      Alcotest.(check string) "trace id stamped" "fp-123" (get_s "trace" d))
+    [ ml; co ];
+  (* The worker's counter line folded into the coordinator registry. *)
+  let counters = List.filter (fun d -> ty d = "counter") parsed in
+  Alcotest.(check bool)
+    "worker counter folded" true
+    (List.exists
+       (fun d -> get_s "name" d = "shard.events" && get_i "value" d = 5)
+       counters)
+
+(* Spans whose parent chain never closed (killed worker) are dropped, as
+   are torn trailing lines; the rest of the shard still absorbs. *)
+let test_shard_orphans_dropped () =
+  let path = Filename.temp_file "obs_trace" ".jsonl" in
+  let shard = path ^ ".worker.7.jsonl" in
+  let finally () =
+    Sys.remove path;
+    if Sys.file_exists shard then Sys.remove shard
+  in
+  Fun.protect ~finally @@ fun () ->
+  Obs.reset_for_tests ();
+  Obs.set_enabled true;
+  let probe = ref None in
+  Obs.Span.with_ "probe" (fun () -> probe := Obs.current_span_id ());
+  let parent = Option.get !probe in
+  Out_channel.with_open_text shard (fun oc ->
+      output_string oc
+        (String.concat "\n"
+           [
+             Printf.sprintf
+               {|{"type":"meta","schema":"hypartition-trace/2","clock":"monotonic_ns","trace":"fp-9","parent_span":%d,"pid":7}|}
+               parent;
+             (* Closed root with a closed child: absorbable. *)
+             {|{"type":"span","id":1,"parent":0,"name":"ok","path":"job/ok","depth":1,"start_ns":1,"dur_ns":5,"attrs":{}}|};
+             {|{"type":"span","id":0,"parent":null,"name":"job","path":"job","depth":0,"start_ns":0,"dur_ns":9,"attrs":{}}|};
+             (* Child of a span that never closed: orphan, dropped. *)
+             {|{"type":"span","id":3,"parent":2,"name":"lost","path":"dead/lost","depth":1,"start_ns":2,"dur_ns":1,"attrs":{}}|};
+             {|{"type":"span","id":4,"parent":3,"na|};
+             (* torn trailing line above *)
+           ]));
+  Obs.reset_for_tests ();
+  Obs.enable_trace path;
+  let absorbed = ref (-1) in
+  Obs.Span.with_ "engine.batch" (fun () -> absorbed := Obs.absorb_shard shard);
+  Obs.close ();
+  Obs.reset_for_tests ();
+  Alcotest.(check int) "only the closed chain absorbs" 2 !absorbed;
+  let spans =
+    List.filter (fun d -> ty d = "span") (read_parsed path)
+  in
+  Alcotest.(check (list string))
+    "orphans dropped from the merge"
+    [ "ok"; "job"; "engine.batch" ]
+    (List.map (get_s "name") spans);
+  let batch = List.find (fun d -> get_s "name" d = "engine.batch") spans in
+  let job = List.find (fun d -> get_s "name" d = "job") spans in
+  Alcotest.(check int)
+    "surviving root re-parented" (get_i "id" batch)
+    (get_i "parent" job);
+  (* A missing shard absorbs nothing and does not raise. *)
+  Obs.reset_for_tests ();
+  Obs.set_enabled true;
+  Alcotest.(check int) "missing shard absorbs 0" 0
+    (Obs.absorb_shard "/nonexistent/shard.jsonl");
+  Obs.reset_for_tests ()
+
+(* Prof.sample records the quick_stat gauges; allocated_words moves. *)
+let test_prof_gauges () =
+  Obs.reset_for_tests ();
+  Obs.set_enabled true;
+  Obs.Prof.set_enabled true;
+  Alcotest.(check bool) "prof armed" true (Obs.Prof.enabled ());
+  Obs.Prof.sample ();
+  let snap = Obs.snapshot () in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) (g ^ " recorded") true
+        (List.mem_assoc g snap.Obs.gauges))
+    [
+      "gc.minor_collections"; "gc.major_collections"; "gc.compactions";
+      "gc.heap_words"; "gc.top_heap_words"; "gc.minor_words";
+      "gc.promoted_words"; "gc.major_words";
+    ];
+  let a = Obs.Prof.allocated_words () in
+  let xs = Array.init 10_000 (fun i -> [ i ]) in
+  let b = Obs.Prof.allocated_words () in
+  Alcotest.(check bool) "allocation metered" true
+    (b -. a >= float_of_int (Array.length xs));
+  Obs.Prof.set_enabled false;
+  Alcotest.(check bool) "prof disarmed" false (Obs.Prof.enabled ());
+  Obs.reset_for_tests ()
+
+(* The analytics layer over a synthetic merged trace: phase table, folded
+   stacks, canonical structure. *)
+let synthetic_trace =
+  String.concat "\n"
+    [
+      {|{"type":"meta","schema":"hypartition-trace/2","clock":"monotonic_ns"}|};
+      {|{"type":"provenance","hostname":"h","git_rev":"abc"}|};
+      {|{"type":"span","id":2,"parent":1,"name":"coarsen","path":"engine.batch/engine.job/coarsen","depth":2,"start_ns":10,"dur_ns":600,"attrs":{},"trace":"fp-1"}|};
+      {|{"type":"span","id":3,"parent":1,"name":"refine","path":"engine.batch/engine.job/refine","depth":2,"start_ns":700,"dur_ns":200,"attrs":{},"trace":"fp-1"}|};
+      {|{"type":"span","id":1,"parent":0,"name":"engine.job","path":"engine.batch/engine.job","depth":1,"start_ns":5,"dur_ns":1000,"attrs":{},"trace":"fp-1"}|};
+      {|{"type":"span","id":0,"parent":null,"name":"engine.batch","path":"engine.batch","depth":0,"start_ns":0,"dur_ns":1200,"attrs":{}}|};
+      {|{"type":"gauge","name":"gc.heap_words","value":4096}|};
+      {|{"type":"counter","name":"fm.moves","value":17}|};
+    ]
+
+let test_report_analytics () =
+  let data =
+    match Obs.Report.load_string synthetic_trace with
+    | Ok d -> d
+    | Error msg -> Alcotest.failf "load_string: %s" msg
+  in
+  Alcotest.(check string) "schema detected" Obs.trace_schema_version
+    (Obs.Report.schema data);
+  let rows = Obs.Report.phase_rows data in
+  let row path =
+    match
+      List.find_opt (fun r -> r.Obs.Report.ph_path = path) rows
+    with
+    | Some r -> r
+    | None -> Alcotest.failf "no phase row for %s" path
+  in
+  let job = row "engine.batch/engine.job" in
+  Alcotest.(check int64) "job total" 1000L job.Obs.Report.ph_total_ns;
+  (* self = 1000 - (600 + 200) *)
+  Alcotest.(check int64) "job self excludes children" 200L
+    job.Obs.Report.ph_self_ns;
+  Alcotest.(check int64) "leaf self = total" 600L
+    (row "engine.batch/engine.job/coarsen").Obs.Report.ph_self_ns;
+  (* Folded stacks: flamegraph lines with positive self only. *)
+  let folded = Obs.Report.folded data in
+  Alcotest.(check bool) "folded non-empty" true (String.length folded > 0);
+  Alcotest.(check bool) "folded stack syntax" true
+    (contains_substring folded "engine.batch;engine.job;coarsen 600");
+  Alcotest.(check bool) "folded self for inner nodes" true
+    (contains_substring folded "engine.batch;engine.job 200");
+  (* Structure is canonical: names + trace ids, no ids or timestamps. *)
+  let structure = Obs.Report.structure data in
+  Alcotest.(check bool) "structure has trace ids" true
+    (contains_substring structure "engine.job[fp-1]");
+  Alcotest.(check bool) "structure hides span ids" false
+    (contains_substring structure "start_ns");
+  (* Rendering mentions provenance, phases, GC and counters. *)
+  let rendered = Fmt.str "%a" (Obs.Report.render ~top:5) data in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " rendered") true
+        (contains_substring rendered needle))
+    [ "git_rev"; "engine.job"; "critical path"; "gc.heap_words"; "fm.moves" ]
+
+let test_report_rejects_garbage () =
+  (match Obs.Report.load_string "{\"schema\":\"nope/1\"}" with
+  | Ok _ -> Alcotest.fail "accepted an unknown schema"
+  | Error _ -> ());
+  match Obs.Report.load_string "" with
+  | Ok _ -> Alcotest.fail "accepted empty input"
+  | Error _ -> ()
+
 let suite =
   [
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
@@ -257,4 +503,12 @@ let suite =
       test_span_timed_when_disabled;
     Alcotest.test_case "per-rule audit timings" `Quick test_check_timings;
     Alcotest.test_case "monotonic clock" `Quick test_monotonic_clock;
+    Alcotest.test_case "shard write and absorb" `Quick test_shard_absorb;
+    Alcotest.test_case "shard orphans and torn lines dropped" `Quick
+      test_shard_orphans_dropped;
+    Alcotest.test_case "GC profiling gauges" `Quick test_prof_gauges;
+    Alcotest.test_case "report analytics over a merged trace" `Quick
+      test_report_analytics;
+    Alcotest.test_case "report rejects malformed input" `Quick
+      test_report_rejects_garbage;
   ]
