@@ -850,7 +850,7 @@ let lint_cmd =
   let info =
     Cmd.info "lint"
       ~doc:
-        "Run the AST-level source linter (rules SRC01..SRC10) over the \
+        "Run the AST-level source linter (rules SRC01..SRC11) over the \
          repository; non-zero exit on any unsuppressed finding."
   in
   Cmd.v info
@@ -858,12 +858,14 @@ let lint_cmd =
 
 (* analyze: the typed-AST domain-safety analyzer of lib/analysis_dom —
    mutable-state inventory, hot-path reachability from the solver entry
-   points, and the Workspace/Rng ownership checks, as rules
-   DOM01..DOM06.  Shares hyplint's suppression machinery (inline
+   points, Workspace/Rng ownership checks, and the interprocedural
+   effect analysis behind the parallel-safety certificate, as rules
+   DOM01..DOM11.  Shares hyplint's suppression machinery (inline
    `hyplint: allow DOM01 — reason` markers and lint.config), and gates
    identically: zero unsuppressed findings or non-zero exit. *)
 
-let run_analyze root config_path build_dir rules format inventory_out =
+let run_analyze root config_path build_dir rules format inventory_out effects
+    effects_out =
   if rules then begin
     print_string (Lint.Rules.render_catalogue Analysis_dom.Dom_rules.catalogue);
     0
@@ -883,6 +885,10 @@ let run_analyze root config_path build_dir rules format inventory_out =
         | `Json ->
             print_endline
               (Obs.Json.to_string (Analysis_dom.Driver.to_json result)));
+        if effects then
+          print_string
+            (Analysis_dom.Effects.render_witnesses
+               result.Analysis_dom.Driver.effects);
         (match inventory_out with
         | None -> ()
         | Some path ->
@@ -890,6 +896,14 @@ let run_analyze root config_path build_dir rules format inventory_out =
                 Out_channel.output_string oc
                   (Analysis_dom.Inventory.render
                      result.Analysis_dom.Driver.inventory)));
+        (match effects_out with
+        | None -> ()
+        | Some path ->
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc
+                  (Analysis_dom.Inventory.render
+                     (Analysis_dom.Effects.to_json
+                        result.Analysis_dom.Driver.effects))));
         Analysis.Check.exit_code report
 
 let analyze_cmd =
@@ -910,7 +924,7 @@ let analyze_cmd =
     Arg.(value & opt (some dir) None & info [ "build" ] ~docv:"DIR" ~doc)
   in
   let rules_flag =
-    let doc = "Print the rule catalogue (DOM00..DOM06) and exit." in
+    let doc = "Print the rule catalogue (DOM00..DOM11) and exit." in
     Arg.(value & flag & info [ "rules" ] ~doc)
   in
   let format_arg =
@@ -930,18 +944,36 @@ let analyze_cmd =
     in
     Arg.(value & opt (some string) None & info [ "inventory" ] ~docv:"PATH" ~doc)
   in
+  let effects_flag =
+    let doc =
+      "Print per-entry-point effect witnesses: for each solver entry point, \
+       the minimal call chain to every shared-mutating leaf it can reach — \
+       the worklist for making the hot path domain-safe."
+    in
+    Arg.(value & flag & info [ "effects" ] ~doc)
+  in
+  let effects_out_arg =
+    let doc =
+      "Also write the parallel-safety certificate (pretty JSON, schema \
+       hypartition-effects/1) to $(docv) — the committed \
+       analysis/effects.json artifact, byte-deterministic and gated fresh \
+       by CI."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "effects-out" ] ~docv:"PATH" ~doc)
+  in
   let info =
     Cmd.info "analyze"
       ~doc:
-        "Run the typed-AST domain-safety analyzer (rules DOM01..DOM06: \
+        "Run the typed-AST domain-safety analyzer (rules DOM01..DOM11: \
          mutable-state inventory, hot-path reachability, Workspace/Rng \
-         ownership) over the repository; non-zero exit on any unsuppressed \
-         finding."
+         ownership, interprocedural effects) over the repository; non-zero \
+         exit on any unsuppressed finding."
   in
   Cmd.v info
     Term.(
       const run_analyze $ root_arg $ config_arg $ build_arg $ rules_flag
-      $ format_arg $ inventory_arg)
+      $ format_arg $ inventory_arg $ effects_flag $ effects_out_arg)
 
 (* bench: compare a fresh bench report against a committed baseline and
    gate on experiment wall-time regressions (the CI perf-smoke check).

@@ -15,7 +15,36 @@ val default_entries : (string * string) list
 val compute : ?entries:(string * string) list -> Ir.unit_ir list -> t
 
 val is_reachable : t -> module_:string -> func:string -> bool
+
+val is_reachable_key : t -> string -> bool
+(** Same check on an already-qualified ["Module.func"] key. *)
+
 val global_is_hot : t -> Ir.global -> bool
 
 val n_reachable : t -> int
 (** Number of reachable functions, for the report summary. *)
+
+val entry_keys : t -> string list
+(** The resolved entry-point functions (["Module.func"] keys that
+    actually exist among the lowered units), sorted. *)
+
+val find_func : t -> string -> Ir.func option
+(** The lowered function behind a key, reachable or not. *)
+
+val candidates : t -> caller_module:string -> string -> string list
+(** All names a reference may denote: as written, qualified within the
+    calling module, rewritten through the units' [include] / module-alias
+    re-exports, and with an unanalyzed library-wrapper head dropped when
+    the next component names an analyzed unit.  Over-approximate by
+    design, like the rest of the graph. *)
+
+val expand_name : t -> string -> string list
+(** Like {!candidates} but without the caller-module qualification: the
+    expansion of the name exactly as written.  Used to decide whether an
+    unresolved reference denotes a value inside an analyzed unit. *)
+
+val resolve_ref : t -> caller_module:string -> string -> string list
+(** The {!candidates} that are existing func keys. *)
+
+val is_unit_module : t -> string -> bool
+(** Whether a name is the module name of an analyzed unit. *)

@@ -29,6 +29,24 @@ let catalogue =
        promoted to module scope)" );
     ( "DOM06",
       "lib module holding unsafe mutable globals without a sealing .mli" );
+    ( "DOM07",
+      "shared-mutating function reachable from a solver entry point: its \
+       body writes an unsafe inventory global (the effect analysis names \
+       the blame chain)" );
+    ( "DOM08",
+      "Workspace interior escaping its owner: a mutable field projected \
+       out of a Workspace.t stored into module state" );
+    ( "DOM09",
+      "hot-path function whose effects are unknown solely because of \
+       calls into unanalyzed externals (typed front)" );
+    ( "DOM10",
+      "hot-path function whose effects are unknown because the unit was \
+       only covered by the Parsetree fallback — run `dune build` for \
+       typed precision" );
+    ( "DOM11",
+      "stale parallel-safety certificate: a committed \
+       analysis/effects.json entry disagrees with this run — regenerate \
+       with analyze --effects-out" );
   ]
 
 let rule_ids = List.map fst catalogue
@@ -103,12 +121,16 @@ let unit_findings ~cg (u : I.unit_ir) =
     List.filter_map
       (fun (e : I.escape) ->
         let rule =
-          match e.I.esc_what with "Workspace.t" -> "DOM02" | _ -> "DOM03"
+          match e.I.esc_what with
+          | "Workspace.t" -> "DOM02"
+          | "Workspace interior" -> "DOM08"
+          | _ -> "DOM03"
         in
         (* a store inside the owning module's own implementation is its
            business (Workspace pooling, Rng caches behind the API) *)
         if
-          (e.I.esc_what = "Workspace.t" && u.I.u_module = "Workspace")
+          ((e.I.esc_what = "Workspace.t" || e.I.esc_what = "Workspace interior")
+          && u.I.u_module = "Workspace")
           || (e.I.esc_what = "Rng.t" && u.I.u_module = "Rng")
         then None
         else
@@ -193,6 +215,59 @@ let unit_findings ~cg (u : I.unit_ir) =
   in
   globals @ escapes @ returns @ randoms @ emits @ sealing
 
-let evaluate ~cg (units : I.unit_ir list) =
-  let all = List.concat_map (unit_findings ~cg) units in
+(* DOM07/DOM09/DOM10 over the effect analysis.  Every info is already
+   reachable from the solver entry points, so "hot" is implicit.  DOM07
+   fires at the direct writer — the leaf of every blame chain — not at
+   each transitive caller, so one shared write is one finding to fix or
+   suppress, not a finding per path to it. *)
+let effects_findings (effects : Effects.t) =
+  List.concat_map
+    (fun (i : Effects.info) ->
+      let mk ~rule ~severity message =
+        { Lint.Rules.rule; severity; file = i.Effects.e_file;
+          line = i.Effects.e_line; col = 0; message }
+      in
+      let writers =
+        if i.Effects.e_direct_writes = [] then []
+        else
+          [
+            mk ~rule:"DOM07" ~severity:Analysis_core.Check.Error
+              (Printf.sprintf
+                 "%s writes shared mutable global(s) %s and is reachable \
+                  from the solver entry points; make it workspace-local or \
+                  suppress with a confinement rationale"
+                 i.Effects.e_key
+                 (String.concat ", " i.Effects.e_direct_writes));
+          ]
+      in
+      let unknowns =
+        if i.Effects.e_class <> Effects.Unknown then []
+        else
+          match i.Effects.e_front with
+          | I.Typed ->
+              [
+                mk ~rule:"DOM09" ~severity:Analysis_core.Check.Error
+                  (Printf.sprintf
+                     "effects of hot-path function %s are unknown solely \
+                      because of unanalyzed external call(s): %s"
+                     i.Effects.e_key
+                     (String.concat ", " i.Effects.e_sig.Effects.s_externals));
+              ]
+          | I.Parsetree_only ->
+              [
+                mk ~rule:"DOM10" ~severity:Analysis_core.Check.Warning
+                  (Printf.sprintf
+                     "effects of hot-path function %s are unknown: the unit \
+                      was only covered by the Parsetree fallback — run `dune \
+                      build` first for typed precision"
+                     i.Effects.e_key);
+              ]
+      in
+      List.concat [ writers; unknowns ])
+    (Effects.infos effects)
+
+let evaluate ~cg ~effects (units : I.unit_ir list) =
+  let all =
+    List.concat_map (unit_findings ~cg) units @ effects_findings effects
+  in
   List.sort Lint.Rules.compare_findings all

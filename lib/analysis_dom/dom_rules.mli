@@ -1,15 +1,18 @@
-(** The domain-safety rules, DOM00..DOM06.
+(** The domain-safety rules, DOM00..DOM11.
 
-    DOM00 (analyzer hygiene) is emitted by the driver; DOM01..DOM06 are
-    evaluated here over the lowered units plus hot-path reachability.
-    Findings reuse {!Lint.Rules.finding}, so hyplint's suppression
-    machinery and report ordering apply unchanged. *)
+    DOM00 (analyzer hygiene) and DOM11 (stale certificate) are emitted
+    by the driver; DOM01..DOM10 are evaluated here over the lowered
+    units, hot-path reachability and the interprocedural effect
+    analysis.  Findings reuse {!Lint.Rules.finding}, so hyplint's
+    suppression machinery and report ordering apply unchanged. *)
 
 val catalogue : (string * string) list
-(** [rule id, one-line rationale], [DOM00]..[DOM06]. *)
+(** [rule id, one-line rationale], [DOM00]..[DOM11]. *)
 
 val rule_ids : string list
 
-val evaluate : cg:Callgraph.t -> Ir.unit_ir list -> Lint.Rules.finding list
-(** All DOM01..DOM06 findings over the given units, sorted by
+val evaluate :
+  cg:Callgraph.t -> effects:Effects.t -> Ir.unit_ir list ->
+  Lint.Rules.finding list
+(** All DOM01..DOM10 findings over the given units, sorted by
     [file, line, col, rule]. *)

@@ -30,6 +30,7 @@ type result = {
   findings : Lint.Rules.finding list;  (* live (unsuppressed), sorted *)
   suppressed : (Lint.Rules.finding * string) list;  (* finding, reason *)
   inventory : Obs.Json.t;
+  effects : Effects.t;  (* the interprocedural effect analysis *)
 }
 
 (* ---- suppression (shared machinery, DOM-owned ids) ---------------------- *)
@@ -89,12 +90,24 @@ let stale_marker_findings ~scans =
 (* ---- the pure pipeline -------------------------------------------------- *)
 
 (* Everything after unit lowering is front-independent; both entry
-   points funnel here. *)
-let finish ~root ~config ~entries ~scans ~(extra : Lint.Rules.finding list)
-    (units : Ir.unit_ir list) =
+   points funnel here.  [certificate] is the committed effects.json
+   (path, content) when one exists: DOM11 compares it against this run;
+   without one the comparison is skipped — fixture trees have no
+   certificate and that is not a finding. *)
+let finish ~root ~config ~entries ~scans ~certificate
+    ~(extra : Lint.Rules.finding list) (units : Ir.unit_ir list) =
   let units = List.sort Ir.compare_units units in
   let cg = Callgraph.compute ~entries units in
-  let raw = Dom_rules.evaluate ~cg units in
+  let effects = Effects.compute ~cg units in
+  let raw = Dom_rules.evaluate ~cg ~effects units in
+  let raw =
+    raw
+    @ (match certificate with
+      | None -> []
+      | Some (path, content) ->
+          Effects.stale_findings ~certificate_path:path ~certificate:content
+            effects)
+  in
   let live, suppressed = apply_suppressions ~config ~scans raw in
   let findings =
     List.sort Lint.Rules.compare_findings
@@ -112,13 +125,14 @@ let finish ~root ~config ~entries ~scans ~(extra : Lint.Rules.finding list)
     findings;
     suppressed;
     inventory = Inventory.to_json ~cg units;
+    effects;
   }
 
 (* The filesystem-free pipeline over (root-relative path, content)
    pairs, all lowered through the Parsetree front — what the fixture
    tests drive. *)
 let analyze_sources ?(config = []) ?(entries = Callgraph.default_entries)
-    ~root files =
+    ?certificate ~root files =
   let mls =
     List.filter (fun (path, _) -> Filename.check_suffix path ".ml") files
   in
@@ -149,7 +163,7 @@ let analyze_sources ?(config = []) ?(entries = Callgraph.default_entries)
               :: extra ))
       ([], []) mls
   in
-  finish ~root ~config ~entries ~scans ~extra units
+  finish ~root ~config ~entries ~scans ~certificate ~extra units
 
 (* ---- filesystem walk ---------------------------------------------------- *)
 
@@ -303,8 +317,13 @@ let run ?config_path ?(entries = Callgraph.default_entries) ?build_dir ~root ()
                   :: extra ))
         ([], []) mls
     in
+    let certificate =
+      let path = "analysis/effects.json" in
+      let abs = Filename.concat root path in
+      if Sys.file_exists abs then Some (path, read_file abs) else None
+    in
     Ok
-      (finish ~root ~config ~entries ~scans ~extra
+      (finish ~root ~config ~entries ~scans ~certificate ~extra
          (units_typed @ units_parse))
   end
 
@@ -367,4 +386,5 @@ let to_json t =
           (List.map (fun (f, reason) -> finding_to_json ~reason f) t.suppressed)
       );
       ("inventory", t.inventory);
+      ("effects", Effects.to_json t.effects);
     ]

@@ -22,17 +22,21 @@ type result = {
   suppressed : (Lint.Rules.finding * string) list;
       (** finding, written reason *)
   inventory : Obs.Json.t;  (** {!Inventory.to_json} of the same run *)
+  effects : Effects.t;  (** the interprocedural effect analysis *)
 }
 
 val analyze_sources :
   ?config:Lint.Suppress.config ->
   ?entries:(string * string) list ->
+  ?certificate:string * string ->
   root:string ->
   (string * string) list ->
   result
 (** The filesystem-free pipeline over (root-relative path, content)
     pairs, all lowered through the Parsetree front — what the fixture
-    tests drive.  [entries] defaults to {!Callgraph.default_entries}. *)
+    tests drive.  [entries] defaults to {!Callgraph.default_entries};
+    [certificate] is a committed effects.json as (path, content), and
+    when present DOM11 compares it against the run. *)
 
 val run :
   ?config_path:string ->
@@ -45,7 +49,9 @@ val run :
     [lint.config], harvest and lower every unit ([build_dir] defaults to
     [root/_build/default]), and analyze.  Sources without [.cmt]
     coverage fall back to the Parsetree front and carry a DOM00 warning
-    noting the reduced precision. *)
+    noting the reduced precision.  When [root/analysis/effects.json]
+    exists it is loaded as the committed certificate and DOM11 checks it
+    for staleness. *)
 
 val report : result -> Analysis_core.Check.report
 (** One evaluation per catalogue rule plus one violation per live

@@ -127,49 +127,18 @@ let is_function_binding (e : Parsetree.expression) =
   | Pexp_newtype _ -> true
   | _ -> false
 
-(* ---- shared name predicates (mirroring the typed front) ----------------- *)
+(* ---- shared name predicates (defined once in {!Ir}) --------------------- *)
 
-let obs_emit_name name =
-  I.ends_with_path ~suffix:"Counter.incr" name
-  || I.ends_with_path ~suffix:"Histogram.observe" name
-  || I.ends_with_path ~suffix:"Histogram.observe_int" name
-  || I.ends_with_path ~suffix:"Gauge.set" name
-
-let random_global_name name =
-  match name with
-  | "Random.bits" | "Random.int" | "Random.int32" | "Random.int64"
-  | "Random.nativeint" | "Random.float" | "Random.bool" | "Random.full_int"
-  | "Random.self_init" | "Random.init" | "Random.full_init"
-  | "Random.set_state" | "Random.get_state" ->
-      true
-  | _ -> false
-
-let is_iterish name =
-  let last =
-    match List.rev (String.split_on_char '.' name) with
-    | last :: _ -> last
-    | [] -> name
-  in
-  List.mem last
-    [
-      "iter"; "iteri"; "iter2"; "map"; "mapi"; "map2"; "rev_map";
-      "concat_map"; "filter_map"; "filter"; "find"; "find_opt"; "find_map";
-      "exists"; "for_all"; "partition"; "fold_left"; "fold_right"; "fold";
-      "init"; "sort"; "sort_uniq"; "stable_sort";
-    ]
-  || String.starts_with ~prefix:"iter_" last
-  || String.starts_with ~prefix:"fold_" last
-
-let is_store_fn name =
-  I.ends_with_path ~suffix:"Hashtbl.add" name
-  || I.ends_with_path ~suffix:"Hashtbl.replace" name
-  || I.ends_with_path ~suffix:"Queue.add" name
-  || I.ends_with_path ~suffix:"Queue.push" name
-  || I.ends_with_path ~suffix:"Stack.push" name
+let obs_emit_name = I.obs_emit_name
+let random_global_name = I.random_global_name
+let is_iterish = I.is_iterish
+let is_store_fn = I.is_store_fn
 
 (* Ownership-valued expressions, syntactically: a call to a constructor
-   of an ownership type somewhere in the stored subtree. *)
-let owned_mentions_in (e : Parsetree.expression) =
+   of an ownership type somewhere in the stored subtree, or a field
+   projected out of a parameter constrained to [Workspace.t]
+   ([ws_params]) — interior scratch escaping its owner. *)
+let owned_mentions_in ~ws_params (e : Parsetree.expression) =
   let acc = ref [] in
   let expr (self : Ast_iterator.iterator) (ex : Parsetree.expression) =
     (match ex.pexp_desc with
@@ -180,6 +149,9 @@ let owned_mentions_in (e : Parsetree.expression) =
         | Some I.Workspace -> acc := "Workspace.t" :: !acc
         | Some I.Rng -> acc := "Rng.t" :: !acc
         | _ -> ())
+    | Pexp_field ({ pexp_desc = Pexp_ident { txt = Lident name; _ }; _ }, _)
+      when List.mem name ws_params ->
+        acc := "Workspace interior" :: !acc
     | _ -> ());
     Ast_iterator.default_iterator.expr self ex
   in
@@ -205,6 +177,40 @@ let rec pat_constraint (p : Parsetree.pattern) =
   | Ppat_constraint (_, ct) -> Some ct
   | Ppat_alias (sub, _) -> pat_constraint sub
   | _ -> None
+
+(* Does a core type mention Workspace.t anywhere? *)
+let rec core_mentions_ws (ct : Parsetree.core_type) =
+  match ct.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, args) ->
+      I.ends_with_path ~suffix:"Workspace.t"
+        (I.normalize_path (lid_to_string txt))
+      || List.exists core_mentions_ws args
+  | Ptyp_tuple ts -> List.exists core_mentions_ws ts
+  | Ptyp_arrow (_, a, b) -> core_mentions_ws a || core_mentions_ws b
+  | _ -> false
+
+let rec core_result (ct : Parsetree.core_type) =
+  match ct.ptyp_desc with
+  | Ptyp_arrow (_, _, r) -> core_result r
+  | _ -> ct
+
+(* Walk a function binding's parameter chain: names of parameters
+   constrained to a type mentioning Workspace.t, and the final body. *)
+let fun_params (e : Parsetree.expression) =
+  let ws = ref [] and takes_ws = ref false in
+  let rec go (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, pat, body) ->
+        (match (pat_constraint pat, pat_vars pat) with
+        | Some ct, (name, _) :: _ when core_mentions_ws ct ->
+            takes_ws := true;
+            ws := name :: !ws
+        | _ -> ());
+        go body
+    | _ -> e
+  in
+  let body = go e in
+  (!ws, !takes_ws, body)
 
 let extract ~file ~has_mli (str : Parsetree.structure) : I.unit_ir =
   let unit_mod = module_of_filename file in
@@ -293,8 +299,29 @@ let extract ~file ~has_mli (str : Parsetree.structure) : I.unit_ir =
         | [] -> false)
     | _ -> false
   in
-  let walk_body ~fname (body : Parsetree.expression) =
+  let walk_body ~fname ~ws_params (body : Parsetree.expression) =
     let refs = ref [] in
+    let writes = ref [] in
+    let local_mut = ref false in
+    let rec mutation_root (e : Parsetree.expression) =
+      match e.pexp_desc with
+      | Pexp_field (r, _) -> mutation_root r
+      | _ -> e
+    in
+    let note_mutation subject =
+      let root = mutation_root subject in
+      match root.Parsetree.pexp_desc with
+      | Pexp_ident { txt; _ } -> (
+          match Longident.flatten txt with
+          | [ name ] ->
+              if List.mem name toplevel then
+                writes := (unit_mod ^ "." ^ name) :: !writes
+              else local_mut := true
+          | _ :: _ :: _ ->
+              writes := I.normalize_path (lid_to_string txt) :: !writes
+          | [] -> ())
+      | _ -> ()
+    in
     let loop_depth = ref 0 in
     let in_loop f =
       incr loop_depth;
@@ -348,21 +375,25 @@ let extract ~file ~has_mli (str : Parsetree.structure) : I.unit_ir =
           let plain () = List.iter (fun (_, a) -> expr self a) args in
           (match (name, args) with
           | ":=", [ (_, lhs); (_, rhs) ] ->
+              note_mutation lhs;
               if is_module_global lhs then
                 record_escape ~loc:e.pexp_loc
                   ~desc:"stored through := into a module-global ref"
-                  (owned_mentions_in rhs);
+                  (owned_mentions_in ~ws_params rhs);
               plain ()
-          | _ when is_store_fn name ->
+          | _ when I.mutates_subject_fn name ->
               (match args with
-              | (_, subject) :: rest when is_module_global subject ->
-                  List.iter
-                    (fun (_, a) ->
-                      record_escape ~loc:e.pexp_loc
-                        ~desc:
-                          (Printf.sprintf "stored via %s into module state" name)
-                        (owned_mentions_in a))
-                    rest
+              | (_, subject) :: rest ->
+                  note_mutation subject;
+                  if is_store_fn name && is_module_global subject then
+                    List.iter
+                      (fun (_, a) ->
+                        record_escape ~loc:e.pexp_loc
+                          ~desc:
+                            (Printf.sprintf "stored via %s into module state"
+                               name)
+                          (owned_mentions_in ~ws_params a))
+                      rest
               | _ -> ());
               plain ()
           | _ when is_iterish name ->
@@ -375,10 +406,11 @@ let extract ~file ~has_mli (str : Parsetree.structure) : I.unit_ir =
                 args
           | _ -> plain ())
       | Pexp_setfield (obj, _, rhs) ->
+          note_mutation obj;
           if is_module_global obj then
             record_escape ~loc:e.pexp_loc
               ~desc:"stored via <- into a module-global record"
-              (owned_mentions_in rhs);
+              (owned_mentions_in ~ws_params rhs);
           Ast_iterator.default_iterator.expr self e
       | Pexp_for (_, lo, hi, _, body) ->
           expr self lo;
@@ -391,13 +423,32 @@ let extract ~file ~has_mli (str : Parsetree.structure) : I.unit_ir =
     in
     let it = { Ast_iterator.default_iterator with expr } in
     it.expr it body;
-    List.sort_uniq String.compare !refs
+    (List.sort_uniq String.compare !refs,
+     List.sort_uniq String.compare !writes,
+     !local_mut)
   in
   (* Pass B: classify bindings, lower functions. *)
+  let aliases = ref [] in
+  let rec module_path (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_ident { txt; _ } -> Some (I.normalize_path (lid_to_string txt))
+    | Pmod_constraint (inner, _) -> module_path inner
+    | _ -> None
+  in
   let rec items prefix (list : Parsetree.structure_item list) =
     List.iter (item prefix) list
   and item prefix (it : Parsetree.structure_item) =
     match it.pstr_desc with
+    | Pstr_include incl -> (
+        (* [include Hg] re-exports Hg's values under this path;
+           strip the trailing '.' the walk keeps on prefixes *)
+        let owner =
+          if prefix = "" then ""
+          else String.sub prefix 0 (String.length prefix - 1)
+        in
+        match module_path incl.pincl_mod with
+        | Some target -> aliases := (owner, target) :: !aliases
+        | None -> ())
     | Pstr_value (_, vbs) ->
         List.iter
           (fun (vb : Parsetree.value_binding) ->
@@ -431,7 +482,19 @@ let extract ~file ~has_mli (str : Parsetree.structure) : I.unit_ir =
               List.iter
                 (fun (name, loc) ->
                   let fname = prefix ^ name in
-                  let refs = walk_body ~fname vb.pvb_expr in
+                  let ws_params, takes_ws, _body = fun_params vb.pvb_expr in
+                  let refs, writes, local_mut =
+                    walk_body ~fname ~ws_params vb.pvb_expr
+                  in
+                  let ret_kind =
+                    match pat_constraint vb.pvb_pat with
+                    | Some ct -> (
+                        match kind_of_core_type (core_result ct) with
+                        | Some k when not (I.kind_is_safe k) ->
+                            Some (I.kind_to_string k)
+                        | _ -> None)
+                    | None -> None
+                  in
                   funcs :=
                     {
                       I.f_module = unit_mod;
@@ -441,6 +504,10 @@ let extract ~file ~has_mli (str : Parsetree.structure) : I.unit_ir =
                       (* no types: result-type ownership mentions are
                          typed-front-only *)
                       f_ret_mentions = [];
+                      f_writes = writes;
+                      f_local_mut = local_mut;
+                      f_takes_ws = takes_ws;
+                      f_ret_kind = ret_kind;
                     }
                     :: !funcs)
                 vars)
@@ -450,7 +517,12 @@ let extract ~file ~has_mli (str : Parsetree.structure) : I.unit_ir =
     | _ -> ()
   and item_mb prefix (mb : Parsetree.module_binding) =
     match mb.pmb_name.txt with
-    | Some name -> item_me (prefix ^ name ^ ".") mb.pmb_expr
+    | Some name ->
+        (* [module Io = Part_io]: an alias re-export *)
+        (match module_path mb.pmb_expr with
+        | Some target -> aliases := (prefix ^ name, target) :: !aliases
+        | None -> ());
+        item_me (prefix ^ name ^ ".") mb.pmb_expr
     | None -> ()
   and item_me prefix (me : Parsetree.module_expr) =
     match me.pmod_desc with
@@ -469,6 +541,7 @@ let extract ~file ~has_mli (str : Parsetree.structure) : I.unit_ir =
     u_escapes = List.rev !escapes;
     u_obs_emits = List.rev !emits;
     u_random_uses = List.rev !randoms;
+    u_aliases = List.rev !aliases;
   }
 
 (* Parse a source string; [Error] is a syntax error rendered as one line

@@ -120,6 +120,12 @@ let rec result_type (ty : Types.type_expr) =
   | Tarrow (_, _, r, _) -> result_type r
   | _ -> ty
 
+(* Ownership mentions over the parameter positions only. *)
+let rec arg_mentions (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Tarrow (_, a, b, _) -> type_mentions a @ arg_mentions b
+  | _ -> []
+
 let is_arrow ty =
   match Types.get_desc ty with Tarrow _ -> true | _ -> false
 
@@ -248,53 +254,11 @@ let col_of (loc : Location.t) = loc.loc_start.pos_cnum - loc.loc_start.pos_bol
 
 let print_type ty = Format.asprintf "%a" Printtyp.type_scheme ty
 
-(* Per-event obs emission entry points (the batched-flush contract says
-   hot loops accumulate into plain ints and flush once per pass with
-   [Counter.add]). *)
-let obs_emit_name name =
-  I.ends_with_path ~suffix:"Counter.incr" name
-  || I.ends_with_path ~suffix:"Histogram.observe" name
-  || I.ends_with_path ~suffix:"Histogram.observe_int" name
-  || I.ends_with_path ~suffix:"Gauge.set" name
-
-(* The stdlib's implicit-state PRNG entry points (excludes the explicit
-   [Random.State.*] API, which normalizes to "Random.State.<fn>"). *)
-let random_global_name name =
-  match name with
-  | "Random.bits" | "Random.int" | "Random.int32" | "Random.int64"
-  | "Random.nativeint" | "Random.float" | "Random.bool" | "Random.full_int"
-  | "Random.self_init" | "Random.init" | "Random.full_init"
-  | "Random.set_state" | "Random.get_state" ->
-      true
-  | _ -> false
-
-(* Callback-taking iteration functions, as in hyplint's SRC02: a function
-   literal passed to one of these runs once per element, so it counts as
-   a loop body for DOM04. *)
-let is_iterish name =
-  let last =
-    match List.rev (String.split_on_char '.' name) with
-    | last :: _ -> last
-    | [] -> name
-  in
-  List.mem last
-    [
-      "iter"; "iteri"; "iter2"; "map"; "mapi"; "map2"; "rev_map";
-      "concat_map"; "filter_map"; "filter"; "find"; "find_opt"; "find_map";
-      "exists"; "for_all"; "partition"; "fold_left"; "fold_right"; "fold";
-      "init"; "sort"; "sort_uniq"; "stable_sort";
-    ]
-  || String.starts_with ~prefix:"iter_" last
-  || String.starts_with ~prefix:"fold_" last
-
-(* Store operations whose first argument is the stored-into subject:
-   [Hashtbl.add tbl k v] with [tbl] a module global is module state. *)
-let is_store_fn name =
-  I.ends_with_path ~suffix:"Hashtbl.add" name
-  || I.ends_with_path ~suffix:"Hashtbl.replace" name
-  || I.ends_with_path ~suffix:"Queue.add" name
-  || I.ends_with_path ~suffix:"Queue.push" name
-  || I.ends_with_path ~suffix:"Stack.push" name
+(* Name predicates live in {!Ir} so both fronts consult the same set. *)
+let obs_emit_name = I.obs_emit_name
+let random_global_name = I.random_global_name
+let is_iterish = I.is_iterish
+let is_store_fn = I.is_store_fn
 
 let extract ~known ~has_mli tu : I.unit_ir =
   let unit_mod = I.module_of_unit tu.tu_modname in
@@ -364,11 +328,26 @@ let extract ~known ~has_mli tu : I.unit_ir =
   and emits = ref []
   and randoms = ref [] in
   (* Is an expression a module-global location: one of this unit's
-     toplevel idents, or a dotted path into another module? *)
-  let is_module_global (e : Typedtree.expression) =
+     toplevel idents, or a dotted path into another module?  When it is,
+     [global_name_of] yields the qualified name the globals inventory and
+     the call graph use for it. *)
+  let global_name_of (e : Typedtree.expression) =
     match e.exp_desc with
-    | Texp_ident (Path.Pident id, _, _) -> toplevel_path id <> None
-    | Texp_ident (Path.Pdot _, _, _) -> true
+    | Texp_ident (Path.Pident id, _, _) -> (
+        match toplevel_path id with
+        | Some path -> Some (unit_mod ^ "." ^ path)
+        | None -> None)
+    | Texp_ident ((Path.Pdot _ as p), _, _) ->
+        Some (I.normalize_path (Path.name p))
+    | _ -> None
+  in
+  let is_module_global e = global_name_of e <> None in
+  (* Is the mutation subject a named local or parameter (as opposed to a
+     module global or a compound expression)?  The Workspace-discipline
+     shape the effect analysis records as parameter-local mutation. *)
+  let is_local_ident (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> toplevel_path id = None
     | _ -> false
   in
   let owned_mentions_in (e : Typedtree.expression) =
@@ -376,6 +355,14 @@ let extract ~known ~has_mli tu : I.unit_ir =
     let expr (self : Tast_iterator.iterator) (ex : Typedtree.expression) =
       (match ex.exp_desc with
       | Texp_ident (_, _, _) -> acc := type_mentions ex.exp_type @ !acc
+      | Texp_field (record, _, _)
+        when List.mem "Workspace.t" (type_mentions record.exp_type) -> (
+          (* a mutable field projected out of a Workspace: interior
+             scratch escaping its owner (DOM08 material when stored) *)
+          match classify_type ~known ~ctx:[] ex.exp_type with
+          | Some k when not (I.kind_is_safe k) ->
+              acc := "Workspace interior" :: !acc
+          | _ -> ())
       | _ -> ());
       Tast_iterator.default_iterator.expr self ex
     in
@@ -383,10 +370,26 @@ let extract ~known ~has_mli tu : I.unit_ir =
     it.expr it e;
     sort_uniq_strings !acc
   in
-  (* Walk one function body, collecting references, loop-context obs
-     emissions, global-PRNG uses and escape stores. *)
+  (* Walk one function body, collecting references, writes to module
+     state, parameter/local mutation, loop-context obs emissions,
+     global-PRNG uses and escape stores. *)
   let walk_body ~fname (body : Typedtree.expression) =
     let refs = ref [] in
+    let writes = ref [] in
+    let local_mut = ref false in
+    (* Resolve the mutated location to its root binding: a field chain
+       [Global.state.count <- 5] writes the global at its root. *)
+    let rec mutation_root (e : Typedtree.expression) =
+      match e.exp_desc with
+      | Texp_field (r, _, _) -> mutation_root r
+      | _ -> e
+    in
+    let note_mutation subject =
+      let root = mutation_root subject in
+      match global_name_of root with
+      | Some name -> writes := name :: !writes
+      | None -> if is_local_ident root then local_mut := true
+    in
     let loop_depth = ref 0 in
     let in_loop f =
       incr loop_depth;
@@ -447,25 +450,28 @@ let extract ~known ~has_mli tu : I.unit_ir =
           in
           (match (name, args) with
           | ":=", [ (_, Some lhs); (_, Some rhs) ] ->
+              note_mutation lhs;
               if is_module_global lhs then
                 record_escape ~loc:e.exp_loc
                   ~desc:"stored through := into a module-global ref"
                   (owned_mentions_in rhs);
               plain ()
-          | _ when is_store_fn name ->
+          | _ when I.mutates_subject_fn name ->
               (match args with
-              | (_, Some subject) :: rest when is_module_global subject ->
-                  List.iter
-                    (fun (_, a) ->
-                      match a with
-                      | Some a ->
-                          record_escape ~loc:e.exp_loc
-                            ~desc:
-                              (Printf.sprintf "stored via %s into module state"
-                                 name)
-                            (owned_mentions_in a)
-                      | None -> ())
-                    rest
+              | (_, Some subject) :: rest ->
+                  note_mutation subject;
+                  if is_store_fn name && is_module_global subject then
+                    List.iter
+                      (fun (_, a) ->
+                        match a with
+                        | Some a ->
+                            record_escape ~loc:e.exp_loc
+                              ~desc:
+                                (Printf.sprintf
+                                   "stored via %s into module state" name)
+                              (owned_mentions_in a)
+                        | None -> ())
+                      rest
               | _ -> ());
               plain ()
           | _ when is_iterish name ->
@@ -479,6 +485,7 @@ let extract ~known ~has_mli tu : I.unit_ir =
                 args
           | _ -> plain ())
       | Texp_setfield (obj, _, _, rhs) ->
+          note_mutation obj;
           if is_module_global obj then
             record_escape ~loc:e.exp_loc
               ~desc:"stored via <- into a module-global record"
@@ -495,12 +502,24 @@ let extract ~known ~has_mli tu : I.unit_ir =
     in
     let it = { Tast_iterator.default_iterator with expr } in
     it.expr it body;
-    sort_uniq_strings !refs
+    (sort_uniq_strings !refs, sort_uniq_strings !writes, !local_mut)
   in
   (* Pass B: classify bindings and lower functions. *)
+  let aliases = ref [] in
+  let rec module_path (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_ident (p, _) -> Some (I.normalize_path (Path.name p))
+    | Tmod_constraint (inner, _, _, _) -> module_path inner
+    | _ -> None
+  in
   let rec items prefix list = List.iter (item prefix) list
   and item prefix (it : Typedtree.structure_item) =
     match it.str_desc with
+    | Tstr_include incl -> (
+        (* [include Hg] re-exports Hg's values under this path *)
+        match module_path incl.incl_mod with
+        | Some target -> aliases := (prefix, target) :: !aliases
+        | None -> ())
     | Tstr_value (_, vbs) ->
         List.iter
           (fun (vb : Typedtree.value_binding) ->
@@ -529,9 +548,18 @@ let extract ~known ~has_mli tu : I.unit_ir =
                 | None -> ());
                 if is_arrow ty then begin
                   let fname = path in
-                  let refs = walk_body ~fname vb.Typedtree.vb_expr in
+                  let refs, writes, local_mut =
+                    walk_body ~fname vb.Typedtree.vb_expr
+                  in
+                  let ret_ty = result_type ty in
                   let ret =
-                    sort_uniq_strings (type_mentions (result_type ty))
+                    sort_uniq_strings (type_mentions ret_ty)
+                  in
+                  let ret_kind =
+                    match classify_type ~known ~ctx ret_ty with
+                    | Some k when not (I.kind_is_safe k) ->
+                        Some (I.kind_to_string k)
+                    | _ -> None
                   in
                   funcs :=
                     {
@@ -540,6 +568,11 @@ let extract ~known ~has_mli tu : I.unit_ir =
                       f_line = line_of loc;
                       f_refs = refs;
                       f_ret_mentions = ret;
+                      f_writes = writes;
+                      f_local_mut = local_mut;
+                      f_takes_ws =
+                        List.mem "Workspace.t" (arg_mentions ty);
+                      f_ret_kind = ret_kind;
                     }
                     :: !funcs
                 end)
@@ -556,6 +589,10 @@ let extract ~known ~has_mli tu : I.unit_ir =
           | "" -> Ident.name id
           | p -> p ^ "." ^ Ident.name id
         in
+        (* [module Io = Part_io]: an alias re-export *)
+        (match module_path mb.mb_expr with
+        | Some target -> aliases := (sub, target) :: !aliases
+        | None -> ());
         let rec descend (me : Typedtree.module_expr) =
           match me.mod_desc with
           | Tmod_structure str -> items sub str.str_items
@@ -576,4 +613,5 @@ let extract ~known ~has_mli tu : I.unit_ir =
     u_escapes = List.rev !escapes;
     u_obs_emits = List.rev !emits;
     u_random_uses = List.rev !randoms;
+    u_aliases = List.rev !aliases;
   }

@@ -68,6 +68,17 @@ type func = {
   f_line : int;
   f_refs : string list;  (* normalized global identifiers, sorted, deduped *)
   f_ret_mentions : string list;  (* "Workspace.t"/"Rng.t" in the result type *)
+  f_writes : string list;
+      (* module-level bindings this body writes: the target of a [:=] or
+         [<-], or the subject of a mutating call (Hashtbl.replace,
+         Array.fill, incr, ...), normalized and qualified like [f_refs] *)
+  f_local_mut : bool;
+      (* mutation whose subject is NOT module-level: a parameter or a
+         let-bound local — the Workspace-discipline shape *)
+  f_takes_ws : bool;  (* some parameter type mentions Workspace.t *)
+  f_ret_kind : string option;
+      (* [kind_to_string] of the result type when it classifies as a
+         mutable kind (typed front; constraint-only on the fallback) *)
 }
 
 type unit_ir = {
@@ -80,6 +91,12 @@ type unit_ir = {
   u_escapes : escape list;
   u_obs_emits : obs_emit list;
   u_random_uses : random_use list;
+  u_aliases : (string * string) list;
+      (* module re-exports: ("", "Hg") for a toplevel [include Hg],
+         ("Io", "Part_io") for [module Io = Part_io] — the owner path
+         relative to the unit, and the normalized target path.  The call
+         graph uses these to resolve references made through library
+         roots (Hypergraph.fold_pins -> Hg.fold_pins). *)
 }
 
 (* ---- name normalization ------------------------------------------------- *)
@@ -172,6 +189,88 @@ let container_of = function
   | _ -> Container
 
 let kind_is_safe = function Atomic | Mutex -> true | _ -> false
+
+(* ---- shared name predicates ---------------------------------------------- *)
+
+(* Both fronts consult the same predicate set so a rule can never fire
+   on one front and stay silent on the other for naming reasons alone. *)
+
+(* Per-event obs emission entry points (the batched-flush contract says
+   hot loops accumulate into plain ints and flush once per pass with
+   [Counter.add]). *)
+let obs_emit_name name =
+  ends_with_path ~suffix:"Counter.incr" name
+  || ends_with_path ~suffix:"Histogram.observe" name
+  || ends_with_path ~suffix:"Histogram.observe_int" name
+  || ends_with_path ~suffix:"Gauge.set" name
+
+(* The stdlib's implicit-state PRNG entry points (excludes the explicit
+   [Random.State.*] API, which normalizes to "Random.State.<fn>"). *)
+let random_global_name name =
+  match name with
+  | "Random.bits" | "Random.int" | "Random.int32" | "Random.int64"
+  | "Random.nativeint" | "Random.float" | "Random.bool" | "Random.full_int"
+  | "Random.self_init" | "Random.init" | "Random.full_init"
+  | "Random.set_state" | "Random.get_state" ->
+      true
+  | _ -> false
+
+(* Callback-taking iteration functions, as in hyplint's SRC02: a function
+   literal passed to one of these runs once per element, so it counts as
+   a loop body for DOM04. *)
+let is_iterish name =
+  let last =
+    match List.rev (String.split_on_char '.' name) with
+    | last :: _ -> last
+    | [] -> name
+  in
+  List.mem last
+    [
+      "iter"; "iteri"; "iter2"; "map"; "mapi"; "map2"; "rev_map";
+      "concat_map"; "filter_map"; "filter"; "find"; "find_opt"; "find_map";
+      "exists"; "for_all"; "partition"; "fold_left"; "fold_right"; "fold";
+      "init"; "sort"; "sort_uniq"; "stable_sort";
+    ]
+  || String.starts_with ~prefix:"iter_" last
+  || String.starts_with ~prefix:"fold_" last
+
+(* Store operations whose first argument is the stored-into subject and
+   which retain the stored value: [Hashtbl.add tbl k v] with [tbl] a
+   module global makes [v] module state — escape material. *)
+let is_store_fn name =
+  ends_with_path ~suffix:"Hashtbl.add" name
+  || ends_with_path ~suffix:"Hashtbl.replace" name
+  || ends_with_path ~suffix:"Queue.add" name
+  || ends_with_path ~suffix:"Queue.push" name
+  || ends_with_path ~suffix:"Stack.push" name
+
+(* The wider set for the effect analysis: calls that mutate their first
+   argument without necessarily retaining anything.  A call whose subject
+   is a module global is a write to it; on a local/parameter it is the
+   Workspace-local shape. *)
+let mutates_subject_fn name =
+  is_store_fn name || name = "incr" || name = "decr"
+  || ends_with_path ~suffix:"Hashtbl.remove" name
+  || ends_with_path ~suffix:"Hashtbl.clear" name
+  || ends_with_path ~suffix:"Hashtbl.reset" name
+  || ends_with_path ~suffix:"Hashtbl.filter_map_inplace" name
+  || ends_with_path ~suffix:"Array.set" name
+  || ends_with_path ~suffix:"Array.fill" name
+  || ends_with_path ~suffix:"Array.blit" name
+  || ends_with_path ~suffix:"Array.sort" name
+  || ends_with_path ~suffix:"Array.fast_sort" name
+  || ends_with_path ~suffix:"Array.stable_sort" name
+  || ends_with_path ~suffix:"Bytes.set" name
+  || ends_with_path ~suffix:"Bytes.fill" name
+  || ends_with_path ~suffix:"Bytes.blit" name
+  || ends_with_path ~suffix:"Queue.pop" name
+  || ends_with_path ~suffix:"Queue.take" name
+  || ends_with_path ~suffix:"Queue.clear" name
+  || ends_with_path ~suffix:"Stack.pop" name
+  || ends_with_path ~suffix:"Stack.clear" name
+  || ends_with_path ~suffix:"Buffer.clear" name
+  || ends_with_path ~suffix:"Buffer.reset" name
+  || String.starts_with ~prefix:"Buffer.add_" name
 
 let kind_to_string = function
   | Ref -> "ref"

@@ -49,6 +49,17 @@ type func = {
   f_line : int;
   f_refs : string list;
   f_ret_mentions : string list;
+  f_writes : string list;
+      (** module-level bindings this body writes ([:=], [<-], or a
+          mutating call on a module-global subject), qualified like
+          [f_refs] *)
+  f_local_mut : bool;
+      (** mutation whose subject is a parameter or local — the
+          Workspace-discipline shape *)
+  f_takes_ws : bool;  (** a parameter type mentions [Workspace.t] *)
+  f_ret_kind : string option;
+      (** [kind_to_string] of the result type when it classifies as a
+          mutable kind *)
 }
 
 type unit_ir = {
@@ -61,6 +72,11 @@ type unit_ir = {
   u_escapes : escape list;
   u_obs_emits : obs_emit list;
   u_random_uses : random_use list;
+  u_aliases : (string * string) list;
+      (** module re-exports: [("", "Hg")] for a toplevel [include Hg],
+          [("Io", "Part_io")] for [module Io = Part_io] — owner path
+          relative to the unit, normalized target path.  Lets the call
+          graph resolve references made through library roots. *)
 }
 
 val normalize_path : string -> string
@@ -90,6 +106,27 @@ val container_of : kind -> kind
 
 val kind_is_safe : kind -> bool
 (** [Atomic] and [Mutex] — mutable but domain-safe by construction. *)
+
+val obs_emit_name : string -> bool
+(** Per-event obs emission entry points ([Counter.incr],
+    [Histogram.observe], [Gauge.set], ...) — DOM04 material in loops. *)
+
+val random_global_name : string -> bool
+(** The stdlib's implicit-state PRNG entry points ([Random.int], ...);
+    excludes the explicit [Random.State.*] API. *)
+
+val is_iterish : string -> bool
+(** Callback-taking iteration functions whose function-literal arguments
+    run once per element (loop bodies for DOM04). *)
+
+val is_store_fn : string -> bool
+(** Store operations whose first argument is the stored-into subject and
+    which retain the stored value ([Hashtbl.add], [Queue.push], ...). *)
+
+val mutates_subject_fn : string -> bool
+(** The wider effect-analysis set: calls that mutate their first
+    argument ([Array.fill], [Hashtbl.clear], [incr], ...), retaining or
+    not.  Superset of {!is_store_fn}. *)
 
 val kind_to_string : kind -> string
 val front_to_string : front -> string

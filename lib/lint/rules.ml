@@ -56,15 +56,35 @@ let catalogue =
       "direct Gc.* use outside lib/obs: heap telemetry and allocation \
        metering go through Obs.Prof (the designated profiling surface), so \
        GC reads stay one coherent layer instead of ad-hoc Gc.stat calls" );
+    ( "SRC11",
+      "Domain.spawn / Domain.create / Atomic.* outside the designated \
+       concurrency modules (lint.config allowlists them): multicore \
+       primitives land in one reviewed place, fenced the same way SRC08 \
+       fences fork and SRC10 fences Gc" );
   ]
 
 let rule_ids = List.map fst catalogue
+
+(* The PR that introduced each rule, printed as the catalogue's [since]
+   column so downstream tooling can version-pin against the rule set.
+   Covers the DOM rules too: this renderer is shared with `analyze`. *)
+let since id =
+  match id with
+  | "SRC08" -> "PR4"
+  | "SRC09" -> "PR5"
+  | "SRC10" -> "PR7"
+  | "SRC11" -> "PR8"
+  | "DOM07" | "DOM08" | "DOM09" | "DOM10" | "DOM11" -> "PR8"
+  | _ when String.starts_with ~prefix:"DOM" id -> "PR6"
+  | _ -> "PR3"
 
 (* The one `--rules` renderer shared by `lint` and `analyze`, so a rule
    catalogue cannot drift from what its tool prints. *)
 let render_catalogue cat =
   String.concat ""
-    (List.map (fun (id, what) -> Printf.sprintf "%-8s %s\n" id what) cat)
+    (List.map
+       (fun (id, what) -> Printf.sprintf "%-8s %-6s %s\n" id (since id) what)
+       cat)
 
 (* ---- identifier classification ----------------------------------------- *)
 
@@ -116,6 +136,17 @@ let is_src10 (lid : Longident.t) =
   match lid with
   | Ldot (Lident "Gc", _) -> true
   | Ldot (Ldot (Lident "Stdlib", "Gc"), _) -> true
+  | _ -> false
+
+(* Multicore primitives: domain spawning and any Atomic operation.
+   [Domain.cpu_relax]/[Domain.self] etc. are left alone — only the calls
+   that create parallelism or shared synchronized state are fenced. *)
+let is_src11 (lid : Longident.t) =
+  match lid with
+  | Ldot (Lident "Domain", ("spawn" | "create")) -> true
+  | Ldot (Ldot (Lident "Stdlib", "Domain"), ("spawn" | "create")) -> true
+  | Ldot (Lident "Atomic", _) -> true
+  | Ldot (Ldot (Lident "Stdlib", "Atomic"), _) -> true
   | _ -> false
 
 (* Any value of the polymorphic [Hashtbl] module.  [hash]/[seeded_hash]
@@ -300,7 +331,16 @@ let scan ~path (str : Parsetree.structure) =
           add ~rule:"SRC10" ~loc
             (Printf.sprintf
                "Gc.%s outside lib/obs; heap telemetry goes through Obs.Prof"
-               (last_component txt))
+               (last_component txt));
+        if is_src11 txt then
+          add ~rule:"SRC11" ~loc
+            (Printf.sprintf
+               "%s outside a designated concurrency module; multicore \
+                primitives are fenced until the parallel solver PR \
+                (allowlist in lint.config)"
+               (match txt with
+               | Ldot (Lident m, f) | Ldot (Ldot (_, m), f) -> m ^ "." ^ f
+               | _ -> last_component txt))
     | Pexp_apply
         ( { pexp_desc = Pexp_ident { txt = Lident ("failwith" | "invalid_arg"); loc };
             _ },

@@ -15,22 +15,29 @@ type finding = {
 }
 
 val catalogue : (string * string) list
-(** [rule id, one-line rationale] for every rule, [SRC00]..[SRC09]. *)
+(** [rule id, one-line rationale] for every rule, [SRC00]..[SRC11]. *)
 
 val rule_ids : string list
 
+val since : string -> string
+(** The PR that introduced a rule id (["PR3"]..["PR8"]), for the
+    catalogue's version-pinning column.  Total: covers the [DOM] ids
+    too, since the renderer is shared with [analyze]. *)
+
 val render_catalogue : (string * string) list -> string
 (** Render a rule catalogue the way [--rules] prints it — one
-    [id  rationale] line per rule.  Shared by [lint] and [analyze] so
-    the printed catalogue is always generated from the id list the tool
-    actually enforces. *)
+    [id  since  rationale] line per rule.  Shared by [lint] and
+    [analyze] so the printed catalogue is always generated from the id
+    list the tool actually enforces. *)
 
 val scan : path:string -> Parsetree.structure -> finding list
-(** Run the expression-level rules (SRC01..SRC06, SRC08, SRC09) over one
+(** Run the expression-level rules (SRC01..SRC06, SRC08..SRC11) over one
     parsed implementation.  [path] is root-relative and decides whether
     SRC03 applies (it only covers [lib/]), whether SRC08 is exempt (only
-    [lib/engine/] may manage processes) and whether SRC09 applies (the
-    hot-path modules under [lib/solvers/] and [lib/hypergraph/]).
+    [lib/engine/] may manage processes), whether SRC09 applies (the
+    hot-path modules under [lib/solvers/] and [lib/hypergraph/]) and
+    whether SRC10 is exempt ([lib/obs/]).  SRC11 fires everywhere; its
+    designated concurrency modules are allowlisted in [lint.config].
     Findings come back in source order. *)
 
 val reexport_only : Parsetree.structure -> bool

@@ -1,0 +1,10 @@
+(* DOM07: [note] writes a module-global mutable and is reachable from
+   the solver entry points — the effect analysis blames the leaf. *)
+
+let total = ref 0
+
+let note n = total := !total + n
+
+let solve x =
+  note x;
+  x + 1

@@ -1,0 +1,14 @@
+(* DOM08: the marks array projected out of a Workspace.t is stored into
+   module state — interior scratch escaping its owning workspace. *)
+
+module Workspace = struct
+  type t = { mutable marks : int array }
+
+  let create n = { marks = Array.make n 0 }
+end
+
+let stash = ref [||]
+
+let solve (ws : Workspace.t) n =
+  stash := ws.Workspace.marks;
+  n

@@ -1,0 +1,4 @@
+(* DOM10: under the Parsetree fallback an unanalyzed external widens the
+   hot function to unknown — a warning, unlike the typed front's DOM09. *)
+
+let solve name = Unix.getenv name

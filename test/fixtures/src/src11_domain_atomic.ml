@@ -1,0 +1,11 @@
+(* SRC11: multicore primitives outside a designated concurrency module.
+   Committed so the lint.config allowlist entry for test/fixtures is
+   exercised by the repo's own lint run; [Domain.join] stays unflagged
+   (only spawn/create and Atomic.* are fenced). *)
+
+let flag = Atomic.make false
+
+let run f =
+  let d = Domain.spawn f in
+  Atomic.set flag true;
+  Domain.join d

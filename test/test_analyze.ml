@@ -20,8 +20,8 @@ let em_dash = "\xe2\x80\x94"
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 let fixture name = read_file (Filename.concat "fixtures/dom" name)
 
-let analyze ?config ?entries files =
-  AD.Driver.analyze_sources ?config ?entries ~root:"." files
+let analyze ?config ?entries ?certificate files =
+  AD.Driver.analyze_sources ?config ?entries ?certificate ~root:"." files
 
 let find_all ~rule (r : AD.Driver.result) =
   List.filter (fun (f : L.Rules.finding) -> String.equal f.rule rule) r.findings
@@ -57,7 +57,10 @@ let contains hay needle =
 let test_catalogue () =
   Alcotest.(check (list string))
     "stable rule ids"
-    [ "DOM00"; "DOM01"; "DOM02"; "DOM03"; "DOM04"; "DOM05"; "DOM06" ]
+    [
+      "DOM00"; "DOM01"; "DOM02"; "DOM03"; "DOM04"; "DOM05"; "DOM06"; "DOM07";
+      "DOM08"; "DOM09"; "DOM10"; "DOM11";
+    ]
     (List.map fst AD.Dom_rules.catalogue);
   (* one renderer for both tools: every id of either catalogue appears
      in its rendering, formatted identically *)
@@ -70,7 +73,16 @@ let test_catalogue () =
   List.iter
     (fun (id, _) ->
       Alcotest.(check bool) (id ^ " rendered") true (contains src (id ^ " ")))
-    L.catalogue
+    L.catalogue;
+  (* every rendered line carries the introducing PR (the since column) *)
+  List.iter
+    (fun (id, _) ->
+      Alcotest.(check bool)
+        (id ^ " has since") true
+        (contains dom (Printf.sprintf "%-8s %-6s" id (L.Rules.since id))))
+    AD.Dom_rules.catalogue;
+  Alcotest.(check string) "DOM01 since" "PR6" (L.Rules.since "DOM01");
+  Alcotest.(check string) "DOM11 since" "PR8" (L.Rules.since "DOM11")
 
 (* ---- DOM01: hot module-global mutable ----------------------------------- *)
 
@@ -228,6 +240,152 @@ let test_dom06 () =
   let r = analyze [ (path, src); (path ^ "i", "val total : int ref\n") ] in
   check_silent "sealed" ~rule:"DOM06" r
 
+(* ---- DOM07: shared-mutating function on the hot path -------------------- *)
+
+let test_dom07 () =
+  let path = "lib/x/dom07_shared_writer.ml" in
+  let files = [ (path, fixture "dom07_shared_writer.ml"); (path ^ "i", "") ] in
+  let r = analyze ~entries:(entries_for "Dom07_shared_writer") files in
+  (* the finding lands on the leaf writer, not on every caller *)
+  check_fires "leaf writer" ~rule:"DOM07" ~file:path ~line:6 r;
+  Alcotest.(check int) "exactly one DOM07" 1 (List.length (find_all ~rule:"DOM07" r));
+  (* the effect analysis classified both functions and built the chain *)
+  (match AD.Effects.find r.AD.Driver.effects "Dom07_shared_writer.solve" with
+  | None -> Alcotest.fail "solve not in the effect table"
+  | Some i ->
+      Alcotest.(check string)
+        "caller classified" "shared_mutating"
+        (AD.Effects.classification_to_string i.AD.Effects.e_class);
+      Alcotest.(check bool)
+        "caller is not a direct writer" true
+        (i.AD.Effects.e_direct_writes = []));
+  (* the --effects witness names the minimal chain to the leaf *)
+  let w = AD.Effects.render_witnesses r.AD.Driver.effects in
+  Alcotest.(check bool)
+    "witness chain" true
+    (contains w
+       "writes Dom07_shared_writer.total via Dom07_shared_writer.solve -> \
+        Dom07_shared_writer.note");
+  (* compliant: the accumulator threads through, nothing global *)
+  let ok = "let note acc n = acc + n\n\nlet solve x = note 0 x\n" in
+  let r =
+    analyze
+      ~entries:(entries_for "Dom07_shared_writer")
+      [ (path, ok); (path ^ "i", "") ]
+  in
+  check_silent "threaded accumulator" ~rule:"DOM07" r;
+  (* cold writer: same body, no entry point reaches it *)
+  let r = analyze ~entries:[ ("Elsewhere", "*") ] files in
+  check_silent "cold writer" ~rule:"DOM07" r
+
+(* ---- DOM08: Workspace interior escaping --------------------------------- *)
+
+let test_dom08 () =
+  let path = "lib/x/dom08_ws_interior.ml" in
+  let files = [ (path, fixture "dom08_ws_interior.ml"); (path ^ "i", "") ] in
+  let r = analyze ~entries:(entries_for "Dom08_ws_interior") files in
+  check_fires "interior store" ~rule:"DOM08" ~file:path ~line:13 r;
+  (* compliant: the projection is used and dropped inside the solve *)
+  let ok =
+    "module Workspace = struct\n\
+    \  type t = { mutable marks : int array }\n\n\
+    \  let create n = { marks = Array.make n 0 }\n\
+     end\n\n\
+     let solve (ws : Workspace.t) n =\n\
+    \  Array.length ws.Workspace.marks + n\n"
+  in
+  let r =
+    analyze
+      ~entries:(entries_for "Dom08_ws_interior")
+      [ (path, ok); (path ^ "i", "") ]
+  in
+  check_silent "confined projection" ~rule:"DOM08" r
+
+(* ---- DOM10: Parsetree-front unknown (warning) --------------------------- *)
+
+let test_dom10 () =
+  let path = "lib/x/dom10_parse_unknown.ml" in
+  let files = [ (path, fixture "dom10_parse_unknown.ml"); (path ^ "i", "") ] in
+  let r = analyze ~entries:(entries_for "Dom10_parse_unknown") files in
+  check_fires "external widens" ~rule:"DOM10" ~file:path ~line:4 r;
+  (match find_all ~rule:"DOM10" r with
+  | [ f ] ->
+      Alcotest.(check bool)
+        "warning, not error" true
+        (f.L.Rules.severity = C.Warning)
+  | l -> Alcotest.failf "expected one DOM10, got %d" (List.length l));
+  (* a benign external does not widen *)
+  let ok = "let solve xs = List.length xs\n" in
+  let r =
+    analyze
+      ~entries:(entries_for "Dom10_parse_unknown")
+      [ (path, ok); (path ^ "i", "") ]
+  in
+  check_silent "benign external" ~rule:"DOM10" r
+
+(* ---- DOM11: certificate staleness --------------------------------------- *)
+
+let cert_of (r : AD.Driver.result) =
+  AD.Inventory.render (AD.Effects.to_json r.AD.Driver.effects)
+
+let test_dom11 () =
+  let path = "lib/x/dom07_shared_writer.ml" in
+  let files = [ (path, fixture "dom07_shared_writer.ml"); (path ^ "i", "") ] in
+  let entries = entries_for "Dom07_shared_writer" in
+  let fresh = cert_of (analyze ~entries files) in
+  (* a fresh certificate passes *)
+  let r = analyze ~entries ~certificate:("analysis/effects.json", fresh) files in
+  check_silent "fresh certificate" ~rule:"DOM11" r;
+  (* flipping a certified classification is one stale entry *)
+  let replace ~needle ~by hay =
+    let nh = String.length hay and nn = String.length needle in
+    let buf = Buffer.create nh in
+    let i = ref 0 in
+    while !i < nh do
+      if !i + nn <= nh && String.sub hay !i nn = needle then begin
+        Buffer.add_string buf by;
+        i := !i + nn
+      end
+      else begin
+        Buffer.add_char buf hay.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  let stale =
+    replace
+      ~needle:"\"classification\": \"shared_mutating\""
+      ~by:"\"classification\": \"pure\"" fresh
+  in
+  let r = analyze ~entries ~certificate:("analysis/effects.json", stale) files in
+  check_fires "stale entry" ~rule:"DOM11" ~file:"analysis/effects.json" ~line:1 r;
+  (* an unparseable document is a single finding, not a crash *)
+  let r =
+    analyze ~entries ~certificate:("analysis/effects.json", "{ nope") files
+  in
+  Alcotest.(check int) "one parse finding" 1
+    (List.length (find_all ~rule:"DOM11" r));
+  (* DOM11 obeys the shared suppression machinery *)
+  let config, errs =
+    L.Suppress.parse_config
+      ("allow DOM11 analysis/effects.json " ^ em_dash
+     ^ " regenerating in this same PR\n")
+  in
+  Alcotest.(check int) "config parses" 0 (List.length errs);
+  let r =
+    analyze ~config ~entries
+      ~certificate:("analysis/effects.json", stale)
+      files
+  in
+  check_silent "suppressed staleness" ~rule:"DOM11" r;
+  Alcotest.(check bool)
+    "reason recorded" true
+    (List.exists
+       (fun ((f : L.Rules.finding), reason) ->
+         f.rule = "DOM11" && reason = "regenerating in this same PR")
+       r.AD.Driver.suppressed)
+
 (* ---- DOM00 and suppression ---------------------------------------------- *)
 
 let test_dom00_parse_error () =
@@ -321,16 +479,28 @@ let test_determinism () =
   in
   let run () =
     let r = analyze ~entries:(entries_for "Dom01_hot_ref") files in
-    (Obs.Json.to_string (AD.Driver.to_json r), AD.Inventory.render r.inventory)
+    ( Obs.Json.to_string (AD.Driver.to_json r),
+      AD.Inventory.render r.inventory,
+      cert_of r )
   in
-  let j1, i1 = run () in
-  let j2, i2 = run () in
+  let j1, i1, c1 = run () in
+  let j2, i2, c2 = run () in
   Alcotest.(check string) "analyze --json byte-match" j1 j2;
   Alcotest.(check string) "inventory byte-match" i1 i2;
-  (* the pretty inventory rendering parses back *)
-  match Obs.Json.parse i1 with
+  Alcotest.(check string) "effects certificate byte-match" c1 c2;
+  (* the pretty renderings parse back *)
+  (match Obs.Json.parse i1 with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "inventory does not re-parse: %s" e
+  | Error e -> Alcotest.failf "inventory does not re-parse: %s" e);
+  match Obs.Json.parse c1 with
+  | Ok j ->
+      let schema =
+        Option.bind (Obs.Json.member "schema" j) Obs.Json.get_str
+      in
+      Alcotest.(check (option string))
+        "certificate schema"
+        (Some "hypartition-effects/1") schema
+  | Error e -> Alcotest.failf "certificate does not re-parse: %s" e
 
 (* ---- the typed front, end to end over real .cmt files ------------------- *)
 
@@ -346,6 +516,12 @@ let typed_fixture_ws =
   \  let create n = { marks = Array.make n 0 }\n\
    end\n\n\
    let acquire n = Workspace.create n\n"
+
+(* [fetch]'s only effect is an unanalyzed external (Sys.getenv): under
+   the typed front that is DOM09, an error; [pick] stays pure through
+   the benign allowlist (String.length). *)
+let typed_fixture_ext =
+  "let fetch name = Sys.getenv name\n\nlet pick s = String.length s\n"
 
 let with_temp_tree f =
   let dir =
@@ -374,6 +550,7 @@ let test_typed_front () =
       Sys.mkdir (Filename.concat libdir "fix") 0o755;
       write_file (Filename.concat libdir "fix/dom_typed.ml") typed_fixture_main;
       write_file (Filename.concat libdir "fix/dom_typed_ws.ml") typed_fixture_ws;
+      write_file (Filename.concat libdir "fix/dom_typed_ext.ml") typed_fixture_ext;
       let compile file =
         let cmd =
           Printf.sprintf "cd %s && ocamlc -bin-annot -w -a -c %s 2>/dev/null"
@@ -383,14 +560,16 @@ let test_typed_front () =
       in
       compile "lib/fix/dom_typed.ml";
       compile "lib/fix/dom_typed_ws.ml";
+      compile "lib/fix/dom_typed_ext.ml";
       match
         AD.Driver.run ~root ~build_dir:root
-          ~entries:[ ("Dom_typed", "*"); ("Dom_typed_ws", "*") ]
+          ~entries:
+            [ ("Dom_typed", "*"); ("Dom_typed_ws", "*"); ("Dom_typed_ext", "*") ]
           ()
       with
       | Error e -> Alcotest.fail e
       | Ok r ->
-          Alcotest.(check int) "both units typed" 2 r.AD.Driver.n_typed;
+          Alcotest.(check int) "all units typed" 3 r.AD.Driver.n_typed;
           Alcotest.(check int) "no parse fallback" 0 r.AD.Driver.n_parse;
           (* the harvest saw through the `t = counter` alias to the
              mutable record — classification no syntax pass can make *)
@@ -402,7 +581,26 @@ let test_typed_front () =
             ~file:"lib/fix/dom_typed_ws.ml" ~line:7 r;
           (* unsealed units with unsafe globals: DOM06 from the cmt *)
           check_fires "DOM06 from typed unit" ~rule:"DOM06"
-            ~file:"lib/fix/dom_typed.ml" ~line:5 r)
+            ~file:"lib/fix/dom_typed.ml" ~line:5 r;
+          (* the typed front's external widening is DOM09, an error *)
+          check_fires "DOM09 from typed unit" ~rule:"DOM09"
+            ~file:"lib/fix/dom_typed_ext.ml" ~line:1 r;
+          (match find_all ~rule:"DOM09" r with
+          | [ f ] ->
+              Alcotest.(check bool)
+                "DOM09 is an error" true
+                (f.L.Rules.severity = C.Error);
+              Alcotest.(check bool)
+                "DOM09 names the external" true
+                (contains f.L.Rules.message "Sys.getenv")
+          | l -> Alcotest.failf "expected one DOM09, got %d" (List.length l));
+          (* the benign allowlist keeps the sibling pure *)
+          match AD.Effects.find r.AD.Driver.effects "Dom_typed_ext.pick" with
+          | Some i ->
+              Alcotest.(check string)
+                "pick stays pure" "pure"
+                (AD.Effects.classification_to_string i.AD.Effects.e_class)
+          | None -> Alcotest.fail "pick not in the effect table")
 
 (* ---- docs stay in sync with both catalogues ----------------------------- *)
 
@@ -424,6 +622,10 @@ let suite =
     Alcotest.test_case "DOM04 loop emission" `Quick test_dom04;
     Alcotest.test_case "DOM05 hot-dir hashtbl" `Quick test_dom05;
     Alcotest.test_case "DOM06 unsealed mutable" `Quick test_dom06;
+    Alcotest.test_case "DOM07 hot shared writer" `Quick test_dom07;
+    Alcotest.test_case "DOM08 workspace interior escape" `Quick test_dom08;
+    Alcotest.test_case "DOM10 parse-front unknown" `Quick test_dom10;
+    Alcotest.test_case "DOM11 certificate staleness" `Quick test_dom11;
     Alcotest.test_case "DOM00 parse error" `Quick test_dom00_parse_error;
     Alcotest.test_case "suppression with reasons" `Quick test_suppression;
     Alcotest.test_case "stale DOM markers" `Quick test_stale_dom_marker;

@@ -52,11 +52,29 @@ let test_catalogue () =
     "stable rule ids"
     [
       "SRC00"; "SRC01"; "SRC02"; "SRC03"; "SRC04"; "SRC05"; "SRC06"; "SRC07";
-      "SRC08"; "SRC09"; "SRC10";
+      "SRC08"; "SRC09"; "SRC10"; "SRC11";
     ]
     ids;
   List.iter
     (fun (_, what) -> Alcotest.(check bool) "documented" true (what <> ""))
+    L.catalogue;
+  (* the rendered catalogue carries the introducing PR per rule *)
+  let rendered = L.Rules.render_catalogue L.catalogue in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn > 0 && go 0
+  in
+  Alcotest.(check string) "SRC01 since" "PR3" (L.Rules.since "SRC01");
+  Alcotest.(check string) "SRC08 since" "PR4" (L.Rules.since "SRC08");
+  Alcotest.(check string) "SRC09 since" "PR5" (L.Rules.since "SRC09");
+  Alcotest.(check string) "SRC10 since" "PR7" (L.Rules.since "SRC10");
+  Alcotest.(check string) "SRC11 since" "PR8" (L.Rules.since "SRC11");
+  List.iter
+    (fun (id, _) ->
+      Alcotest.(check bool)
+        (id ^ " rendered with since") true
+        (contains rendered (Printf.sprintf "%-8s %-6s" id (L.Rules.since id))))
     L.catalogue
 
 (* ---- SRC01: polymorphic compare ----------------------------------------- *)
@@ -266,6 +284,43 @@ let test_src10 () =
   let r = lint (sealed "lib/a/fix.ml" src) in
   check_silent "suppression with reason" ~rule:"SRC10" r
 
+(* ---- SRC11: multicore primitives outside designated modules ------------- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let src_fixture name = read_file (Filename.concat "fixtures/src" name)
+
+let test_src11 () =
+  let source = src_fixture "src11_domain_atomic.ml" in
+  let r = lint (sealed "lib/a/fix.ml" source) in
+  check_fires "Atomic.make" ~rule:"SRC11" ~file:"lib/a/fix.ml" ~line:6 r;
+  check_fires "Domain.spawn" ~rule:"SRC11" ~file:"lib/a/fix.ml" ~line:9 r;
+  check_fires "Atomic.set" ~rule:"SRC11" ~file:"lib/a/fix.ml" ~line:10 r;
+  (* Domain.join on line 11 is not fenced — exactly the three above *)
+  Alcotest.(check int) "three findings" 3 (List.length (find_all ~rule:"SRC11" r));
+  let r =
+    lint
+      (sealed "lib/a/fix.ml"
+         "let go f r = Stdlib.Domain.create f (Stdlib.Atomic.get r)\n")
+  in
+  check_fires "Stdlib-qualified forms" ~rule:"SRC11" ~file:"lib/a/fix.ml"
+    ~line:1 r;
+  Alcotest.(check int) "both qualified calls" 2
+    (List.length (find_all ~rule:"SRC11" r));
+  (* reading the current domain is not creating parallelism *)
+  let r = lint (sealed "lib/a/fix.ml" "let me () = Domain.self ()\n") in
+  check_silent "Domain.self is fine" ~rule:"SRC11" r;
+  (* the designated module comes from lint.config, like the repo's own
+     entry for the atomic debug counters *)
+  let config, errs =
+    L.Suppress.parse_config
+      ("allow SRC11 lib/conc " ^ em_dash ^ " the designated concurrency module\n")
+  in
+  Alcotest.(check int) "config parses" 0 (List.length errs);
+  let r = lint ~config (sealed "lib/conc/pool.ml" source) in
+  check_silent "designated module" ~rule:"SRC11" r;
+  Alcotest.(check int) "suppressions recorded" 3
+    (List.length r.L.Engine.suppressed)
+
 (* ---- SRC00: parse errors ------------------------------------------------ *)
 
 let test_parse_error () =
@@ -389,6 +444,7 @@ let suite =
     Alcotest.test_case "SRC08 process management" `Quick test_src08;
     Alcotest.test_case "SRC09 hot-path Hashtbl" `Quick test_src09;
     Alcotest.test_case "SRC10 Gc outside lib/obs" `Quick test_src10;
+    Alcotest.test_case "SRC11 multicore primitives fenced" `Quick test_src11;
     Alcotest.test_case "SRC00 parse error" `Quick test_parse_error;
     Alcotest.test_case "inline suppression" `Quick test_inline_suppression;
     Alcotest.test_case "marker hygiene" `Quick test_marker_hygiene;
