@@ -666,6 +666,119 @@ let run_trace_validate path =
       Engine.Batch.schema_version total from_cache;
     Ok ()
   in
+  let validate_serve_log frames =
+    (* hypartition-serve/1: a captured daemon frame stream.  Raw captures
+       keep their length-prefix lines (bare integers) — those are
+       stripped by the dispatcher below; every remaining line must decode
+       as a well-formed protocol frame.  Frames that only parse one way
+       classify unambiguously; a handful (e.g. a bare stats request) are
+       also syntactically valid in the other direction, so the
+       request/response split is informational, not a schema property. *)
+    let* nreq, nresp =
+      List.fold_left
+        (fun acc (lineno, line) ->
+          let* nreq, nresp = acc in
+          let* doc =
+            Result.map_error
+              (fun e -> Printf.sprintf "frame %d: %s" lineno e)
+              (Obs.Json.parse line)
+          in
+          match Server.Protocol.response_of_json doc with
+          | Ok _ -> Ok (nreq, nresp + 1)
+          | Error resp_err -> (
+              match Server.Protocol.request_of_json doc with
+              | Ok _ -> Ok (nreq + 1, nresp)
+              | Error req_err ->
+                  Error
+                    (Printf.sprintf
+                       "frame %d: neither a request (%s) nor a response (%s)"
+                       lineno req_err resp_err)))
+        (Ok (0, 0))
+        (List.mapi (fun i l -> (i + 1, l)) frames)
+    in
+    Printf.printf
+      "valid serve frame log (schema %s): %d frames (%d requests, %d \
+       responses)\n"
+      Server.Protocol.schema_version (nreq + nresp) nreq nresp;
+    Ok ()
+  in
+  let validate_slo doc =
+    (* hypartition-loadgen/1: the load generator's latency-SLO report.
+       Beyond field presence this checks internal consistency — totals
+       add up, quantiles are monotone, rates and the cache-hit ratio are
+       probabilities — which is what lets CI gate on jq extracts of the
+       same document without re-deriving them. *)
+    let int_field name json =
+      match Option.bind (Obs.Json.member name json) Obs.Json.get_int with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "missing integer field %S" name)
+    in
+    let obj_field name json =
+      match Obs.Json.member name json with
+      | Some (Obs.Json.Obj _ as o) -> Ok o
+      | _ -> Error (Printf.sprintf "missing object field %S" name)
+    in
+    let unit_interval name v =
+      if v < 0.0 || v > 1.0 then
+        Error (Printf.sprintf "%s = %g outside [0, 1]" name v)
+      else Ok ()
+    in
+    let* totals = obj_field "totals" doc in
+    let* requests = int_field "requests" totals in
+    let* ok = int_field "ok" totals in
+    let* busy = int_field "busy" totals in
+    let* errors = int_field "errors" totals in
+    let* () =
+      if requests <> ok + busy + errors then
+        Error
+          (Printf.sprintf "totals.requests = %d but ok+busy+errors = %d"
+             requests (ok + busy + errors))
+      else Ok ()
+    in
+    let* lat = obj_field "latency_s" doc in
+    let* p50 = num_field "p50" lat in
+    let* p99 = num_field "p99" lat in
+    let* p999 = num_field "p999" lat in
+    let* () =
+      if p50 < 0.0 then Error "latency_s.p50 is negative"
+      else if p50 > p99 || p99 > p999 then
+        Error
+          (Printf.sprintf
+             "latency quantiles not monotone: p50 %g, p99 %g, p999 %g" p50
+             p99 p999)
+      else Ok ()
+    in
+    let* thr = num_field "throughput_rps" doc in
+    let* () =
+      if thr < 0.0 then Error "negative throughput_rps" else Ok ()
+    in
+    let* rates = obj_field "rates" doc in
+    let* err_rate = num_field "error" rates in
+    let* bp_rate = num_field "backpressure" rates in
+    let* () = unit_interval "rates.error" err_rate in
+    let* () = unit_interval "rates.backpressure" bp_rate in
+    let* cache = obj_field "cache" doc in
+    let* n_cache = int_field "cache" cache in
+    let* n_solve = int_field "solve" cache in
+    let* n_collapsed = int_field "collapsed" cache in
+    let* hit_ratio = num_field "hit_ratio" cache in
+    let* () = unit_interval "cache.hit_ratio" hit_ratio in
+    let* () =
+      if n_cache + n_solve + n_collapsed <> ok then
+        Error
+          (Printf.sprintf "cache sources sum to %d but totals.ok = %d"
+             (n_cache + n_solve + n_collapsed)
+             ok)
+      else Ok ()
+    in
+    let* wall = num_field "wall_s" doc in
+    let* () = if wall < 0.0 then Error "negative wall_s" else Ok () in
+    Printf.printf
+      "valid loadgen report (schema %s): %d requests (%d ok), p99 %.6fs, \
+       hit ratio %.2f\n"
+      Server.Slo.schema_version requests ok p99 hit_ratio;
+    Ok ()
+  in
   let validate_trace lines =
     (* First line is the meta record; span records follow, each child
        emitted before its parent (spans are written as they end).  Both
@@ -692,7 +805,7 @@ let run_trace_validate path =
       | [] -> Error "empty trace"
     in
     let spans = Hashtbl.create 64 in
-    (* span id -> (parent id option, depth, path) *)
+    (* span id -> (parent id option, depth, path, name, trace id option) *)
     let counts = Hashtbl.create 8 in
     let count ty =
       Hashtbl.replace counts ty (1 + Option.value ~default:0 (Hashtbl.find_opt counts ty))
@@ -720,11 +833,16 @@ let run_trace_validate path =
               in
               let* depth = num_field "depth" doc in
               let* path = str_field "path" doc in
+              let* name = str_field "name" doc in
+              let trace =
+                Option.bind (Obs.Json.member "trace" doc) Obs.Json.get_str
+              in
               let* dur = num_field "dur_ns" doc in
               if dur < 0.0 then
                 Error (Printf.sprintf "line %d: negative dur_ns" lineno)
               else begin
-                Hashtbl.replace spans id (parent, int_of_float depth, path);
+                Hashtbl.replace spans id
+                  (parent, int_of_float depth, path, name, trace);
                 Ok ()
               end
           | "meta" | "counter" | "gauge" | "histogram" | "provenance" -> Ok ()
@@ -736,7 +854,7 @@ let run_trace_validate path =
        below its parent with the parent's path as a proper prefix. *)
     let* () =
       Hashtbl.fold
-        (fun id (parent, depth, path) acc ->
+        (fun id (parent, depth, path, _, _) acc ->
           let* () = acc in
           match parent with
           | None -> Ok ()
@@ -744,7 +862,7 @@ let run_trace_validate path =
               match Hashtbl.find_opt spans p with
               | None ->
                   Error (Printf.sprintf "span %d references missing parent %d" id p)
-              | Some (_, pdepth, ppath) ->
+              | Some (_, pdepth, ppath, _, _) ->
                   if depth <> pdepth + 1 then
                     Error (Printf.sprintf "span %d: depth %d under parent depth %d" id depth pdepth)
                   else if not (String.starts_with ~prefix:(ppath ^ "/") path) then
@@ -752,10 +870,44 @@ let run_trace_validate path =
                   else Ok ()))
         spans (Ok ())
     in
+    (* Server-side request trees (the serve daemon): every server.request
+       span must carry a trace id (the job fingerprint — it is how a
+       request's spans and absorbed worker shards correlate), and a
+       queue_wait span only means something directly under its
+       server.request root. *)
+    let* () =
+      Hashtbl.fold
+        (fun id (parent, _, _, name, trace) acc ->
+          let* () = acc in
+          match name with
+          | "server.request" ->
+              if trace = None then
+                Error
+                  (Printf.sprintf "span %d (server.request) has no trace id"
+                     id)
+              else Ok ()
+          | "queue_wait" -> (
+              match
+                Option.bind parent (fun p -> Hashtbl.find_opt spans p)
+              with
+              | Some (_, _, _, "server.request", _) -> Ok ()
+              | Some (_, _, _, pname, _) ->
+                  Error
+                    (Printf.sprintf
+                       "span %d (queue_wait) parented under %S, expected \
+                        server.request"
+                       id pname)
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "span %d (queue_wait) has no server.request parent" id))
+          | _ -> Ok ())
+        spans (Ok ())
+    in
     let n ty = Option.value ~default:0 (Hashtbl.find_opt counts ty) in
     let roots =
       Hashtbl.fold
-        (fun _ (parent, _, _) a -> if parent = None then a + 1 else a)
+        (fun _ (parent, _, _, _, _) a -> if parent = None then a + 1 else a)
         spans 0
     in
     Printf.printf
@@ -772,21 +924,40 @@ let run_trace_validate path =
         (String.split_on_char '\n' content)
     in
     (* Dispatch on the first line's schema tag: a bench report is a single
-       JSON object, a trace is JSONL. *)
+       JSON object, a trace or serve frame log is JSONL.  A raw serve
+       capture is length-prefixed — bare-integer lines interleave the
+       frames — so when the first line is such a prefix, dispatch peeks
+       past it and the prefixes are stripped before validation. *)
+    let is_len_line l =
+      let s = String.trim l in
+      s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+    in
+    let schema_of l =
+      Option.bind
+        (Result.to_option (Obs.Json.parse l))
+        (fun d -> Option.bind (Obs.Json.member "schema" d) Obs.Json.get_str)
+    in
     match lines with
     | [] -> Error "empty file"
     | first :: _ -> (
-        match
-          Option.bind
-            (Result.to_option (Obs.Json.parse first))
-            (fun d -> Option.bind (Obs.Json.member "schema" d) Obs.Json.get_str)
-        with
+        let first, lines =
+          if is_len_line first then
+            let frames = List.filter (fun l -> not (is_len_line l)) lines in
+            match frames with f :: _ -> (f, frames) | [] -> (first, lines)
+          else (first, lines)
+        in
+        match schema_of first with
         | Some s when s = Obs.bench_schema_version ->
             let* doc = Obs.Json.parse (String.trim content) in
             validate_bench doc
         | Some s when s = Engine.Batch.schema_version ->
             let* doc = Obs.Json.parse (String.trim content) in
             validate_batch doc
+        | Some s when s = Server.Protocol.schema_version ->
+            validate_serve_log lines
+        | Some s when s = Server.Slo.schema_version ->
+            let* doc = Obs.Json.parse (String.trim content) in
+            validate_slo doc
         | Some s
           when s = Obs.trace_schema_version || s = Obs.trace_schema_v1 ->
             validate_trace lines
@@ -836,7 +1007,7 @@ let lint_cmd =
     Arg.(value & opt (some file) None & info [ "config" ] ~docv:"CONF" ~doc)
   in
   let rules_flag =
-    let doc = "Print the rule catalogue (SRC00..SRC10) and exit." in
+    let doc = "Print the rule catalogue (SRC00..SRC12) and exit." in
     Arg.(value & flag & info [ "rules" ] ~doc)
   in
   let format_arg =
@@ -850,7 +1021,7 @@ let lint_cmd =
   let info =
     Cmd.info "lint"
       ~doc:
-        "Run the AST-level source linter (rules SRC01..SRC11) over the \
+        "Run the AST-level source linter (rules SRC01..SRC12) over the \
          repository; non-zero exit on any unsuppressed finding."
   in
   Cmd.v info
@@ -1036,15 +1207,20 @@ let bench_cmd =
 
 let trace_cmd =
   let file_arg =
-    let doc = "Trace (JSONL), bench (JSON) or batch report (JSON) file to validate." in
+    let doc =
+      "File to validate: span trace (JSONL), bench/batch/loadgen report \
+       (JSON) or serve frame log (JSONL, raw length-prefixed captures \
+       accepted)."
+    in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
   in
   let info =
     Cmd.info "trace"
       ~doc:
-        "Validate an observability artifact (JSONL span trace, bench JSON \
-         or batch-report JSON) against its schema; non-zero exit if \
-         malformed."
+        "Validate an observability artifact against its schema — JSONL \
+         span trace, bench JSON, batch-report JSON, serve frame log \
+         (hypartition-serve/1) or loadgen SLO report \
+         (hypartition-loadgen/1); non-zero exit if malformed."
   in
   Cmd.v info Term.(const run_trace_validate $ file_arg)
 
@@ -1093,6 +1269,141 @@ let report_cmd =
          trace or bench report; --folded writes flamegraph input."
   in
   Cmd.v info Term.(const run_report $ file_arg $ folded_flag $ top_arg)
+
+(* ---- serve: the partitioning-as-a-service daemon ------------------------- *)
+
+(* serve: lib/server's daemon behind a CLI.  One single-threaded loop
+   multiplexes the listening socket, every client connection and the
+   worker pool's status pipes; requests pass admission control, collapse
+   onto identical in-flight work, hit the shared result cache, and
+   otherwise fork workers.  SIGINT (and the Shutdown frame) drain
+   gracefully: queued jobs turn into skipped records, running workers
+   finish, every connection flushes. *)
+
+let run_serve trace stats socket tcp jobs timeout cache_dir no_cache
+    queue_limit client_limit lru =
+  setup_obs trace stats;
+  let endpoint =
+    match tcp with
+    | None -> Ok (Server.Daemon.Unix_socket socket)
+    | Some spec -> (
+        let host, port_str =
+          match String.rindex_opt spec ':' with
+          | Some i ->
+              ( String.sub spec 0 i,
+                String.sub spec (i + 1) (String.length spec - i - 1) )
+          | None -> ("", spec)
+        in
+        match int_of_string_opt port_str with
+        | Some port when port > 0 && port < 65536 ->
+            Ok (Server.Daemon.Tcp (host, port))
+        | _ ->
+            Error
+              (Printf.sprintf "bad --tcp endpoint %S (want PORT or HOST:PORT)"
+                 spec))
+  in
+  match endpoint with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  | Ok endpoint -> (
+      let config =
+        {
+          Server.Daemon.endpoint;
+          pool =
+            {
+              Engine.Pool.default_config with
+              Engine.Pool.jobs;
+              default_timeout_s = timeout;
+              silence_worker_stdout = true;
+            };
+          cache_dir = (if no_cache then None else Some cache_dir);
+          admission =
+            { Server.Admission.queue_limit; per_client_limit = client_limit };
+          lru_capacity = lru;
+        }
+      in
+      match Server.Daemon.create config with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | Ok daemon ->
+          Printf.eprintf "hypartition serve: listening on %s (%d workers)\n%!"
+            (Server.Daemon.endpoint_name endpoint)
+            (max 1 jobs);
+          Server.Daemon.run daemon;
+          Printf.eprintf "hypartition serve: drained, bye\n%!";
+          0)
+
+let serve_cmd =
+  let socket_arg =
+    let doc = "Unix-domain socket path to listen on." in
+    Arg.(
+      value & opt string "hypartition.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let tcp_arg =
+    let doc =
+      "Listen on TCP instead: $(docv) is PORT (loopback) or HOST:PORT."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "tcp" ] ~docv:"ENDPOINT" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Worker processes." in
+    Arg.(value & opt int 2 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Default wall-clock budget per job in seconds (SIGKILL on expiry); \
+       submitted jobs may carry their own."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let cache_dir_arg =
+    let doc = "Shared result cache directory." in
+    Arg.(
+      value
+      & opt string Engine.Batch.default_cache_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the result cache (neither read nor write it)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let queue_limit_arg =
+    let doc =
+      "Admission control: total queued+running requests before new submits \
+       get a busy (queue_full) frame."
+    in
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N" ~doc)
+  in
+  let client_limit_arg =
+    let doc =
+      "Admission control: in-flight requests per connection before new \
+       submits get a busy (client_limit) frame."
+    in
+    Arg.(value & opt int 8 & info [ "client-limit" ] ~docv:"N" ~doc)
+  in
+  let lru_arg =
+    let doc = "Hot-instance LRU capacity (parsed file-backed hypergraphs)." in
+    Arg.(value & opt int 16 & info [ "lru" ] ~docv:"N" ~doc)
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run the partitioning daemon: a long-lived service over a \
+         Unix-domain or TCP socket speaking length-prefixed JSONL \
+         (hypartition-serve/1), with admission control, request \
+         collapsing, a shared result cache and per-request tracing.  \
+         SIGINT drains gracefully."
+  in
+  Cmd.v info
+    Term.(
+      const run_serve $ trace_arg $ stats_flag $ socket_arg $ tcp_arg
+      $ jobs_arg $ timeout_arg $ cache_dir_arg $ no_cache_arg
+      $ queue_limit_arg $ client_limit_arg $ lru_arg)
 
 (* ---- batch: the parallel execution engine -------------------------------- *)
 
@@ -1307,6 +1618,7 @@ let main =
       partition_cmd; stats_cmd; recognize_cmd; hierarchical_cmd;
       schedule_cmd; convert_cmd; evaluate_cmd; generate_cmd; check_cmd;
       lint_cmd; analyze_cmd; bench_cmd; trace_cmd; report_cmd; batch_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -120,7 +120,7 @@ let run ?(on_event = fun (_ : event) -> ()) config jobs =
         else
           Pool.run
             ~on_event:(fun e -> on_event (Pool e))
-            config.pool ~worker:Runner.execute to_run
+            config.pool ~worker:(fun job -> Runner.execute job) to_run
       in
       (* One record per plan, in plan order — the pool guarantees it even
          under SIGINT draining (queued jobs come back Skipped). *)

@@ -9,7 +9,22 @@
    entry.  Reads are fully validated — schema tag, fingerprint echo,
    record shape — and any defect degrades to a miss, so a corrupted or
    foreign file in the cache directory costs a recomputation, not a
-   crash. *)
+   crash.
+
+   The directory is shared by concurrent, unrelated processes: pool
+   workers sweeping one manifest, and since the serve PR the daemon plus
+   whatever batch runs point at the same --cache-dir.  The concurrency
+   contract, exercised by the cache-race tests in test_engine.ml:
+
+   - Two simultaneous stores of the same fingerprint both succeed; the
+     entry afterwards is one of the two records, intact (last rename
+     wins — both are valid records for the fingerprint, so which one
+     survives is immaterial).
+   - A reader racing a writer sees the old record, the new record, or a
+     miss (entry not yet published) — never a torn read, because
+     rename(2) within a filesystem is atomic and temp names are
+     per-process-unique (pid + a per-process counter, so a store that
+     raced a crash-retry in the same process cannot collide either). *)
 
 type stats = { hits : int; misses : int; stores : int; corrupt : int }
 
@@ -19,6 +34,8 @@ type t = {
   mutable s_misses : int;
   mutable s_stores : int;
   mutable s_corrupt : int;
+  mutable s_tmp_seq : int;
+      (* per-handle store sequence number, part of the temp-file name *)
 }
 
 let c_hit = Obs.Counter.make "engine.cache.hit"
@@ -43,7 +60,15 @@ let open_ dir =
   match mkdir_p dir with
   | () ->
       if Sys.is_directory dir then
-        Ok { dir; s_hits = 0; s_misses = 0; s_stores = 0; s_corrupt = 0 }
+        Ok
+          {
+            dir;
+            s_hits = 0;
+            s_misses = 0;
+            s_stores = 0;
+            s_corrupt = 0;
+            s_tmp_seq = 0;
+          }
       else Error (Printf.sprintf "Cache.open_: %s is not a directory" dir)
   | exception Sys_error msg -> Error (Printf.sprintf "Cache.open_: %s" msg)
 
@@ -94,12 +119,21 @@ let store t record =
     match mkdir_p dir with
     | exception Sys_error msg -> Error (Printf.sprintf "Cache.store: %s" msg)
     | () -> (
-        let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+        let tmp =
+          t.s_tmp_seq <- t.s_tmp_seq + 1;
+          Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) t.s_tmp_seq
+        in
         let write () =
           Out_channel.with_open_bin tmp (fun oc ->
               output_string oc (Obs.Json.to_string (Record.to_json record));
               output_char oc '\n');
-          Sys.rename tmp path
+          try Sys.rename tmp path
+          with Sys_error _ ->
+            (* A racer may have swept the shard directory away between
+               our mkdir_p and the rename; recreate it and publish
+               again.  A second failure is a real error. *)
+            mkdir_p dir;
+            Sys.rename tmp path
         in
         match write () with
         | () ->

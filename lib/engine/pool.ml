@@ -13,6 +13,14 @@
    worker whose payload exceeds the kernel pipe buffer would otherwise
    deadlock against a coordinator waiting for its exit.
 
+   Since the serve PR the coordinator state is an explicit value [t] with
+   an incremental API — create / submit / step / cancel — so a long-lived
+   caller (the `hypartition serve` daemon) can feed jobs one at a time
+   and keep its own accept loop responsive; [step] can multiplex caller
+   fds (listening and client sockets) into the same select.  The batch
+   entry point [run] is a thin loop over that machine and behaves exactly
+   as before.
+
    SIGINT (when [handle_sigint]) drains gracefully: no new workers are
    forked, queued jobs become Skipped records, and in-flight workers run
    to completion — so every result that will be cached is a complete,
@@ -77,6 +85,18 @@ type running = {
   r_slot : int;
   mutable r_killed : bool;
   r_shard : string option; (* the worker's trace shard, absorbed at drain *)
+}
+
+type t = {
+  config : config;
+  worker : Spec.job -> Record.payload;
+  slots : int;
+  slot_free : bool array;
+  mutable pending : pending list;
+  mutable running : running list;
+  mutable shards : (int * string) list; (* job index, shard path *)
+  mutable completed : (int * Record.t) list; (* newest first, drained by step *)
+  mutable stop_forking : bool;
 }
 
 let ns_of_s s = Int64.of_float (s *. 1e9)
@@ -244,8 +264,267 @@ let skipped_record ~reason (p : pending) =
     timing = Record.no_timing;
   }
 
-let run ?(on_event = fun (_ : event) -> ()) config ~worker jobs =
+(* ---- incremental coordinator API ---------------------------------------- *)
+
+let create config ~worker =
   let slots = max 1 config.jobs in
+  {
+    config;
+    worker;
+    slots;
+    slot_free = Array.make slots true;
+    pending = [];
+    running = [];
+    shards = [];
+    completed = [];
+    stop_forking = false;
+  }
+
+let submit t ~index ~fingerprint job =
+  t.pending <-
+    t.pending
+    @ [
+        {
+          p_index = index;
+          p_fp = fingerprint;
+          p_job = job;
+          p_attempt = 1;
+          p_ready_at = 0L;
+        };
+      ]
+
+let queued t = List.length t.pending
+let in_flight t = List.length t.running
+let idle t = t.pending = [] && t.running = []
+let stop_forking t = t.stop_forking <- true
+
+let cancel t ~index =
+  let found = ref false in
+  t.pending <-
+    List.filter
+      (fun p ->
+        if (not !found) && p.p_index = index then begin
+          found := true;
+          false
+        end
+        else true)
+      t.pending;
+  !found
+
+let skip_queued ?(on_event = fun (_ : event) -> ()) ~reason t =
+  let skipped =
+    List.map
+      (fun p ->
+        let record = skipped_record ~reason p in
+        Obs.Counter.incr c_skipped;
+        on_event (Finished { index = p.p_index; record });
+        (p.p_index, record))
+      t.pending
+  in
+  t.pending <- [];
+  t.completed <- List.rev_append skipped t.completed;
+  skipped
+
+let finish t index record =
+  (match record.Record.status with
+  | Record.Done -> Obs.Counter.incr c_ok
+  | Record.Failed _ -> Obs.Counter.incr c_failed
+  | Record.Timed_out _ -> Obs.Counter.incr c_timeout
+  | Record.Crashed _ -> Obs.Counter.incr c_crashed
+  | Record.Skipped _ -> Obs.Counter.incr c_skipped);
+  t.completed <- (index, record) :: t.completed
+
+let take_ready t now =
+  (* First pending job whose backoff gate has passed, preserving queue
+     order for the rest. *)
+  let rec go acc = function
+    | [] -> None
+    | p :: rest when p.p_ready_at <= now ->
+        t.pending <- List.rev_append acc rest;
+        Some p
+    | p :: rest -> go (p :: acc) rest
+  in
+  go [] t.pending
+
+let free_slot t =
+  let rec go i = if t.slot_free.(i) then i else go (i + 1) in
+  go 0
+
+let finalize ~on_event t now r status =
+  t.slot_free.(r.r_slot) <- true;
+  (* The worker has exited, so the pipe's write end is gone — drain what
+     is still buffered before classifying.  Reaping between the worker's
+     final write and the next select round must not truncate the payload
+     into a spurious protocol crash. *)
+  while not r.r_eof do
+    read_chunk r
+  done;
+  let wall = Support.Util.seconds_of_ns (Int64.sub now r.r_started) in
+  (* A final attempt's shard (complete, or partial for a killed worker)
+     is merged at drain; a retried attempt's partial shard is stale —
+     the retry forks a fresh pid, hence a fresh shard path. *)
+  let keep_shard () =
+    match r.r_shard with
+    | Some path -> t.shards <- (r.r_index, path) :: t.shards
+    | None -> ()
+  in
+  let drop_shard () =
+    match r.r_shard with
+    | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+    | None -> ()
+  in
+  match classify r status with
+  | `Payload { Record.p_status = `Done; p_metrics; p_observed } ->
+      keep_shard ();
+      let record =
+        make_record ~r ~status:Record.Done ~metrics:p_metrics
+          ~observed:p_observed ~wall
+      in
+      on_event (Finished { index = r.r_index; record });
+      finish t r.r_index record
+  | `Payload { Record.p_status = `Failed msg; p_metrics; p_observed } ->
+      keep_shard ();
+      let record =
+        make_record ~r ~status:(Record.Failed msg) ~metrics:p_metrics
+          ~observed:p_observed ~wall
+      in
+      on_event (Finished { index = r.r_index; record });
+      finish t r.r_index record
+  | `Timeout budget ->
+      keep_shard ();
+      let record =
+        make_record ~r ~status:(Record.Timed_out budget) ~metrics:[]
+          ~observed:None ~wall
+      in
+      on_event (Finished { index = r.r_index; record });
+      finish t r.r_index record
+  | `Crash msg ->
+      if r.r_attempt <= t.config.retries && not t.stop_forking then begin
+        drop_shard ();
+        (* Transient-looking death: bounded retry with exponential
+           backoff. *)
+        let delay =
+          t.config.backoff_s *. (2.0 ** float_of_int (r.r_attempt - 1))
+        in
+        Obs.Counter.incr c_retried;
+        on_event
+          (Retrying
+             { index = r.r_index; job = r.r_job; attempt = r.r_attempt + 1;
+               delay_s = delay });
+        t.pending <-
+          t.pending
+          @ [
+              {
+                p_index = r.r_index;
+                p_fp = r.r_fp;
+                p_job = r.r_job;
+                p_attempt = r.r_attempt + 1;
+                p_ready_at = Int64.add now (ns_of_s delay);
+              };
+            ]
+      end
+      else begin
+        keep_shard ();
+        let record =
+          make_record ~r ~status:(Record.Crashed msg) ~metrics:[]
+            ~observed:None ~wall
+        in
+        on_event (Finished { index = r.r_index; record });
+        finish t r.r_index record
+      end
+
+let step ?(on_event = fun (_ : event) -> ()) ?(extra_fds = []) ~timeout t =
+  let now = Support.Util.monotonic_ns () in
+  (* Fork workers into free slots. *)
+  let continue = ref true in
+  while
+    !continue && List.length t.running < t.slots && not t.stop_forking
+  do
+    match take_ready t now with
+    | None -> continue := false
+    | Some p ->
+        let slot = free_slot t in
+        t.slot_free.(slot) <- false;
+        let r = spawn ~config:t.config ~worker:t.worker ~slot p in
+        on_event
+          (Started
+             { index = p.p_index; job = p.p_job; worker = slot;
+               attempt = p.p_attempt });
+        t.running <- r :: t.running
+  done;
+  (* Drain status pipes; the select timeout also paces deadline and
+     backoff checks, and multiplexes any caller fds (the daemon's
+     sockets) into the same wait. *)
+  let fds =
+    List.filter_map
+      (fun r -> if r.r_eof then None else Some r.r_fd)
+      t.running
+  in
+  let readable_extra =
+    match Unix.select (fds @ extra_fds) [] [] timeout with
+    | readable, _, _ ->
+        List.iter
+          (fun r -> if List.mem r.r_fd readable then read_chunk r)
+          t.running;
+        List.filter (fun fd -> List.mem fd readable) extra_fds
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+  in
+  (* Enforce deadlines and reap exits. *)
+  let now = Support.Util.monotonic_ns () in
+  let still = ref [] in
+  List.iter
+    (fun r ->
+      (match r.r_deadline with
+      | Some d when (not r.r_killed) && now > d -> (
+          r.r_killed <- true;
+          try Unix.kill r.r_pid Sys.sigkill
+          with Unix.Unix_error (Unix.ESRCH, _, _) -> ())
+      | _ -> ());
+      match Unix.waitpid [ Unix.WNOHANG ] r.r_pid with
+      | 0, _ -> still := r :: !still
+      | _, status -> finalize ~on_event t now r status
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> still := r :: !still)
+    t.running;
+  t.running <- !still;
+  let completed = List.rev t.completed in
+  t.completed <- [];
+  (completed, readable_extra)
+
+let take_shards t =
+  let shards =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) t.shards
+  in
+  t.shards <- [];
+  shards
+
+let absorb_shards t =
+  (* Absorb worker trace shards in job-index order, so merged span ids
+     depend only on the plan — identical for --jobs 1 and --jobs 8.  The
+     coordinator's own engine.batch span is still open here, so absorbed
+     shard roots re-parent under it. *)
+  List.iter
+    (fun (_, path) ->
+      ignore (Obs.absorb_shard path : int);
+      try Sys.remove path with Sys_error _ -> ())
+    (take_shards t)
+
+(* No live forked children remain: the drain-test probe.  waitpid(-1)
+   with WNOHANG either raises ECHILD (nothing left to reap — the good
+   case) or reports a child, which a clean drain must not leave behind. *)
+let no_live_children () =
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | 0, _ -> false (* a child is still running *)
+  | _, _ -> false (* an unreaped zombie *)
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+(* ---- the batch entry point ---------------------------------------------- *)
+
+let run ?(on_event = fun (_ : event) -> ()) config ~worker jobs =
+  let t = create config ~worker in
+  List.iteri
+    (fun _ (index, fp, job) -> submit t ~index ~fingerprint:fp job)
+    jobs;
   let interrupted = ref false in
   let previous_sigint =
     if config.handle_sigint then
@@ -260,201 +539,23 @@ let run ?(on_event = fun (_ : event) -> ()) config ~worker jobs =
     | None -> ()
   in
   Fun.protect ~finally:restore_sigint @@ fun () ->
-  let pending =
-    ref
-      (List.map
-         (fun (index, fp, job) ->
-           {
-             p_index = index;
-             p_fp = fp;
-             p_job = job;
-             p_attempt = 1;
-             p_ready_at = 0L;
-           })
-         jobs)
-  in
-  let running = ref [] in
   let results = ref [] in
-  let shards = ref [] in (* (job index, shard path) of final attempts *)
-  let slot_free = Array.make slots true in
   let interrupt_announced = ref false in
-  let finish index record =
-    (match record.Record.status with
-    | Record.Done -> Obs.Counter.incr c_ok
-    | Record.Failed _ -> Obs.Counter.incr c_failed
-    | Record.Timed_out _ -> Obs.Counter.incr c_timeout
-    | Record.Crashed _ -> Obs.Counter.incr c_crashed
-    | Record.Skipped _ -> Obs.Counter.incr c_skipped);
-    results := (index, record) :: !results
-  in
-  let take_ready now =
-    (* First pending job whose backoff gate has passed, preserving queue
-       order for the rest. *)
-    let rec go acc = function
-      | [] -> None
-      | p :: rest when p.p_ready_at <= now ->
-          pending := List.rev_append acc rest;
-          Some p
-      | p :: rest -> go (p :: acc) rest
-    in
-    go [] !pending
-  in
-  let free_slot () =
-    let rec go i = if slot_free.(i) then i else go (i + 1) in
-    go 0
-  in
-  let finalize now r status =
-    slot_free.(r.r_slot) <- true;
-    (* The worker has exited, so the pipe's write end is gone — drain what
-       is still buffered before classifying.  Reaping between the worker's
-       final write and the next select round must not truncate the payload
-       into a spurious protocol crash. *)
-    while not r.r_eof do
-      read_chunk r
-    done;
-    let wall = Support.Util.seconds_of_ns (Int64.sub now r.r_started) in
-    (* A final attempt's shard (complete, or partial for a killed worker)
-       is merged at drain; a retried attempt's partial shard is stale —
-       the retry forks a fresh pid, hence a fresh shard path. *)
-    let keep_shard () =
-      match r.r_shard with
-      | Some path -> shards := (r.r_index, path) :: !shards
-      | None -> ()
-    in
-    let drop_shard () =
-      match r.r_shard with
-      | Some path -> ( try Sys.remove path with Sys_error _ -> ())
-      | None -> ()
-    in
-    match classify r status with
-    | `Payload { Record.p_status = `Done; p_metrics; p_observed } ->
-        keep_shard ();
-        let record =
-          make_record ~r ~status:Record.Done ~metrics:p_metrics
-            ~observed:p_observed ~wall
-        in
-        on_event (Finished { index = r.r_index; record });
-        finish r.r_index record
-    | `Payload { Record.p_status = `Failed msg; p_metrics; p_observed } ->
-        keep_shard ();
-        let record =
-          make_record ~r ~status:(Record.Failed msg) ~metrics:p_metrics
-            ~observed:p_observed ~wall
-        in
-        on_event (Finished { index = r.r_index; record });
-        finish r.r_index record
-    | `Timeout budget ->
-        keep_shard ();
-        let record =
-          make_record ~r ~status:(Record.Timed_out budget) ~metrics:[]
-            ~observed:None ~wall
-        in
-        on_event (Finished { index = r.r_index; record });
-        finish r.r_index record
-    | `Crash msg ->
-        if r.r_attempt <= config.retries && not !interrupted then begin
-          drop_shard ();
-          (* Transient-looking death: bounded retry with exponential
-             backoff. *)
-          let delay =
-            config.backoff_s *. (2.0 ** float_of_int (r.r_attempt - 1))
-          in
-          Obs.Counter.incr c_retried;
-          on_event
-            (Retrying
-               { index = r.r_index; job = r.r_job; attempt = r.r_attempt + 1;
-                 delay_s = delay });
-          pending :=
-            !pending
-            @ [
-                {
-                  p_index = r.r_index;
-                  p_fp = r.r_fp;
-                  p_job = r.r_job;
-                  p_attempt = r.r_attempt + 1;
-                  p_ready_at = Int64.add now (ns_of_s delay);
-                };
-              ]
-        end
-        else begin
-          keep_shard ();
-          let record =
-            make_record ~r ~status:(Record.Crashed msg) ~metrics:[]
-              ~observed:None ~wall
-          in
-          on_event (Finished { index = r.r_index; record });
-          finish r.r_index record
-        end
-  in
-  while !pending <> [] || !running <> [] do
-    let now = Support.Util.monotonic_ns () in
+  while not (idle t) do
     if !interrupted then begin
       if not !interrupt_announced then begin
         interrupt_announced := true;
-        on_event (Interrupted { pending = List.length !pending })
+        t.stop_forking <- true;
+        on_event (Interrupted { pending = queued t })
       end;
-      List.iter
-        (fun p -> finish p.p_index (skipped_record ~reason:"interrupted (SIGINT)" p))
-        !pending;
-      pending := []
+      ignore
+        (skip_queued ~on_event ~reason:"interrupted (SIGINT)" t
+          : (int * Record.t) list)
     end;
-    (* Fork workers into free slots. *)
-    let continue = ref true in
-    while
-      !continue && List.length !running < slots && not !interrupted
-    do
-      match take_ready now with
-      | None -> continue := false
-      | Some p ->
-          let slot = free_slot () in
-          slot_free.(slot) <- false;
-          let r = spawn ~config ~worker ~slot p in
-          on_event
-            (Started
-               { index = p.p_index; job = p.p_job; worker = slot;
-                 attempt = p.p_attempt });
-          running := r :: !running
-    done;
-    (* Drain status pipes (50 ms granularity also paces deadline and
-       backoff checks). *)
-    let fds =
-      List.filter_map (fun r -> if r.r_eof then None else Some r.r_fd) !running
-    in
-    (match Unix.select fds [] [] 0.05 with
-    | readable, _, _ ->
-        List.iter
-          (fun r -> if List.mem r.r_fd readable then read_chunk r)
-          !running
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-    (* Enforce deadlines and reap exits. *)
-    let now = Support.Util.monotonic_ns () in
-    let still = ref [] in
-    List.iter
-      (fun r ->
-        (match r.r_deadline with
-        | Some d when (not r.r_killed) && now > d -> (
-            r.r_killed <- true;
-            try Unix.kill r.r_pid Sys.sigkill
-            with Unix.Unix_error (Unix.ESRCH, _, _) -> ())
-        | _ -> ());
-        match Unix.waitpid [ Unix.WNOHANG ] r.r_pid with
-        | 0, _ -> still := r :: !still
-        | _, status -> finalize now r status
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> still := r :: !still)
-      !running;
-    running := !still
+    let completed, _ = step ~on_event ~timeout:0.05 t in
+    results := List.rev_append completed !results
   done;
-  (* Absorb worker trace shards in job-index order, so merged span ids
-     depend only on the plan — identical for --jobs 1 and --jobs 8.  The
-     coordinator's own engine.batch span is still open here, so absorbed
-     shard roots re-parent under it. *)
-  List.iter
-    (fun (_, path) ->
-      ignore (Obs.absorb_shard path : int);
-      try Sys.remove path with Sys_error _ -> ())
-    (List.sort
-       (fun (a, _) (b, _) -> Int.compare a b)
-       !shards);
+  absorb_shards t;
   (* Results in input (index) order: callers zip against their job list. *)
   List.map snd
     (List.sort (fun (a, _) (b, _) -> Int.compare a b) !results)

@@ -201,12 +201,19 @@ let run_experiment id =
 
 (* ---- dispatch ----------------------------------------------------------- *)
 
-let run_job (job : Spec.job) =
+let run_job ?(lookup = fun (_ : string) -> None) (job : Spec.job) =
   match job.Spec.instance with
   | Spec.Hmetis_file path -> (
-      match load_hypergraph path with
-      | Error msg -> failed msg
-      | Ok hg -> run_partition job.Spec.config ~seed:job.Spec.seed hg)
+      (* The serve daemon keeps parsed hypergraphs in a hot-instance LRU
+         (lib/server/instances.ml) populated before the worker forks;
+         the copy-on-write mapping makes the parsed structure free to
+         consult here, skipping the load and parse entirely. *)
+      match lookup path with
+      | Some hg -> run_partition job.Spec.config ~seed:job.Spec.seed hg
+      | None -> (
+          match load_hypergraph path with
+          | Error msg -> failed msg
+          | Ok hg -> run_partition job.Spec.config ~seed:job.Spec.seed hg))
   | Spec.Generated { kind; n } -> (
       match generate_hypergraph ~seed:job.Spec.seed kind n with
       | Some hg -> run_partition job.Spec.config ~seed:job.Spec.seed hg
@@ -227,7 +234,7 @@ let run_job (job : Spec.job) =
          protocol, exactly like a real crash would. *)
       Unix._exit code
 
-let execute (job : Spec.job) =
+let execute ?lookup (job : Spec.job) =
   match Spec.validate job with
   | Error msg -> { Record.p_status = `Failed msg; p_metrics = []; p_observed = None }
   | Ok () ->
@@ -241,7 +248,7 @@ let execute (job : Spec.job) =
             let alloc0 =
               if Obs.Prof.enabled () then Obs.Prof.allocated_words () else 0.0
             in
-            let r = run_job job in
+            let r = run_job ?lookup job in
             if Obs.Prof.enabled () then begin
               (* Solve end: stamp the job's allocation bill on its span
                  and record the heap state the solve left behind. *)

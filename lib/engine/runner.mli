@@ -8,10 +8,16 @@
     process death is a crash, and only the {!Spec.Crash} drill dies on
     purpose. *)
 
-val execute : Spec.job -> Record.payload
+val execute :
+  ?lookup:(string -> Hypergraph.t option) -> Spec.job -> Record.payload
 (** Run one job in the current process.  Intended to be passed as the
     [worker] of {!Pool.run}; safe to call in-process for tests (except
-    on {!Spec.Crash}, which exits). *)
+    on {!Spec.Crash}, which exits).
+
+    [?lookup] resolves an {!Spec.Hmetis_file} path to an already-parsed
+    hypergraph before any file I/O — the serve daemon's hot-instance LRU,
+    visible to forked workers through copy-on-write.  A [None] falls back
+    to loading the file. *)
 
 val snapshot_to_json : Obs.snapshot -> Obs.Json.t
 (** The ["observed"] rendering of an observability snapshot (counters,

@@ -61,6 +61,12 @@ let catalogue =
        concurrency modules (lint.config allowlists them): multicore \
        primitives land in one reviewed place, fenced the same way SRC08 \
        fences fork and SRC10 fences Gc" );
+    ( "SRC12",
+      "Unix.socket / Unix.bind / Unix.listen / Unix.accept outside the \
+       designated networking modules (lint.config allowlists lib/server): \
+       listening sockets own signal discipline, stale-file cleanup and \
+       non-blocking setup, so socket plumbing stays in the serve \
+       subsystem's reviewed accept loop" );
   ]
 
 let rule_ids = List.map fst catalogue
@@ -74,6 +80,7 @@ let since id =
   | "SRC09" -> "PR5"
   | "SRC10" -> "PR7"
   | "SRC11" -> "PR8"
+  | "SRC12" -> "PR9"
   | "DOM07" | "DOM08" | "DOM09" | "DOM10" | "DOM11" -> "PR8"
   | _ when String.starts_with ~prefix:"DOM" id -> "PR6"
   | _ -> "PR3"
@@ -147,6 +154,20 @@ let is_src11 (lid : Longident.t) =
   | Ldot (Ldot (Lident "Stdlib", "Domain"), ("spawn" | "create")) -> true
   | Ldot (Lident "Atomic", _) -> true
   | Ldot (Ldot (Lident "Stdlib", "Atomic"), _) -> true
+  | _ -> false
+
+(* Socket plumbing: creating, binding, listening on or accepting from
+   sockets.  connect/send/recv are left alone — consuming an endpoint is
+   fine anywhere; it is {e owning} one that is fenced into the serve
+   subsystem (lint.config designates the networking modules). *)
+let is_src12 (lid : Longident.t) =
+  match lid with
+  | Ldot (Lident ("Unix" | "UnixLabels"), ("socket" | "bind" | "listen" | "accept"))
+    ->
+      true
+  | Ldot (Ldot (Lident "Stdlib", ("Unix" | "UnixLabels")),
+          ("socket" | "bind" | "listen" | "accept")) ->
+      true
   | _ -> false
 
 (* Any value of the polymorphic [Hashtbl] module.  [hash]/[seeded_hash]
@@ -340,7 +361,14 @@ let scan ~path (str : Parsetree.structure) =
                 (allowlist in lint.config)"
                (match txt with
                | Ldot (Lident m, f) | Ldot (Ldot (_, m), f) -> m ^ "." ^ f
-               | _ -> last_component txt))
+               | _ -> last_component txt));
+        if is_src12 txt then
+          add ~rule:"SRC12" ~loc
+            (Printf.sprintf
+               "Unix.%s outside a designated networking module; socket \
+                plumbing belongs to the serve subsystem (allowlist in \
+                lint.config)"
+               (last_component txt))
     | Pexp_apply
         ( { pexp_desc = Pexp_ident { txt = Lident ("failwith" | "invalid_arg"); loc };
             _ },

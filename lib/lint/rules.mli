@@ -1,6 +1,6 @@
 (** The hyplint rule set: syntactic checks over the OCaml Parsetree.
 
-    Each rule id is stable ([SRC01]..[SRC09], with [SRC00] reserved for
+    Each rule id is stable ([SRC01]..[SRC12], with [SRC00] reserved for
     lint hygiene itself) and documented in the {!catalogue}; findings
     carry the exact [file:line] so suppression markers and fixture tests
     can target them. *)
@@ -15,12 +15,12 @@ type finding = {
 }
 
 val catalogue : (string * string) list
-(** [rule id, one-line rationale] for every rule, [SRC00]..[SRC11]. *)
+(** [rule id, one-line rationale] for every rule, [SRC00]..[SRC12]. *)
 
 val rule_ids : string list
 
 val since : string -> string
-(** The PR that introduced a rule id (["PR3"]..["PR8"]), for the
+(** The PR that introduced a rule id (["PR3"]..["PR9"]), for the
     catalogue's version-pinning column.  Total: covers the [DOM] ids
     too, since the renderer is shared with [analyze]. *)
 
@@ -31,14 +31,14 @@ val render_catalogue : (string * string) list -> string
     list the tool actually enforces. *)
 
 val scan : path:string -> Parsetree.structure -> finding list
-(** Run the expression-level rules (SRC01..SRC06, SRC08..SRC11) over one
+(** Run the expression-level rules (SRC01..SRC06, SRC08..SRC12) over one
     parsed implementation.  [path] is root-relative and decides whether
     SRC03 applies (it only covers [lib/]), whether SRC08 is exempt (only
     [lib/engine/] may manage processes), whether SRC09 applies (the
     hot-path modules under [lib/solvers/] and [lib/hypergraph/]) and
-    whether SRC10 is exempt ([lib/obs/]).  SRC11 fires everywhere; its
-    designated concurrency modules are allowlisted in [lint.config].
-    Findings come back in source order. *)
+    whether SRC10 is exempt ([lib/obs/]).  SRC11 and SRC12 fire
+    everywhere; their designated concurrency and networking modules are
+    allowlisted in [lint.config].  Findings come back in source order. *)
 
 val reexport_only : Parsetree.structure -> bool
 (** Whether a compilation unit consists solely of [module X = Path] /

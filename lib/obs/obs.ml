@@ -576,6 +576,55 @@ module Span = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Manual (retroactive) spans *)
+
+module Manual = struct
+  type handle = { m_id : int; m_path : string; m_depth : int }
+
+  (* Spans with explicit timing and parentage, emitted after the fact.
+     {!Span.with_} ties span extent to dynamic extent, which a
+     single-threaded server interleaving many requests cannot use: the
+     queue-wait of request A overlaps the solve of request B on one
+     stack.  The serve daemon instead measures each request's stages
+     itself and emits the finished tree (request → queue-wait → solve →
+     respond) at respond time, through here — same sinks, same rollup,
+     same trace/2 record shape, so validation and report analytics are
+     none the wiser.  Ids come from the shared counter; parentage is the
+     returned handle, so child depth/path invariants hold by
+     construction. *)
+  let span ?trace ?parent ?(attrs = []) ~name ~start_ns ~dur_ns () =
+    if not (enabled ()) then None
+    else begin
+      let parent_id, path, depth =
+        match parent with
+        | None -> (-1, name, 0)
+        | Some p -> (p.m_id, p.m_path ^ "/" ^ name, p.m_depth + 1)
+      in
+      let id = !next_span_id in
+      incr next_span_id;
+      let dur = if Int64.compare dur_ns 0L < 0 then 0L else dur_ns in
+      note_rollup path dur;
+      if !sinks <> [] then begin
+        let fs =
+          {
+            fs_id = id;
+            fs_parent = parent_id;
+            fs_name = name;
+            fs_path = path;
+            fs_depth = depth;
+            fs_start_ns = start_ns;
+            fs_dur_ns = dur;
+            fs_attrs = attrs;
+            fs_trace = (match trace with Some _ as t -> t | None -> !current_trace);
+          }
+        in
+        List.iter (fun s -> s.on_span fs) !sinks
+      end;
+      Some { m_id = id; m_path = path; m_depth = depth }
+    end
+end
+
+(* ------------------------------------------------------------------ *)
 (* Shard absorption *)
 
 let attr_of_json = function
@@ -646,7 +695,7 @@ let read_lines path =
       in
       go []
 
-let absorb_shard path =
+let absorb_shard ?parent path =
   let records =
     List.filter_map
       (fun line ->
@@ -691,12 +740,19 @@ let absorb_shard path =
   in
   let kept = List.filter (fun s -> resolves s.sh_id) spans in
   let rb_parent, rb_path, rb_depth =
-    match
-      Option.bind meta_parent (fun pid ->
-          List.find_opt (fun f -> f.f_id = pid) !stack)
-    with
-    | Some f -> (f.f_id, f.f_path ^ "/", f.f_depth + 1)
-    | None -> (-1, "", 0)
+    match parent with
+    (* Caller-chosen parent (a manual span): the serve daemon absorbs a
+       worker's shard under that request's solve span, overriding the
+       fork-time meta parent (no request span was open at fork). *)
+    | Some (h : Manual.handle) ->
+        (h.Manual.m_id, h.Manual.m_path ^ "/", h.Manual.m_depth + 1)
+    | None -> (
+        match
+          Option.bind meta_parent (fun pid ->
+              List.find_opt (fun f -> f.f_id = pid) !stack)
+        with
+        | Some f -> (f.f_id, f.f_path ^ "/", f.f_depth + 1)
+        | None -> (-1, "", 0))
   in
   let id_map : (int, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter

@@ -88,7 +88,38 @@ val enable_trace_shard :
     wiped the lazy env init).  No [at_exit] hook is registered: workers
     exit with [Unix._exit], so the pool closes the sink explicitly. *)
 
-val absorb_shard : string -> int
+(** {2 Manual (retroactive) spans}
+
+    {!Span.with_} ties a span to dynamic extent, which cannot describe a
+    single-threaded server interleaving many requests: request A's
+    queue-wait overlaps request B's solve on one stack.  {!Manual.span}
+    emits an already-finished span with explicit timing and explicit
+    parentage — same sinks, same rollup, same trace/2 record shape — so
+    the serve daemon can emit each request's tree (request → queue-wait
+    → solve → respond) at respond time, when every duration is known. *)
+
+module Manual : sig
+  type handle
+  (** An emitted span, usable as a parent for children and for
+      {!absorb_shard}'s [?parent]. *)
+
+  val span :
+    ?trace:string ->
+    ?parent:handle ->
+    ?attrs:(string * attr) list ->
+    name:string ->
+    start_ns:int64 ->
+    dur_ns:int64 ->
+    unit ->
+    handle option
+  (** Emit one finished span.  Without [?parent] it is a root; [?trace]
+      overrides the process trace id (the daemon stamps the request's
+      job fingerprint).  Returns [None] when collection is disabled —
+      children of [None] simply omit [?parent].  Emit parents before
+      their children: ids are allocated at emission. *)
+end
+
+val absorb_shard : ?parent:Manual.handle -> string -> int
 (** Merge one worker shard into the current process: emit its resolvable
     spans (renumbered, re-rooted, stamped with the shard's trace id) to
     the attached sinks and the rollup, and fold its counter / gauge /
@@ -96,7 +127,12 @@ val absorb_shard : string -> int
     not resolve within the shard — the enclosing spans of a killed
     worker never closed — are dropped, as are torn trailing lines.
     Returns the number of spans absorbed; a missing or empty shard
-    absorbs 0. *)
+    absorbs 0.
+
+    [?parent] re-roots the shard under a {!Manual} span instead of the
+    shard's own fork-time parent: the serve daemon, which has no span
+    open when it forks, hangs each worker shard under that request's
+    retroactive [solve] span. *)
 
 val emit_provenance : (string * Json.t) list -> unit
 (** Write a [{"type":"provenance", ...}] record to every attached trace

@@ -1,0 +1,81 @@
+(* Admission control: the daemon's only defense against unbounded
+   queueing.
+
+   Two limits, checked in order:
+
+   - a per-client in-flight cap, so one chatty client cannot occupy the
+     whole queue, and
+   - a global outstanding cap (queued + running leaders + followers),
+     the bounded queue itself.
+
+   Admission is bookkeeping only — the caller owns the actual queue (the
+   pool's pending list) and must [release] every ticket it was granted,
+   including follower tickets for collapsed duplicates and tickets whose
+   job was cancelled.  Rejections are explicit protocol responses
+   (Protocol.Busy), never silent drops: under overload a client learns
+   the queue depth and backs off, instead of watching its socket fill
+   up. *)
+
+type config = { queue_limit : int; per_client_limit : int }
+
+let default_config = { queue_limit = 64; per_client_limit = 8 }
+
+type decision = Admit | Queue_full | Client_limit
+
+type t = {
+  config : config;
+  per_client : (int, int) Hashtbl.t;  (* client id -> outstanding tickets *)
+  mutable outstanding : int;
+}
+
+let c_admitted = Obs.Counter.make "server.admission.admitted"
+let c_queue_full = Obs.Counter.make "server.admission.queue_full"
+let c_client_limit = Obs.Counter.make "server.admission.client_limit"
+
+let create config =
+  {
+    config =
+      {
+        queue_limit = max 1 config.queue_limit;
+        per_client_limit = max 1 config.per_client_limit;
+      };
+    per_client = Hashtbl.create 16;
+    outstanding = 0;
+  }
+
+let outstanding t = t.outstanding
+
+let client_outstanding t ~client =
+  Option.value ~default:0 (Hashtbl.find_opt t.per_client client)
+
+let try_admit t ~client =
+  if client_outstanding t ~client >= t.config.per_client_limit then begin
+    Obs.Counter.incr c_client_limit;
+    Client_limit
+  end
+  else if t.outstanding >= t.config.queue_limit then begin
+    Obs.Counter.incr c_queue_full;
+    Queue_full
+  end
+  else begin
+    Hashtbl.replace t.per_client client (client_outstanding t ~client + 1);
+    t.outstanding <- t.outstanding + 1;
+    Obs.Counter.incr c_admitted;
+    Admit
+  end
+
+let release t ~client =
+  (match Hashtbl.find_opt t.per_client client with
+  | Some n when n > 1 -> Hashtbl.replace t.per_client client (n - 1)
+  | Some _ -> Hashtbl.remove t.per_client client
+  | None -> ());
+  if t.outstanding > 0 then t.outstanding <- t.outstanding - 1
+
+let forget_client t ~client =
+  (* A disconnect releases every ticket the client still held. *)
+  match Hashtbl.find_opt t.per_client client with
+  | None -> 0
+  | Some n ->
+      Hashtbl.remove t.per_client client;
+      t.outstanding <- max 0 (t.outstanding - n);
+      n

@@ -1,0 +1,40 @@
+(** Admission control: bounded outstanding work with explicit
+    backpressure.
+
+    Pure bookkeeping over two limits — a per-client in-flight cap
+    (checked first, so one client cannot occupy the whole queue) and a
+    global outstanding cap (the bounded queue).  The caller owns the
+    actual queue and must {!release} every admitted ticket, including
+    tickets for collapsed duplicates and cancelled jobs; rejections
+    surface as [Protocol.Busy] frames, never silent drops. *)
+
+type config = {
+  queue_limit : int;  (** max outstanding tickets in total (≥ 1) *)
+  per_client_limit : int;  (** max outstanding tickets per client (≥ 1) *)
+}
+
+val default_config : config
+(** 64 outstanding, 8 per client. *)
+
+type decision = Admit | Queue_full | Client_limit
+
+type t
+
+val create : config -> t
+
+val try_admit : t -> client:int -> decision
+(** Grant a ticket to [client] or say why not.  [Admit] increments both
+    counts; the other decisions change nothing. *)
+
+val release : t -> client:int -> unit
+(** Return one of [client]'s tickets (job finished, collapsed duplicate
+    answered, or queued job cancelled). *)
+
+val forget_client : t -> client:int -> int
+(** Release everything [client] still holds (disconnect); returns how
+    many tickets were dropped. *)
+
+val outstanding : t -> int
+(** Total granted tickets — the protocol's reported queue depth. *)
+
+val client_outstanding : t -> client:int -> int

@@ -1,0 +1,77 @@
+(* Hot-instance LRU: parsed hypergraphs for repeated file-backed
+   requests.
+
+   The daemon parses an Hmetis file once, in the coordinator, and the
+   forked worker reaches the parsed structure through copy-on-write —
+   repeated requests against the same instance skip both the disk read
+   and the parse (Runner.execute's ?lookup hook).  Entries are keyed by
+   path + content fingerprint, so an instance file edited between
+   requests misses instead of serving the stale parse.
+
+   Size is bounded by entry count (instances in one serving set are
+   comparably sized; a count bound is predictable where a byte bound
+   over an abstract hypergraph would be a guess). *)
+
+type entry = { e_path : string; e_fp : string; e_hg : Hypergraph.t }
+
+type t = {
+  capacity : int;
+  mutable entries : entry list;  (* most recently used first *)
+}
+
+let c_hit = Obs.Counter.make "server.instances.hit"
+let c_miss = Obs.Counter.make "server.instances.miss"
+let c_evict = Obs.Counter.make "server.instances.evict"
+
+let create ~capacity = { capacity = max 1 capacity; entries = [] }
+let length t = List.length t.entries
+
+let content_fp path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | content -> Some (Engine.Fingerprint.digest content)
+  | exception Sys_error _ -> None
+
+let find t path =
+  match content_fp path with
+  | None -> None (* unreadable now; let the worker report the real error *)
+  | Some fp -> (
+      match
+        List.partition
+          (fun e -> String.equal e.e_path path && String.equal e.e_fp fp)
+          t.entries
+      with
+      | [ e ], rest ->
+          Obs.Counter.incr c_hit;
+          t.entries <- e :: rest;
+          Some e.e_hg
+      | _ ->
+          Obs.Counter.incr c_miss;
+          None)
+
+let load t path =
+  match find t path with
+  | Some hg -> Some hg
+  | None -> (
+      match content_fp path with
+      | None -> None
+      | Some fp -> (
+          match Hypergraph.Hmetis.load path with
+          | exception (Failure _ | Sys_error _) -> None
+          | hg ->
+              (* Drop any stale parse of the same path before inserting. *)
+              let keep =
+                List.filter
+                  (fun e -> not (String.equal e.e_path path))
+                  t.entries
+              in
+              let keep =
+                if List.length keep >= t.capacity then begin
+                  Obs.Counter.incr c_evict;
+                  List.filteri (fun i _ -> i < t.capacity - 1) keep
+                end
+                else keep
+              in
+              t.entries <- { e_path = path; e_fp = fp; e_hg = hg } :: keep;
+              Some hg))
+
+let lookup t path = find t path

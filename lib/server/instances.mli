@@ -1,0 +1,26 @@
+(** Hot-instance LRU: parsed hypergraphs for repeated file-backed
+    requests.
+
+    The daemon parses an Hmetis file once, in the coordinator; forked
+    workers reach the parsed structure through copy-on-write (the
+    [?lookup] hook of [Engine.Runner.execute]), so repeated requests
+    skip both the disk read and the parse.  Entries are keyed by path
+    {e and} content fingerprint — an instance file edited between
+    requests misses instead of serving a stale parse.  Capacity is an
+    entry count; the least recently used entry is evicted. *)
+
+type t
+
+val create : capacity:int -> t
+(** Capacity is clamped to ≥ 1. *)
+
+val load : t -> string -> Hypergraph.t option
+(** Cached parse of the file at this path: an LRU hit, or parse + insert
+    (evicting if full).  [None] when the file is unreadable or malformed
+    — the worker then reports the real error through its own load. *)
+
+val lookup : t -> string -> Hypergraph.t option
+(** Hit-only variant (no parse, no insert): what workers consult.  Also
+    refreshes recency. *)
+
+val length : t -> int

@@ -1,0 +1,153 @@
+(* Single-flight job registry: one solve per fingerprint, no matter how
+   many clients ask.
+
+   The content-addressed cache collapses requests across time; this
+   registry collapses them across clients at the same instant.  A submit
+   whose fingerprint matches an entry still in flight attaches as a
+   waiter instead of taking a queue slot — on completion every waiter
+   gets a result frame (the first in submission order is the "solve" or
+   "cache" source, the rest are "collapsed").
+
+   Cancellation is per-waiter: cancelling removes {e your} interest.
+   Only when the last waiter leaves a still-queued entry does the job
+   itself die (the daemon then cancels it in the pool); a running job is
+   never killed by cancellation — its result still feeds the cache. *)
+
+type waiter = { w_client : int; w_id : int; w_submit_ns : int64 }
+
+type entry = {
+  j_key : int;  (* the pool index *)
+  j_fp : string;
+  j_job : Engine.Spec.job;
+  mutable j_waiters : waiter list;  (* submission order *)
+  mutable j_started_ns : int64 option;  (* None while queued *)
+}
+
+type t = {
+  mutable next_key : int;
+  by_key : (int, entry) Hashtbl.t;
+  by_fp : (string, int) Hashtbl.t;  (* fingerprint -> live key *)
+  by_waiter : (int * int, int) Hashtbl.t;  (* (client, id) -> live key *)
+  (* Completed results kept for Result re-requests, bounded FIFO. *)
+  recall : (int * int, Protocol.source * Obs.Json.t) Hashtbl.t;
+  recall_order : (int * int) Queue.t;
+  recall_limit : int;
+}
+
+let c_collapsed = Obs.Counter.make "server.jobs.collapsed"
+
+let create () =
+  {
+    next_key = 0;
+    by_key = Hashtbl.create 64;
+    by_fp = Hashtbl.create 64;
+    by_waiter = Hashtbl.create 64;
+    recall = Hashtbl.create 256;
+    recall_order = Queue.create ();
+    recall_limit = 1024;
+  }
+
+let live t = Hashtbl.length t.by_key
+let find_by_key t key = Hashtbl.find_opt t.by_key key
+
+let find_by_waiter t ~client ~id =
+  Option.bind (Hashtbl.find_opt t.by_waiter (client, id)) (find_by_key t)
+
+let submit t ~fingerprint ~job ~client ~id ~now =
+  let w = { w_client = client; w_id = id; w_submit_ns = now } in
+  match Option.bind (Hashtbl.find_opt t.by_fp fingerprint) (find_by_key t) with
+  | Some entry ->
+      entry.j_waiters <- entry.j_waiters @ [ w ];
+      Hashtbl.replace t.by_waiter (client, id) entry.j_key;
+      Obs.Counter.incr c_collapsed;
+      `Attached entry
+  | None ->
+      let key = t.next_key in
+      t.next_key <- key + 1;
+      let entry =
+        { j_key = key; j_fp = fingerprint; j_job = job; j_waiters = [ w ];
+          j_started_ns = None }
+      in
+      Hashtbl.replace t.by_key key entry;
+      Hashtbl.replace t.by_fp fingerprint key;
+      Hashtbl.replace t.by_waiter (client, id) key;
+      `New entry
+
+let start t ~key ~now =
+  match find_by_key t key with
+  | Some entry -> entry.j_started_ns <- Some now
+  | None -> ()
+
+let complete t ~key =
+  match find_by_key t key with
+  | None -> None
+  | Some entry ->
+      Hashtbl.remove t.by_key key;
+      Hashtbl.remove t.by_fp entry.j_fp;
+      List.iter
+        (fun w -> Hashtbl.remove t.by_waiter (w.w_client, w.w_id))
+        entry.j_waiters;
+      Some entry
+
+let cancel t ~client ~id =
+  match Hashtbl.find_opt t.by_waiter (client, id) with
+  | None -> `Unknown
+  | Some key -> (
+      match find_by_key t key with
+      | None -> `Unknown
+      | Some entry -> (
+          entry.j_waiters <-
+            List.filter
+              (fun w -> not (w.w_client = client && w.w_id = id))
+              entry.j_waiters;
+          Hashtbl.remove t.by_waiter (client, id);
+          match (entry.j_waiters, entry.j_started_ns) with
+          | _ :: _, _ -> `Detached
+          | [], Some _ ->
+              (* Running with nobody waiting: let it finish, the result
+                 still lands in the shared cache. *)
+              `Orphaned
+          | [], None ->
+              Hashtbl.remove t.by_key key;
+              Hashtbl.remove t.by_fp entry.j_fp;
+              `Abort key))
+
+let forget_client t ~client =
+  (* Disconnect: drop the client's waiters everywhere; returns the keys
+     of still-queued entries left waiterless (for the daemon to cancel
+     in the pool). *)
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun key entry ->
+      let before = List.length entry.j_waiters in
+      entry.j_waiters <-
+        List.filter (fun w -> w.w_client <> client) entry.j_waiters;
+      if List.length entry.j_waiters < before && entry.j_waiters = [] then
+        if entry.j_started_ns = None then doomed := (key, entry) :: !doomed)
+    t.by_key;
+  let doomed_keys =
+    List.map
+      (fun (key, entry) ->
+        Hashtbl.remove t.by_key key;
+        Hashtbl.remove t.by_fp entry.j_fp;
+        key)
+      !doomed
+  in
+  let stale =
+    Hashtbl.fold
+      (fun ((c, _) as k) _ acc -> if c = client then k :: acc else acc)
+      t.by_waiter []
+  in
+  List.iter (Hashtbl.remove t.by_waiter) stale;
+  doomed_keys
+
+let remember t ~client ~id ~source ~record =
+  if Queue.length t.recall_order >= t.recall_limit then begin
+    match Queue.take_opt t.recall_order with
+    | Some oldest -> Hashtbl.remove t.recall oldest
+    | None -> ()
+  end;
+  Queue.add (client, id) t.recall_order;
+  Hashtbl.replace t.recall (client, id) (source, record)
+
+let recall t ~client ~id = Hashtbl.find_opt t.recall (client, id)

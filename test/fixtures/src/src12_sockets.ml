@@ -1,0 +1,16 @@
+(* SRC12: socket plumbing outside a designated networking module.
+   Committed so the lint.config allowlist entry for test/fixtures is
+   exercised by the repo's own lint run; [Unix.connect]/[Unix.read] stay
+   unflagged (consuming an endpoint is fine anywhere — only owning a
+   listening socket is fenced). *)
+
+let listen path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  fst (Unix.accept fd)
+
+let dial path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd

@@ -345,7 +345,7 @@ let run_pool ?on_event config plans =
     | Error _ -> E.Fingerprint.digest (E.Spec.describe job)
   in
   let plans = List.mapi (fun i job -> (i, key job, job)) plans in
-  E.Pool.run ?on_event config ~worker:E.Runner.execute plans
+  E.Pool.run ?on_event config ~worker:(fun job -> E.Runner.execute job) plans
 
 let test_pool_crash_isolation () =
   let plans =
@@ -401,6 +401,144 @@ let test_pool_failed_not_retried () =
   Alcotest.(check string) "deterministic failure" "failed"
     (E.Record.status_name (List.hd records).E.Record.status);
   Alcotest.(check int) "deterministic failures never retry" 0 !retries
+
+(* ---- cache under concurrent multi-process access ------------------------- *)
+
+let test_cache_concurrent_stores () =
+  (* Two forked workers hammer the SAME fingerprint with distinct 64 KiB
+     records while the coordinator reads it between pool steps.  The
+     contract (see cache.ml): both stores succeed, every read observes
+     one record in full — all-'a' or all-'b', never a splice — and the
+     validating reader never ticks its corrupt counter.  Tests can't
+     fork (SRC08), so concurrency is driven through the incremental
+     pool API, which this also exercises. *)
+  let dir = temp_dir "hyp_cache_race" in
+  let job = gen_job ~n:30 () in
+  let fp = fingerprint_exn job in
+  let blob_record c =
+    {
+      E.Record.fingerprint = fp;
+      job;
+      status = E.Record.Done;
+      metrics = [ ("blob", Obs.Json.Str (String.make 65536 c)) ];
+      observed = None;
+      timing = { E.Record.wall_s = 0.0; attempts = 1; worker = 0 };
+    }
+  in
+  let worker (j : E.Spec.job) =
+    (* Runs in the forked child: its own cache handle, its own pid. *)
+    let c = if j.E.Spec.seed = 1 then 'a' else 'b' in
+    match E.Cache.open_ dir with
+    | Error e -> { E.Record.p_status = `Failed e; p_metrics = []; p_observed = None }
+    | Ok cache ->
+        let failed = ref None in
+        for _ = 1 to 200 do
+          match E.Cache.store cache (blob_record c) with
+          | Ok () -> ()
+          | Error e -> failed := Some e
+        done;
+        (match !failed with
+        | Some e -> { E.Record.p_status = `Failed e; p_metrics = []; p_observed = None }
+        | None -> { E.Record.p_status = `Done; p_metrics = []; p_observed = None })
+  in
+  let pool = E.Pool.create (quiet_pool 2) ~worker in
+  E.Pool.submit pool ~index:0 ~fingerprint:fp { job with E.Spec.seed = 1 };
+  E.Pool.submit pool ~index:1 ~fingerprint:fp { job with E.Spec.seed = 2 };
+  let reader = open_cache dir in
+  let reads = ref 0 in
+  let completed = ref [] in
+  while not (E.Pool.idle pool) do
+    let records, _ = E.Pool.step ~timeout:0.002 pool in
+    List.iter (fun (_, r) -> completed := r :: !completed) records;
+    for _ = 1 to 10 do
+      match E.Cache.find reader fp with
+      | None -> ()
+      | Some r -> (
+          incr reads;
+          match List.assoc_opt "blob" r.E.Record.metrics with
+          | Some (Obs.Json.Str s) ->
+              Alcotest.(check int) "read is complete" 65536 (String.length s);
+              Alcotest.(check bool) "read is one writer's record, not a splice"
+                true
+                (String.for_all (fun ch -> ch = s.[0]) s)
+          | _ -> Alcotest.fail "blob metric missing from raced read")
+    done
+  done;
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "both writers stored without error" "ok"
+        (E.Record.status_name r.E.Record.status))
+    !completed;
+  Alcotest.(check int) "one record per writer" 2 (List.length !completed);
+  Alcotest.(check bool) "reads raced the writers" true (!reads > 0);
+  let s = E.Cache.stats reader in
+  Alcotest.(check int) "atomic publication: reader never saw a torn record" 0
+    s.E.Cache.corrupt;
+  (* The final entry is intact and belongs to one of the two writers. *)
+  (match E.Cache.find reader fp with
+  | Some r -> (
+      match List.assoc_opt "blob" r.E.Record.metrics with
+      | Some (Obs.Json.Str s) ->
+          Alcotest.(check bool) "last rename won cleanly" true
+            (String.for_all (fun ch -> ch = s.[0]) s)
+      | _ -> Alcotest.fail "blob metric missing from final record")
+  | None -> Alcotest.fail "entry must exist after both writers finished");
+  (* Renames publish or clean up: no orphaned temp files under the shard
+     directory once the writers are done. *)
+  let shard = Filename.concat dir (String.sub fp 0 2) in
+  let leftovers =
+    Array.to_list (Sys.readdir shard)
+    |> List.filter (fun f -> not (Filename.check_suffix f ".json"))
+  in
+  Alcotest.(check (list string)) "no temp files survive" [] leftovers
+
+let test_cache_reader_racing_writer () =
+  (* A reader racing a single writer through the entry's whole life:
+     before the first store it misses cleanly; from the first successful
+     store on it hits; a re-store of the same fingerprint never makes it
+     disappear or tear.  The writer is a forked pool worker, the reader
+     is the coordinator between steps. *)
+  let dir = temp_dir "hyp_cache_rw" in
+  let job = gen_job ~n:30 ~seed:5 () in
+  let fp = fingerprint_exn job in
+  let record =
+    {
+      E.Record.fingerprint = fp;
+      job;
+      status = E.Record.Done;
+      metrics = [ ("blob", Obs.Json.Str (String.make 65536 'x')) ];
+      observed = None;
+      timing = { E.Record.wall_s = 0.0; attempts = 1; worker = 0 };
+    }
+  in
+  let worker (_ : E.Spec.job) =
+    match E.Cache.open_ dir with
+    | Error e -> { E.Record.p_status = `Failed e; p_metrics = []; p_observed = None }
+    | Ok cache ->
+        for _ = 1 to 100 do
+          ignore (E.Cache.store cache record : (unit, string) result)
+        done;
+        { E.Record.p_status = `Done; p_metrics = []; p_observed = None }
+  in
+  let pool = E.Pool.create (quiet_pool 1) ~worker in
+  E.Pool.submit pool ~index:0 ~fingerprint:fp job;
+  let reader = open_cache dir in
+  let seen_hit = ref false in
+  let ok = ref true in
+  while not (E.Pool.idle pool) do
+    ignore (E.Pool.step ~timeout:0.002 pool : (int * E.Record.t) list * Unix.file_descr list);
+    for _ = 1 to 10 do
+      match E.Cache.find reader fp with
+      | None ->
+          (* Legal only before the first store has been published. *)
+          if !seen_hit then ok := false
+      | Some _ -> seen_hit := true
+    done
+  done;
+  Alcotest.(check bool) "once published, never absent" true !ok;
+  Alcotest.(check bool) "the entry was published" true !seen_hit;
+  let s = E.Cache.stats reader in
+  Alcotest.(check int) "no torn reads" 0 s.E.Cache.corrupt
 
 (* ---- batch: cache interplay and determinism ------------------------------ *)
 
@@ -633,6 +771,10 @@ let suite =
     Alcotest.test_case "pool timeout kill" `Quick test_pool_timeout_kill;
     Alcotest.test_case "pool never retries deterministic failures" `Quick
       test_pool_failed_not_retried;
+    Alcotest.test_case "cache concurrent same-fingerprint stores" `Quick
+      test_cache_concurrent_stores;
+    Alcotest.test_case "cache reader racing writer" `Quick
+      test_cache_reader_racing_writer;
     Alcotest.test_case "batch cache second pass" `Quick
       test_batch_cache_second_pass;
     Alcotest.test_case "trace structure across parallelism" `Quick

@@ -52,7 +52,7 @@ let test_catalogue () =
     "stable rule ids"
     [
       "SRC00"; "SRC01"; "SRC02"; "SRC03"; "SRC04"; "SRC05"; "SRC06"; "SRC07";
-      "SRC08"; "SRC09"; "SRC10"; "SRC11";
+      "SRC08"; "SRC09"; "SRC10"; "SRC11"; "SRC12";
     ]
     ids;
   List.iter
@@ -321,6 +321,40 @@ let test_src11 () =
   Alcotest.(check int) "suppressions recorded" 3
     (List.length r.L.Engine.suppressed)
 
+(* ---- SRC12: socket plumbing outside designated networking modules ------- *)
+
+let test_src12 () =
+  let source = src_fixture "src12_sockets.ml" in
+  let r = lint (sealed "lib/a/fix.ml" source) in
+  check_fires "Unix.socket" ~rule:"SRC12" ~file:"lib/a/fix.ml" ~line:8 r;
+  check_fires "Unix.bind" ~rule:"SRC12" ~file:"lib/a/fix.ml" ~line:9 r;
+  check_fires "Unix.listen" ~rule:"SRC12" ~file:"lib/a/fix.ml" ~line:10 r;
+  check_fires "Unix.accept" ~rule:"SRC12" ~file:"lib/a/fix.ml" ~line:11 r;
+  (* [dial]'s Unix.socket on line 14 also fires; its Unix.connect does
+     not — consuming an endpoint is not fenced, owning one is. *)
+  Alcotest.(check int) "five findings" 5
+    (List.length (find_all ~rule:"SRC12" r));
+  let r =
+    lint
+      (sealed "lib/a/fix.ml"
+         "let go fd = Stdlib.Unix.listen fd 4\nlet l = UnixLabels.accept\n")
+  in
+  check_fires "Stdlib/Labels-qualified forms" ~rule:"SRC12"
+    ~file:"lib/a/fix.ml" ~line:1 r;
+  Alcotest.(check int) "both qualified calls" 2
+    (List.length (find_all ~rule:"SRC12" r));
+  (* the designated module comes from lint.config, like the repo's own
+     entry for lib/server *)
+  let config, errs =
+    L.Suppress.parse_config
+      ("allow SRC12 lib/server " ^ em_dash ^ " the designated networking module\n")
+  in
+  Alcotest.(check int) "config parses" 0 (List.length errs);
+  let r = lint ~config (sealed "lib/server/fix.ml" source) in
+  check_silent "designated module" ~rule:"SRC12" r;
+  Alcotest.(check int) "suppressions recorded" 5
+    (List.length r.L.Engine.suppressed)
+
 (* ---- SRC00: parse errors ------------------------------------------------ *)
 
 let test_parse_error () =
@@ -445,6 +479,7 @@ let suite =
     Alcotest.test_case "SRC09 hot-path Hashtbl" `Quick test_src09;
     Alcotest.test_case "SRC10 Gc outside lib/obs" `Quick test_src10;
     Alcotest.test_case "SRC11 multicore primitives fenced" `Quick test_src11;
+    Alcotest.test_case "SRC12 socket plumbing fenced" `Quick test_src12;
     Alcotest.test_case "SRC00 parse error" `Quick test_parse_error;
     Alcotest.test_case "inline suppression" `Quick test_inline_suppression;
     Alcotest.test_case "marker hygiene" `Quick test_marker_hygiene;

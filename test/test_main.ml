@@ -25,4 +25,5 @@ let () =
       ("lint", Test_lint.suite);
       ("analyze", Test_analyze.suite);
       ("engine", Test_engine.suite);
+      ("server", Test_server.suite);
     ]
