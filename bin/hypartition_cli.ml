@@ -78,6 +78,22 @@ let algorithm_arg =
   in
   Arg.(value & opt (enum algs) `Multilevel & info [ "a"; "algorithm" ] ~doc)
 
+let threads_arg =
+  let doc =
+    "Solver domains for the multilevel parallel path (0 = the sequential \
+     path).  The parallel path's result is identical for every N >= 1 in \
+     deterministic mode; it is a different algorithm from the sequential \
+     path and does not reproduce its partitions."
+  in
+  Arg.(value & opt int 0 & info [ "threads" ] ~docv:"N" ~doc)
+
+let no_deterministic_arg =
+  let doc =
+    "Relax the parallel initial-portfolio reduction to completion order \
+     (run-to-run-varying tie-breaks).  Only meaningful with --threads >= 2."
+  in
+  Arg.(value & flag & info [ "no-deterministic" ] ~doc)
+
 let metric_arg =
   let doc = "Cost metric: connectivity (sum of lambda-1) or cutnet." in
   Arg.(
@@ -105,8 +121,13 @@ let report hg part metric =
        (Array.to_list (Array.map string_of_int (Partition.part_weights hg part))));
   ignore metric
 
-let run_partition trace stats path k eps seed algorithm metric output dot =
+let run_partition trace stats path k eps seed algorithm metric threads
+    no_deterministic output dot =
   setup_obs trace stats;
+  if threads > 0 && algorithm <> `Multilevel then begin
+    Printf.eprintf "error: --threads applies to the multilevel algorithm only\n";
+    exit 1
+  end;
   match load_hypergraph path with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -117,7 +138,14 @@ let run_partition trace stats path k eps seed algorithm metric output dot =
         match algorithm with
         | `Multilevel ->
             Solvers.Multilevel.partition
-              ~config:{ Solvers.Multilevel.default_config with eps; metric }
+              ~config:
+                {
+                  Solvers.Multilevel.default_config with
+                  eps;
+                  metric;
+                  threads;
+                  deterministic = not no_deterministic;
+                }
               rng hg ~k
         | `Recursive ->
             Solvers.Recursive_bisection.partition ~eps
@@ -417,7 +445,8 @@ let partition_cmd =
   Cmd.v info
     Term.(
       const run_partition $ trace_arg $ stats_flag $ hypergraph_arg $ k_arg
-      $ eps_arg $ seed_arg $ algorithm_arg $ metric_arg $ output_arg $ dot_arg)
+      $ eps_arg $ seed_arg $ algorithm_arg $ metric_arg $ threads_arg
+      $ no_deterministic_arg $ output_arg $ dot_arg)
 
 let stats_cmd =
   let info = Cmd.info "stats" ~doc:"Print hypergraph statistics." in
@@ -1280,8 +1309,8 @@ let report_cmd =
    gracefully: queued jobs turn into skipped records, running workers
    finish, every connection flushes. *)
 
-let run_serve trace stats socket tcp jobs timeout cache_dir no_cache
-    queue_limit client_limit lru =
+let run_serve trace stats socket tcp jobs solver_threads timeout cache_dir
+    no_cache queue_limit client_limit lru =
   setup_obs trace stats;
   let endpoint =
     match tcp with
@@ -1316,6 +1345,7 @@ let run_serve trace stats socket tcp jobs timeout cache_dir no_cache
               Engine.Pool.jobs;
               default_timeout_s = timeout;
               silence_worker_stdout = true;
+              solver_threads;
             };
           cache_dir = (if no_cache then None else Some cache_dir);
           admission =
@@ -1352,6 +1382,14 @@ let serve_cmd =
   let jobs_arg =
     let doc = "Worker processes." in
     Arg.(value & opt int 2 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let solver_threads_arg =
+    let doc =
+      "Solver domains per worker for submitted jobs marked parallel \
+       (0 = run even those sequentially).  Changes only wall-clock, never \
+       results: parallel jobs are thread-count-independent."
+    in
+    Arg.(value & opt int 0 & info [ "threads" ] ~docv:"N" ~doc)
   in
   let timeout_arg =
     let doc =
@@ -1402,8 +1440,8 @@ let serve_cmd =
   Cmd.v info
     Term.(
       const run_serve $ trace_arg $ stats_flag $ socket_arg $ tcp_arg
-      $ jobs_arg $ timeout_arg $ cache_dir_arg $ no_cache_arg
-      $ queue_limit_arg $ client_limit_arg $ lru_arg)
+      $ jobs_arg $ solver_threads_arg $ timeout_arg $ cache_dir_arg
+      $ no_cache_arg $ queue_limit_arg $ client_limit_arg $ lru_arg)
 
 (* ---- batch: the parallel execution engine -------------------------------- *)
 
@@ -1434,9 +1472,11 @@ let batch_progress_line (ev : Engine.Batch.event) =
       Printf.eprintf "[sigint]  draining; skipping %d queued jobs\n%!" pending
 
 let run_batch trace stats manifest files experiments k eps seed algorithm
-    metric jobs timeout cache_dir no_cache retries format =
+    metric threads jobs timeout cache_dir no_cache retries format =
   setup_obs trace stats;
-  let config = { Engine.Spec.k; eps; algorithm; metric } in
+  let config =
+    { Engine.Spec.k; eps; algorithm; metric; parallel = threads > 0 }
+  in
   let manifest_jobs =
     match manifest with
     | None -> Ok []
@@ -1485,6 +1525,7 @@ let run_batch trace stats manifest files experiments k eps seed algorithm
               default_timeout_s = timeout;
               silence_worker_stdout = true;
               handle_sigint = true;
+              solver_threads = threads;
             }
           in
           let batch_config =
@@ -1564,6 +1605,15 @@ let batch_cmd =
     let doc = "Worker processes to run in parallel." in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
+  let solver_threads_arg =
+    let doc =
+      "Solver domains per worker for ad-hoc FILE jobs (0 = sequential \
+       path).  Marks those jobs parallel — a different algorithm, hence a \
+       different cache fingerprint — while the result stays independent \
+       of N (the engine always runs the parallel solver deterministically)."
+    in
+    Arg.(value & opt int 0 & info [ "threads" ] ~docv:"N" ~doc)
+  in
   let timeout_arg =
     let doc =
       "Default wall-clock budget per job in seconds (SIGKILL on expiry); \
@@ -1605,8 +1655,8 @@ let batch_cmd =
     Term.(
       const run_batch $ trace_arg $ stats_flag $ manifest_arg $ files_arg
       $ experiments_arg $ k_arg $ eps_arg $ seed_arg $ spec_algorithm_arg
-      $ spec_metric_arg $ jobs_arg $ timeout_arg $ cache_dir_arg
-      $ no_cache_arg $ retries_arg $ format_arg)
+      $ spec_metric_arg $ solver_threads_arg $ jobs_arg $ timeout_arg
+      $ cache_dir_arg $ no_cache_arg $ retries_arg $ format_arg)
 
 let main =
   let info =

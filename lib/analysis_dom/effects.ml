@@ -76,15 +76,21 @@ type t = {
    channel printers, Domain, ...) widens the caller to [unknown], which
    is DOM09's business on the hot path.  [Fmt] is combinators over a
    caller-supplied formatter; [In_channel] operates on the channel it is
-   handed (or opens itself), each carrying a per-channel runtime lock. *)
+   handed (or opens itself), each carrying a per-channel runtime lock.
+   [Condition] is benign by the same argument as [Mutex]: it blocks and
+   signals on exactly the condition/mutex values handed to it, mutating
+   nothing else — the Workspace-discipline shape.  [Domain] is NOT
+   benign: spawn runs an arbitrary closure on another domain, which is
+   precisely the effect this analysis cannot see past (the designated
+   concurrency module carries a DOM09 allowlist entry instead). *)
 let benign_modules =
   [
     "Array"; "ArrayLabels"; "Atomic"; "Bool"; "Buffer"; "Bytes";
-    "BytesLabels"; "Char"; "Complex"; "Digest"; "Either"; "Filename";
-    "Float"; "Fmt"; "Fun"; "Hashtbl"; "In_channel"; "Int"; "Int32";
-    "Int64"; "Lazy"; "List"; "ListLabels"; "Map"; "Mutex"; "Nativeint";
-    "Option"; "Queue"; "Result"; "Seq"; "Set"; "Sort"; "Stack";
-    "String"; "StringLabels"; "Uchar";
+    "BytesLabels"; "Char"; "Complex"; "Condition"; "Digest"; "Either";
+    "Filename"; "Float"; "Fmt"; "Fun"; "Hashtbl"; "In_channel"; "Int";
+    "Int32"; "Int64"; "Lazy"; "List"; "ListLabels"; "Map"; "Mutex";
+    "Nativeint"; "Option"; "Queue"; "Result"; "Seq"; "Set"; "Sort";
+    "Stack"; "String"; "StringLabels"; "Uchar";
   ]
 
 (* Exact dotted names that are benign although their module is not:

@@ -93,9 +93,13 @@ let run ?(on_event = fun (_ : event) -> ()) config jobs =
       @@ fun () ->
       (* Stamp the trace with where it came from, while the batch span is
          open — cross-machine comparisons need the header, not a guess. *)
-      if Obs.enabled () then
+      if Obs.enabled () then begin
+        let threads =
+          match config.pool.Pool.solver_threads with 0 -> None | t -> Some t
+        in
         Obs.emit_provenance
-          (Provenance.collect ~jobs:config.pool.Pool.jobs ());
+          (Provenance.collect ~jobs:config.pool.Pool.jobs ?threads ())
+      end;
       let t0 = Support.Util.monotonic_ns () in
       let n = List.length jobs in
       let results : outcome option array = Array.make (max 1 n) None in
@@ -118,9 +122,12 @@ let run ?(on_event = fun (_ : event) -> ()) config jobs =
       let pool_records =
         if to_run = [] then []
         else
+          let threads = max 1 config.pool.Pool.solver_threads in
           Pool.run
             ~on_event:(fun e -> on_event (Pool e))
-            config.pool ~worker:(fun job -> Runner.execute job) to_run
+            config.pool
+            ~worker:(fun job -> Runner.execute ~threads job)
+            to_run
       in
       (* One record per plan, in plan order — the pool guarantees it even
          under SIGINT draining (queued jobs come back Skipped). *)

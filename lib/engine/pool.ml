@@ -37,6 +37,10 @@ type config = {
   default_timeout_s : float option;
   silence_worker_stdout : bool;
   handle_sigint : bool;
+  solver_threads : int;
+      (* domains per worker's solver, stamped on record timing; 0 =
+         sequential.  The pool itself never creates domains — a forked
+         worker spawns (and joins) its own inside the solve. *)
 }
 
 let default_config =
@@ -47,6 +51,7 @@ let default_config =
     default_timeout_s = None;
     silence_worker_stdout = false;
     handle_sigint = false;
+    solver_threads = 0;
   }
 
 type event =
@@ -243,7 +248,7 @@ let classify r status =
   | Unix.WSTOPPED signal ->
       `Crash (Printf.sprintf "worker stopped by signal %d" signal)
 
-let make_record ~r ~status ~metrics ~observed ~wall =
+let make_record ~threads ~r ~status ~metrics ~observed ~wall =
   Obs.Histogram.observe h_wall wall;
   {
     Record.fingerprint = r.r_fp;
@@ -251,7 +256,13 @@ let make_record ~r ~status ~metrics ~observed ~wall =
     status;
     metrics;
     observed;
-    timing = { Record.wall_s = wall; attempts = r.r_attempt; worker = r.r_slot };
+    timing =
+      {
+        Record.wall_s = wall;
+        attempts = r.r_attempt;
+        worker = r.r_slot;
+        threads;
+      };
   }
 
 let skipped_record ~reason (p : pending) =
@@ -360,6 +371,7 @@ let finalize ~on_event t now r status =
     read_chunk r
   done;
   let wall = Support.Util.seconds_of_ns (Int64.sub now r.r_started) in
+  let make_record = make_record ~threads:t.config.solver_threads in
   (* A final attempt's shard (complete, or partial for a killed worker)
      is merged at drain; a retried attempt's partial shard is stale —
      the retry forks a fresh pid, hence a fresh shard path. *)

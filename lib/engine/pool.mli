@@ -31,11 +31,17 @@ type config = {
       (** install a draining SIGINT handler for the duration of {!run}:
           queued jobs become [Skipped], in-flight workers finish, the
           cache stays consistent *)
+  solver_threads : int;
+      (** solver domains each worker is configured with, stamped on
+          record timing as provenance; [0] = sequential.  The pool never
+          creates domains itself — a forked worker spawns and joins its
+          own strictly inside the solve, so domains never cross the fork
+          boundary. *)
 }
 
 val default_config : config
 (** 1 worker, 1 retry, 0.1 s backoff, no default timeout, inherited
-    stdout, no signal handler. *)
+    stdout, no signal handler, sequential solver. *)
 
 type event =
   | Started of { index : int; job : Spec.job; worker : int; attempt : int }

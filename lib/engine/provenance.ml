@@ -18,7 +18,7 @@ let git_rev () =
     | _ -> "unknown"
   with Unix.Unix_error _ | Sys_error _ -> "unknown"
 
-let collect ?jobs () =
+let collect ?jobs ?threads () =
   let open Obs.Json in
   [
     ("hostname", Str (hostname ()));
@@ -26,4 +26,5 @@ let collect ?jobs () =
     ("word_size", Int Sys.word_size);
     ("git_rev", Str (git_rev ()));
   ]
-  @ match jobs with Some j -> [ ("jobs", Int j) ] | None -> []
+  @ (match jobs with Some j -> [ ("jobs", Int j) ] | None -> [])
+  @ match threads with Some t -> [ ("threads", Int t) ] | None -> []

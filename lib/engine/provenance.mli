@@ -1,11 +1,13 @@
 (** Run provenance: hostname, OCaml version, word size, git revision and
-    (optionally) worker count — stamped into bench reports and trace
-    headers so cross-machine baseline comparisons are self-describing. *)
+    (optionally) worker and solver-thread counts — stamped into bench
+    reports and trace headers so cross-machine baseline comparisons are
+    self-describing. *)
 
 val git_rev : unit -> string
 (** Short git revision of the working tree, or ["unknown"] outside a
     repository. *)
 
-val collect : ?jobs:int -> unit -> (string * Obs.Json.t) list
+val collect : ?jobs:int -> ?threads:int -> unit -> (string * Obs.Json.t) list
 (** The provenance fields, ready for {!Obs.emit_provenance} or embedding
-    in a JSON report. *)
+    in a JSON report.  [jobs] = fork-pool worker count, [threads] =
+    solver domains per worker. *)

@@ -21,9 +21,9 @@ type status =
   | Crashed of string
   | Skipped of string
 
-type timing = { wall_s : float; attempts : int; worker : int }
+type timing = { wall_s : float; attempts : int; worker : int; threads : int }
 
-let no_timing = { wall_s = 0.0; attempts = 0; worker = -1 }
+let no_timing = { wall_s = 0.0; attempts = 0; worker = -1; threads = 0 }
 
 type t = {
   fingerprint : string;
@@ -133,11 +133,18 @@ let to_json ?(deterministic = false) t =
          @ [
              ( "timing",
                Obj
-                 [
-                   ("wall_s", Float t.timing.wall_s);
-                   ("attempts", Int t.timing.attempts);
-                   ("worker", Int t.timing.worker);
-                 ] );
+                 ([
+                    ("wall_s", Float t.timing.wall_s);
+                    ("attempts", Int t.timing.attempts);
+                    ("worker", Int t.timing.worker);
+                  ]
+                 @
+                 (* Solver domains, when the run was parallel; omitted
+                    for sequential runs so existing renderings are
+                    byte-stable. *)
+                 if t.timing.threads > 0 then
+                   [ ("threads", Int t.timing.threads) ]
+                 else []) );
            ]))
 
 let deterministic_string t = Obs.Json.to_string (to_json ~deterministic:true t)
@@ -204,6 +211,7 @@ let of_json json =
           wall_s = num "wall_s" 0.0;
           attempts = int_of_float (num "attempts" 0.0);
           worker = int_of_float (num "worker" (-1.0));
+          threads = int_of_float (num "threads" 0.0);
         }
     | None -> no_timing
   in

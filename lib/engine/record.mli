@@ -23,6 +23,11 @@ type timing = {
   wall_s : float;  (** coordinator-measured wall clock *)
   attempts : int;  (** 1 + retries consumed *)
   worker : int;  (** worker slot, [-1] for cache hits and skipped jobs *)
+  threads : int;
+      (** solver domains the run was configured with; [0] = sequential.
+          Provenance only (rendered in the ["timing"] section, and only
+          when positive): the parallel solver's output is
+          thread-count-independent. *)
 }
 
 val no_timing : timing

@@ -88,14 +88,27 @@ let generate_dag ~seed:_ (kind : Spec.gen_kind) n =
       Some (Workloads.Dag_gen.stencil_1d ~width:side ~steps:side)
   | _ -> None
 
-let solve (config : Spec.config) ~seed hg =
-  let { Spec.k; eps; algorithm; metric } = config in
+let solve (config : Spec.config) ~threads ~seed hg =
+  let { Spec.k; eps; algorithm; metric; parallel } = config in
   let rng = Support.Rng.create seed in
   match algorithm with
   | Spec.Multilevel ->
+      (* A parallel job runs the domain-based path — always in
+         deterministic mode here, so the record stays a pure function of
+         the plan whatever [threads] the host was given (threads bounds
+         the run like a timeout does; it is not part of the job's
+         identity). *)
+      let mthreads = if parallel then max 1 threads else 0 in
       Ok
         (Solvers.Multilevel.partition
-           ~config:{ Solvers.Multilevel.default_config with eps; metric }
+           ~config:
+             {
+               Solvers.Multilevel.default_config with
+               eps;
+               metric;
+               threads = mthreads;
+               deterministic = true;
+             }
            rng hg ~k)
   | Spec.Recursive ->
       Ok
@@ -135,8 +148,8 @@ let audit_partition ~eps hg part =
       (Printf.sprintf "audit violations: %s"
          (String.concat ", " (Analysis.Check.violated_rules merged)))
 
-let run_partition (config : Spec.config) ~seed hg =
-  match solve config ~seed hg with
+let run_partition (config : Spec.config) ~threads ~seed hg =
+  match solve config ~threads ~seed hg with
   | Error msg -> failed msg
   | Ok part -> (
       match audit_partition ~eps:config.Spec.eps hg part with
@@ -201,7 +214,7 @@ let run_experiment id =
 
 (* ---- dispatch ----------------------------------------------------------- *)
 
-let run_job ?(lookup = fun (_ : string) -> None) (job : Spec.job) =
+let run_job ?(lookup = fun (_ : string) -> None) ~threads (job : Spec.job) =
   match job.Spec.instance with
   | Spec.Hmetis_file path -> (
       (* The serve daemon keeps parsed hypergraphs in a hot-instance LRU
@@ -209,14 +222,15 @@ let run_job ?(lookup = fun (_ : string) -> None) (job : Spec.job) =
          the copy-on-write mapping makes the parsed structure free to
          consult here, skipping the load and parse entirely. *)
       match lookup path with
-      | Some hg -> run_partition job.Spec.config ~seed:job.Spec.seed hg
+      | Some hg -> run_partition job.Spec.config ~threads ~seed:job.Spec.seed hg
       | None -> (
           match load_hypergraph path with
           | Error msg -> failed msg
-          | Ok hg -> run_partition job.Spec.config ~seed:job.Spec.seed hg))
+          | Ok hg ->
+              run_partition job.Spec.config ~threads ~seed:job.Spec.seed hg))
   | Spec.Generated { kind; n } -> (
       match generate_hypergraph ~seed:job.Spec.seed kind n with
-      | Some hg -> run_partition job.Spec.config ~seed:job.Spec.seed hg
+      | Some hg -> run_partition job.Spec.config ~threads ~seed:job.Spec.seed hg
       | None -> (
           match generate_dag ~seed:job.Spec.seed kind n with
           | Some dag -> run_schedule job.Spec.config dag
@@ -234,7 +248,7 @@ let run_job ?(lookup = fun (_ : string) -> None) (job : Spec.job) =
          protocol, exactly like a real crash would. *)
       Unix._exit code
 
-let execute ?lookup (job : Spec.job) =
+let execute ?lookup ?(threads = 1) (job : Spec.job) =
   match Spec.validate job with
   | Error msg -> { Record.p_status = `Failed msg; p_metrics = []; p_observed = None }
   | Ok () ->
@@ -248,7 +262,7 @@ let execute ?lookup (job : Spec.job) =
             let alloc0 =
               if Obs.Prof.enabled () then Obs.Prof.allocated_words () else 0.0
             in
-            let r = run_job ?lookup job in
+            let r = run_job ?lookup ~threads job in
             if Obs.Prof.enabled () then begin
               (* Solve end: stamp the job's allocation bill on its span
                  and record the heap state the solve left behind. *)

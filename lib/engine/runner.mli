@@ -9,7 +9,10 @@
     purpose. *)
 
 val execute :
-  ?lookup:(string -> Hypergraph.t option) -> Spec.job -> Record.payload
+  ?lookup:(string -> Hypergraph.t option) ->
+  ?threads:int ->
+  Spec.job ->
+  Record.payload
 (** Run one job in the current process.  Intended to be passed as the
     [worker] of {!Pool.run}; safe to call in-process for tests (except
     on {!Spec.Crash}, which exits).
@@ -17,7 +20,13 @@ val execute :
     [?lookup] resolves an {!Spec.Hmetis_file} path to an already-parsed
     hypergraph before any file I/O — the serve daemon's hot-instance LRU,
     visible to forked workers through copy-on-write.  A [None] falls back
-    to loading the file. *)
+    to loading the file.
+
+    [?threads] (default 1) is the domain count for jobs whose config has
+    [parallel = true]; it bounds the run without changing its result —
+    the engine always drives the parallel solver in deterministic mode,
+    so the payload is a pure function of the plan.  Sequential jobs
+    ignore it. *)
 
 val snapshot_to_json : Obs.snapshot -> Obs.Json.t
 (** The ["observed"] rendering of an observability snapshot (counters,

@@ -30,10 +30,17 @@ type config = {
   eps : float;
   algorithm : algorithm;
   metric : Partition.metric;
+  parallel : bool;
+      (** run the multilevel solver's parallel (domain-based) path.  Part
+          of the job's identity — the parallel path is a different
+          algorithm — but the canonical string only gains its marker when
+          set, so sequential fingerprints are unchanged.  The thread
+          count is {e not} part of identity: the parallel path's output
+          is thread-count-independent by construction. *)
 }
 
 val default_config : config
-(** k = 2, ε = 0.03, multilevel, connectivity. *)
+(** k = 2, ε = 0.03, multilevel, connectivity, sequential. *)
 
 type job = {
   instance : instance;

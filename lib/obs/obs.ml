@@ -464,12 +464,24 @@ let init_from_env () =
   | Some ("summary" | "1" | "on") -> enable_summary ()
   | _ -> ()
 
+(* Worker domains see an inert library: the registries, the span stack
+   and the sink list are plain single-domain state, so every entry point
+   guards on [enabled ()] and [enabled ()] itself answers [false] off
+   the main domain.  The parallel solver (lib/parallel) relies on this —
+   task bodies may run instrumented code (Refine, Coarsen) verbatim, and
+   all its emissions vanish instead of racing; per-domain measurements
+   that must survive travel through Solvers.Fm_stats accumulators and
+   are committed on the main domain at the join barrier.  The guard also
+   keeps the lazy env init single-domain. *)
 let enabled () =
-  if not !initialized then begin
-    initialized := true;
-    init_from_env ()
-  end;
-  !enabled_flag
+  Domain.is_main_domain ()
+  && begin
+       if not !initialized then begin
+         initialized := true;
+         init_from_env ()
+       end;
+       !enabled_flag
+     end
 
 let set_enabled b =
   ignore (enabled ());
@@ -873,6 +885,27 @@ module Histogram = struct
     end
 
   let observe_int h v = observe h (float_of_int v)
+
+  (* Fold an already-aggregated batch of observations into the
+     histogram — the same merge [absorb_shard] applies to worker-process
+     shards, exposed for worker-domain accumulators (Solvers.Fm_stats)
+     that batch on their own domain and commit at a join barrier.
+     [last] should be the batch's final observation; committing batches
+     in worker-index order keeps it deterministic. *)
+  let merge h ~count ~sum ~min ~max ~last =
+    if count > 0 && enabled () then begin
+      if h.hg_count = 0 then begin
+        h.hg_min <- min;
+        h.hg_max <- max
+      end
+      else begin
+        if min < h.hg_min then h.hg_min <- min;
+        if max > h.hg_max then h.hg_max <- max
+      end;
+      h.hg_count <- h.hg_count + count;
+      h.hg_sum <- h.hg_sum +. sum;
+      h.hg_last <- last
+    end
 end
 
 (* ------------------------------------------------------------------ *)

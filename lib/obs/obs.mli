@@ -34,7 +34,12 @@ type attr = Str of string | Int of int | Float of float | Bool of bool
 (** {1 Lifecycle} *)
 
 val enabled : unit -> bool
-(** Whether any collection is active.  First call reads the environment. *)
+(** Whether any collection is active.  First call reads the environment.
+    Always [false] on a non-main domain: the registries are single-domain
+    state, so instrumentation reached from worker domains (the parallel
+    solver's task bodies) is inert — batch per-domain measurements and
+    commit them from the main domain at a join barrier (see
+    {!Histogram.merge} and the Solvers.Fm_stats accumulator). *)
 
 val set_enabled : bool -> unit
 (** Turn metric / span collection on or off without attaching a sink
@@ -184,6 +189,14 @@ module Histogram : sig
   val make : string -> t
   val observe : t -> float -> unit
   val observe_int : t -> int -> unit
+
+  val merge :
+    t -> count:int -> sum:float -> min:float -> max:float -> last:float -> unit
+  (** Fold an already-aggregated batch into the histogram (the
+      {!absorb_shard} merge, exposed for worker-domain accumulators that
+      batch off-main and commit at a join barrier).  No-op when disabled
+      or [count = 0]; commit batches in worker-index order to keep
+      [last] deterministic. *)
 end
 
 (** {1 GC profiling}

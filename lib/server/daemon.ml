@@ -127,9 +127,14 @@ let create config =
           in
           let instances = Instances.create ~capacity:config.lru_capacity in
           (* The worker closure runs in the forked child; the LRU's
-             parsed instances are visible there through copy-on-write. *)
+             parsed instances are visible there through copy-on-write.
+             Solver domains (for jobs marked parallel) are spawned and
+             joined inside the child's solve — they never exist when the
+             pool forks, so the fork/domain hazard cannot arise. *)
+          let threads = max 1 config.pool.Engine.Pool.solver_threads in
           let worker job =
-            Engine.Runner.execute ~lookup:(Instances.lookup instances) job
+            Engine.Runner.execute ~lookup:(Instances.lookup instances) ~threads
+              job
           in
           let pool =
             Engine.Pool.create

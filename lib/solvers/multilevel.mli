@@ -8,10 +8,26 @@ type config = {
   refine_passes : int;
   initial_tries : int;
   stop_nodes : int;
+  threads : int;
+      (** [0] (the default) runs the original sequential path untouched.
+          [N >= 1] runs the parallel path — propose/commit coarsening
+          ({!Par_coarsen}), a scattered initial portfolio, synchronized
+          label-propagation refinement ({!Par_refine}) — on a pool of
+          [N] workers created and shut down inside the solve.  The
+          parallel path's output is a pure function of (hypergraph,
+          rng, config): [threads = 1] and [threads = 8] produce
+          identical partitions (it is a {e different} algorithm from
+          the sequential path, whose results it does not reproduce). *)
+  deterministic : bool;
+      (** [true] (the default) reduces every cross-domain merge in task
+          index order.  [false] relaxes the initial-portfolio reduction
+          to completion order: marginally less synchronization
+          structure, genuinely run-to-run-varying tie-breaks. *)
 }
 
 val default_config : config
-(** ε = 0.03, strict balance, connectivity metric. *)
+(** ε = 0.03, strict balance, connectivity metric, sequential
+    ([threads = 0]), deterministic. *)
 
 val partition :
   ?config:config -> Support.Rng.t -> Hypergraph.t -> k:int -> Partition.t

@@ -1,0 +1,30 @@
+(** Parallel coarsening for the multicore multilevel path: deterministic
+    propose/commit clustering over the flat CSR views.
+
+    Each round proposes, in parallel over node chunks, every node's
+    best-rated partner (the same [w_e / (|e| - 1)] heavy-connectivity
+    rating {!Coarsen} uses) against the {e frozen} fine hypergraph, then
+    commits the proposals sequentially in node-id order under the live
+    cluster-weight cap.  Proposals are pure functions of the hypergraph
+    and ties break toward the lowest node id, so the resulting labels —
+    and the whole hierarchy — are identical for every thread count. *)
+
+val one_level :
+  Parallel.t ->
+  Workspace.t array ->
+  Hypergraph.t ->
+  max_cluster_weight:int ->
+  Coarsen.level option
+(** One propose/commit round plus contraction; [None] when no merge
+    committed.  [wss] provides one scratch workspace per pool worker
+    (index = worker id) for the rating accumulators. *)
+
+val hierarchy :
+  Parallel.t ->
+  Workspace.t array ->
+  Hypergraph.t ->
+  k:int ->
+  stop_nodes:int ->
+  Hypergraph.t * Coarsen.level list
+(** [(coarsest, levels)] with levels ordered fine → coarse; same
+    stopping rules as {!Coarsen.hierarchy} (node floor, < 5% shrink). *)

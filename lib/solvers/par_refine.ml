@@ -1,0 +1,144 @@
+(* Synchronized label-propagation refinement (the parallel refinement
+   family of mt-KaHyPar, arXiv:2106.08696, in its deterministic mode):
+
+     round = parallel propose (frozen state, disjoint per-node writes)
+           + sequential apply in node-id order (live delta + cap checks)
+
+   The propose phase reads the pin-count state built at round start and
+   never writes shared state except each node's own proposal slot, so it
+   is race-free and schedule-independent.  The apply sweep resolves the
+   conflicts that concurrent proposals cannot see — two pins of one edge
+   both claiming its gain, or several moves filling the same part — by
+   recomputing every accepted move's delta against the live counts and
+   enforcing the capacity bound incrementally.  Rounds repeat until no
+   move applies or [max_passes] rounds ran.  Moves are only accepted at
+   strictly negative delta, so the cost decreases monotonically. *)
+
+let c_rounds = Obs.Counter.make "lp.rounds"
+let c_applied = Obs.Counter.make "lp.moves_applied"
+let c_conflicts = Obs.Counter.make "lp.conflict_rejects"
+let h_round_gain = Obs.Histogram.make "lp.round_gain"
+
+(* Nodes per propose task, as in Par_coarsen. *)
+let chunk = 1024
+
+let refine pool wss ~config hg part =
+  Obs.Span.with_ "refine.par"
+    ~attrs:
+      [
+        ("n", Obs.Int (Hypergraph.num_nodes hg));
+        ("k", Obs.Int (Partition.k part));
+        ("threads", Obs.Int (Parallel.threads pool));
+      ]
+    (fun () ->
+      let n = Hypergraph.num_nodes hg in
+      let k = Partition.k part in
+      let metric = config.Refine.metric in
+      let weights = Partition.part_weights hg part in
+      let cap =
+        Partition.capacity ~variant:config.Refine.variant
+          ~eps:config.Refine.eps
+          ~total_weight:(Hypergraph.total_node_weight hg)
+          ~k ()
+      in
+      if Array.exists (fun w -> w > cap) weights then
+        (* Projected partitions can overfill a part; the sequential
+           refiner's rebalance + FM repair is deterministic, so the
+           threads-1-vs-N contract survives the fallback. *)
+        Refine.refine ~config ~workspace:wss.(0) hg part
+      else begin
+        let counts = Pin_counts.create hg part in
+        let lambdas = Pin_counts.raw_lambdas counts in
+        let inc = Hypergraph.csr_incidence hg in
+        let inc_offs = Hypergraph.csr_node_offsets hg in
+        let assign = Partition.assignment part in
+        let node_w = Array.init n (Hypergraph.node_weight hg) in
+        let best_dst = Array.make (max n 1) (-1) in
+        let best_delta = Array.make (max n 1) 0 in
+        let chunks = (n + chunk - 1) / chunk in
+        let rounds = ref 0 and improving = ref true in
+        let conflicts = ref 0 in
+        (* Per-round gain stats, batched locally and committed once after
+           the loop (DOM04: no Obs calls inside the hot loop). *)
+        let g_count = ref 0 and g_sum = ref 0.0 in
+        let g_min = ref infinity and g_max = ref neg_infinity in
+        let g_last = ref 0.0 in
+        let applied_total = ref 0 in
+        while !improving && !rounds < config.Refine.max_passes do
+          incr rounds;
+          (* Propose: best strictly-improving feasible move per boundary
+             node, against the frozen counts / weights / assignment.
+             Tie-break is the lowest destination (ascending scan). *)
+          ignore
+            (Parallel.map pool ~n:chunks (fun ~worker:_ c ->
+                 let lo = c * chunk and hi = min n ((c + 1) * chunk) - 1 in
+                 for v = lo to hi do
+                   best_dst.(v) <- -1;
+                   let boundary = ref false in
+                   let i = ref inc_offs.(v) in
+                   let stop = inc_offs.(v + 1) in
+                   while (not !boundary) && !i < stop do
+                     if lambdas.(inc.(!i)) >= 2 then boundary := true;
+                     incr i
+                   done;
+                   if !boundary then begin
+                     let src = assign.(v) in
+                     let w = node_w.(v) in
+                     let bd = ref (-1) and bdelta = ref 0 in
+                     for q = 0 to k - 1 do
+                       if q <> src && weights.(q) + w <= cap then begin
+                         let d =
+                           Pin_counts.move_delta ~metric counts v ~src ~dst:q
+                         in
+                         if d < !bdelta then begin
+                           bd := q;
+                           bdelta := d
+                         end
+                       end
+                     done;
+                     if !bd >= 0 then begin
+                       best_dst.(v) <- !bd;
+                       best_delta.(v) <- !bdelta
+                     end
+                   end
+                 done));
+          (* Apply in node-id order with live re-checks. *)
+          let applied = ref 0 and gain = ref 0 in
+          for v = 0 to n - 1 do
+            let dst = best_dst.(v) in
+            if dst >= 0 then begin
+              let src = assign.(v) in
+              if weights.(dst) + node_w.(v) <= cap then begin
+                let d = Pin_counts.move_delta ~metric counts v ~src ~dst in
+                if d < 0 then begin
+                  Pin_counts.move counts v ~src ~dst;
+                  assign.(v) <- dst;
+                  weights.(src) <- weights.(src) - node_w.(v);
+                  weights.(dst) <- weights.(dst) + node_w.(v);
+                  incr applied;
+                  gain := !gain - d
+                end
+                else incr conflicts
+              end
+              else incr conflicts
+            end
+          done;
+          applied_total := !applied_total + !applied;
+          let g = float_of_int !gain in
+          incr g_count;
+          g_sum := !g_sum +. g;
+          if g < !g_min then g_min := g;
+          if g > !g_max then g_max := g;
+          g_last := g;
+          if !applied = 0 then improving := false
+        done;
+        Obs.Counter.add c_rounds !rounds;
+        Obs.Counter.add c_applied !applied_total;
+        Obs.Counter.add c_conflicts !conflicts;
+        Obs.Histogram.merge h_round_gain ~count:!g_count ~sum:!g_sum
+          ~min:!g_min ~max:!g_max ~last:!g_last;
+        let cost = Pin_counts.cost ~metric counts in
+        Obs.Span.attr "rounds" (Obs.Int !rounds);
+        Obs.Span.attr "cost" (Obs.Int cost);
+        Audit_gate.checked_cost ~metric hg part cost
+      end)

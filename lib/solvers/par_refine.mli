@@ -1,0 +1,27 @@
+(** Parallel refinement for the multicore multilevel path: synchronized
+    label-propagation rounds over the flat CSR views.
+
+    Each round proposes, in parallel over node chunks, every boundary
+    node's best strictly-improving move against the {e frozen} partition
+    state ({!Pin_counts.move_delta} is read-only), then applies the
+    proposals sequentially in node-id order, re-evaluating each delta
+    and the balance cap against the live state — the conflict-resolving
+    step that keeps concurrent proposals from double-spending the same
+    gain.  Both phases are schedule-independent, so the refined
+    partition is byte-identical for every thread count.
+
+    An infeasible input partition (a projection can overfill a part)
+    falls back to the sequential {!Refine.refine}, whose rebalance +
+    FM repair is itself deterministic. *)
+
+val refine :
+  Parallel.t ->
+  Workspace.t array ->
+  config:Refine.config ->
+  Hypergraph.t ->
+  Partition.t ->
+  int
+(** Refine the partition in place and return the final cost under the
+    configured metric.  [config.max_passes] bounds the number of
+    label-propagation rounds; [wss] provides one workspace per pool
+    worker (only the fallback path uses them today). *)

@@ -109,15 +109,28 @@ type ctx = {
   mutable n_hits : int;
   mutable n_misses : int;
   mutable n_patches : int;
+  (* Off-main-domain calls capture their fm.* emissions here instead of
+     the Obs registries (which are inert on worker domains); the
+     parallel driver commits the batch at its join barrier. *)
+  stats : Fm_stats.t option;
 }
 
 let flush_counters ctx =
-  Obs.Counter.add c_pops ctx.n_pops;
-  Obs.Counter.add c_stale ctx.n_stale;
-  Obs.Counter.add c_applied ctx.n_applied;
-  Obs.Counter.add c_cache_hits ctx.n_hits;
-  Obs.Counter.add c_cache_misses ctx.n_misses;
-  Obs.Counter.add c_delta_updates ctx.n_patches;
+  (match ctx.stats with
+  | Some s ->
+      s.Fm_stats.pops <- s.Fm_stats.pops + ctx.n_pops;
+      s.Fm_stats.stale <- s.Fm_stats.stale + ctx.n_stale;
+      s.Fm_stats.applied <- s.Fm_stats.applied + ctx.n_applied;
+      s.Fm_stats.cache_hits <- s.Fm_stats.cache_hits + ctx.n_hits;
+      s.Fm_stats.cache_misses <- s.Fm_stats.cache_misses + ctx.n_misses;
+      s.Fm_stats.delta_updates <- s.Fm_stats.delta_updates + ctx.n_patches
+  | None ->
+      Obs.Counter.add c_pops ctx.n_pops;
+      Obs.Counter.add c_stale ctx.n_stale;
+      Obs.Counter.add c_applied ctx.n_applied;
+      Obs.Counter.add c_cache_hits ctx.n_hits;
+      Obs.Counter.add c_cache_misses ctx.n_misses;
+      Obs.Counter.add c_delta_updates ctx.n_patches);
   ctx.n_pops <- 0;
   ctx.n_stale <- 0;
   ctx.n_applied <- 0;
@@ -342,7 +355,9 @@ let seed_boundary ctx queue =
         end
       done
   done;
-  Obs.Histogram.observe_int h_boundary !boundary_size
+  match ctx.stats with
+  | Some s -> Fm_stats.observe_int s.Fm_stats.boundary !boundary_size
+  | None -> Obs.Histogram.observe_int h_boundary !boundary_size
 
 (* Full seeding: every node with a feasible move, as the pre-cache refiner
    did.  Used as a stall fallback — interior nodes only ever have
@@ -430,8 +445,13 @@ let fm_pass ctx queue hook ~full =
     done;
     ctx.cache_stamp <- Workspace.next_stamp ws
   end;
-  Obs.Counter.add c_accepted !best_len;
-  Obs.Counter.add c_rolled_back (!len - !best_len);
+  (match ctx.stats with
+  | Some s ->
+      s.Fm_stats.accepted <- s.Fm_stats.accepted + !best_len;
+      s.Fm_stats.rolled_back <- s.Fm_stats.rolled_back + (!len - !best_len)
+  | None ->
+      Obs.Counter.add c_accepted !best_len;
+      Obs.Counter.add c_rolled_back (!len - !best_len));
   flush_counters ctx;
   !best_cum
 
@@ -479,15 +499,23 @@ let rebalance ctx queue hook =
             end
           end
     done;
-    Obs.Counter.add c_stale !stale;
-    Obs.Counter.add c_rebalance !moved
+    match ctx.stats with
+    | Some s ->
+        s.Fm_stats.stale <- s.Fm_stats.stale + !stale;
+        s.Fm_stats.rebalance <- s.Fm_stats.rebalance + !moved
+    | None ->
+        Obs.Counter.add c_stale !stale;
+        Obs.Counter.add c_rebalance !moved
   end
 
 (* Refine [part] in place; returns the final cost.  An optional
    [workspace] lets callers (the multilevel driver) reuse scratch arrays,
    gain rows and the bucket queue across passes and levels; results are
-   identical with or without one. *)
-let refine ?(config = default_config) ?workspace hg part =
+   identical with or without one.  An optional [stats] accumulator
+   captures the call's fm.* emissions instead of the Obs registries —
+   how refinement running on a pool worker domain (where Obs is inert)
+   keeps its counters; the caller commits the batch on the main domain. *)
+let refine ?(config = default_config) ?workspace ?stats hg part =
   Obs.Span.with_ "refine"
     ~attrs:
       [
@@ -557,6 +585,7 @@ let refine ?(config = default_config) ?workspace hg part =
           n_hits = 0;
           n_misses = 0;
           n_patches = 0;
+          stats;
         }
       in
       let hook = on_transition ctx in
@@ -583,10 +612,16 @@ let refine ?(config = default_config) ?workspace hg part =
                 else 0.0
               in
               let gain = fm_pass ctx queue hook ~full:was_full in
-              if Obs.Prof.enabled () then
-                (* hyplint: allow DOM04 — one observation per FM pass, profiling-gated, bounded by config.max_passes *)
-                Obs.Histogram.observe_int h_pass_alloc
-                  (int_of_float (Obs.Prof.allocated_words () -. alloc0));
+              if Obs.Prof.enabled () then begin
+                let words =
+                  int_of_float (Obs.Prof.allocated_words () -. alloc0)
+                in
+                match ctx.stats with
+                | Some s -> Fm_stats.observe_int s.Fm_stats.pass_alloc words
+                | None ->
+                    (* hyplint: allow DOM04 — one observation per FM pass, profiling-gated, bounded by config.max_passes *)
+                    Obs.Histogram.observe_int h_pass_alloc words
+              end;
               (* Per-pass cost trajectory, only evaluated when observing. *)
               if Obs.enabled () then begin
                 Obs.Span.attr "gain" (Obs.Int gain);
@@ -595,8 +630,11 @@ let refine ?(config = default_config) ?workspace hg part =
               end;
               gain)
         in
-        (* hyplint: allow DOM04 — one observation per FM pass, bounded by config.max_passes, not per-event; batching would lose the gain trajectory *)
-        Obs.Histogram.observe_int h_pass_gain gain;
+        (match ctx.stats with
+        | Some s -> Fm_stats.observe_int s.Fm_stats.pass_gain gain
+        | None ->
+            (* hyplint: allow DOM04 — one observation per FM pass, bounded by config.max_passes, not per-event; batching would lose the gain trajectory *)
+            Obs.Histogram.observe_int h_pass_gain gain);
         if gain > 0 then full := false
         else if was_full then improving := false
         else full := true
@@ -604,5 +642,7 @@ let refine ?(config = default_config) ?workspace hg part =
       let cost = Pin_counts.cost ~metric:config.metric counts in
       Obs.Span.attr "passes" (Obs.Int !passes);
       Obs.Span.attr "cost" (Obs.Int cost);
-      Obs.Histogram.observe_int h_final_cost cost;
+      (match stats with
+      | Some s -> Fm_stats.observe_int s.Fm_stats.final_cost cost
+      | None -> Obs.Histogram.observe_int h_final_cost cost);
       Audit_gate.checked_cost ~metric:config.metric hg part cost)

@@ -16,9 +16,20 @@ val default_config : config
 (** ε = 0, strict balance, connectivity metric, 8 passes, cutoff 350. *)
 
 val refine :
-  ?config:config -> ?workspace:Workspace.t -> Hypergraph.t -> Partition.t -> int
+  ?config:config ->
+  ?workspace:Workspace.t ->
+  ?stats:Fm_stats.t ->
+  Hypergraph.t ->
+  Partition.t ->
+  int
 (** Refines the partition in place (first rebalancing if some part exceeds
     capacity) and returns the final cost under the configured metric.
+
+    With [?stats], every [fm.*] counter / histogram emission of the call
+    is captured in the accumulator instead of the Obs registries — the
+    contract for calls running on worker domains, where Obs is inert;
+    the parallel driver commits accumulators in task-index order at its
+    join barrier so totals are thread-count-independent.
 
     The pass is boundary-driven: only nodes incident to cut edges enter
     the gain queue, gains come from a per-node cache kept exact by

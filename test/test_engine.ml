@@ -116,7 +116,7 @@ let test_record_roundtrip () =
       status = E.Record.Failed "Runner.execute: boom";
       metrics = [ ("n", Obs.Json.Int 40) ];
       observed = Some (Obs.Json.Obj [ ("counters", Obs.Json.Obj []) ]);
-      timing = { E.Record.wall_s = 0.25; attempts = 2; worker = 3 };
+      timing = { E.Record.wall_s = 0.25; attempts = 2; worker = 3; threads = 2 };
     }
   in
   (match E.Record.of_json (E.Record.to_json record) with
@@ -130,7 +130,7 @@ let test_record_roundtrip () =
      and the observability snapshot. *)
   let shifted =
     { record with
-      E.Record.timing = { E.Record.wall_s = 99.0; attempts = 1; worker = 0 };
+      E.Record.timing = { E.Record.wall_s = 99.0; attempts = 1; worker = 0; threads = 0 };
       observed = None }
   in
   Alcotest.(check string) "timing/observed excluded"
@@ -148,7 +148,7 @@ let done_record job =
     status = E.Record.Done;
     metrics = [ ("connectivity", Obs.Json.Int 12) ];
     observed = None;
-    timing = { E.Record.wall_s = 0.01; attempts = 1; worker = 0 };
+    timing = { E.Record.wall_s = 0.01; attempts = 1; worker = 0; threads = 0 };
   }
 
 let open_cache dir =
@@ -422,7 +422,7 @@ let test_cache_concurrent_stores () =
       status = E.Record.Done;
       metrics = [ ("blob", Obs.Json.Str (String.make 65536 c)) ];
       observed = None;
-      timing = { E.Record.wall_s = 0.0; attempts = 1; worker = 0 };
+      timing = { E.Record.wall_s = 0.0; attempts = 1; worker = 0; threads = 0 };
     }
   in
   let worker (j : E.Spec.job) =
@@ -508,7 +508,7 @@ let test_cache_reader_racing_writer () =
       status = E.Record.Done;
       metrics = [ ("blob", Obs.Json.Str (String.make 65536 'x')) ];
       observed = None;
-      timing = { E.Record.wall_s = 0.0; attempts = 1; worker = 0 };
+      timing = { E.Record.wall_s = 0.0; attempts = 1; worker = 0; threads = 0 };
     }
   in
   let worker (_ : E.Spec.job) =

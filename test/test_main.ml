@@ -26,4 +26,8 @@ let () =
       ("analyze", Test_analyze.suite);
       ("engine", Test_engine.suite);
       ("server", Test_server.suite);
+      (* Last on purpose: the parallel suite spawns domains, and the
+         runtime refuses Unix.fork in a process that ever created one —
+         so every fork-based suite (engine, server) must run first. *)
+      ("parallel", Test_parallel.suite);
     ]
